@@ -1,0 +1,185 @@
+//! Gaussian naive Bayes (Hamerly & Elkan, ICML 2001).
+//!
+//! The first machine-learned SMART failure predictor: model each feature as
+//! class-conditionally Gaussian and score by posterior log-odds. Crude —
+//! SMART counters are anything but Gaussian — but it beat the vendor
+//! thresholds by 3–10× and set off the whole research line the paper
+//! surveys.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature class-conditional Gaussians plus class priors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    /// Per-feature (mean, variance) for the negative class.
+    neg: Vec<(f64, f64)>,
+    /// Per-feature (mean, variance) for the positive class.
+    pos: Vec<(f64, f64)>,
+    /// log P(y=1) − log P(y=0).
+    prior_log_odds: f64,
+}
+
+/// Variance floor: degenerate (constant) features would otherwise produce
+/// infinite densities.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNaiveBayes {
+    /// Fit on rows with boolean labels. Requires both classes present.
+    pub fn fit<'a, I>(rows: I, y: &[bool]) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let rows: Vec<&[f32]> = rows.into_iter().collect();
+        assert_eq!(rows.len(), y.len(), "labels must match rows");
+        assert!(
+            y.iter().any(|&b| b) && y.iter().any(|&b| !b),
+            "naive Bayes needs both classes"
+        );
+        let d = rows[0].len();
+        let mut stats = [vec![(0.0f64, 0.0f64, 0u64); d], vec![(0.0, 0.0, 0); d]];
+        for (row, &label) in rows.iter().zip(y) {
+            let acc = &mut stats[usize::from(label)];
+            for (j, &v) in row.iter().enumerate() {
+                let v = f64::from(v);
+                acc[j].0 += v;
+                acc[j].1 += v * v;
+                acc[j].2 += 1;
+            }
+        }
+        let finish = |acc: &[(f64, f64, u64)]| -> Vec<(f64, f64)> {
+            acc.iter()
+                .map(|&(s, s2, n)| {
+                    let n = n as f64;
+                    let mean = s / n;
+                    let var = (s2 / n - mean * mean).max(VAR_FLOOR);
+                    (mean, var)
+                })
+                .collect()
+        };
+        let n_pos = y.iter().filter(|&&b| b).count() as f64;
+        let n_neg = y.len() as f64 - n_pos;
+        Self {
+            neg: finish(&stats[0]),
+            pos: finish(&stats[1]),
+            prior_log_odds: (n_pos / y.len() as f64).ln() - (n_neg / y.len() as f64).ln(),
+        }
+    }
+
+    /// Posterior log-odds `log P(y=1|x) − log P(y=0|x)`; monotone risk
+    /// score (0 = even odds).
+    pub fn log_odds(&self, row: &[f32]) -> f64 {
+        debug_assert_eq!(row.len(), self.neg.len());
+        let mut odds = self.prior_log_odds;
+        for (j, &v) in row.iter().enumerate() {
+            let v = f64::from(v);
+            let ll = |(m, var): (f64, f64)| -> f64 {
+                let d = v - m;
+                -0.5 * (var.ln() + d * d / var)
+            };
+            odds += ll(self.pos[j]) - ll(self.neg[j]);
+        }
+        odds
+    }
+
+    /// Posterior probability of the positive class.
+    pub fn score(&self, row: &[f32]) -> f32 {
+        (1.0 / (1.0 + (-self.log_odds(row)).exp())) as f32
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.neg.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_util::{dist, Xoshiro256pp};
+
+    fn gaussian_data(n: usize, seed: u64, mu_pos: f64) -> (Vec<[f32; 2]>, Vec<bool>) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let pos = rng.bernoulli(0.3);
+            let mu = if pos { mu_pos } else { 0.0 };
+            rows.push([
+                dist::normal(&mut rng, mu, 1.0) as f32,
+                dist::normal(&mut rng, 0.0, 1.0) as f32, // uninformative
+            ]);
+            y.push(pos);
+        }
+        (rows, y)
+    }
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let (rows, y) = gaussian_data(4_000, 1, 3.0);
+        let nb = GaussianNaiveBayes::fit(rows.iter().map(|r| r.as_slice()), &y);
+        let (test, ty) = gaussian_data(1_000, 2, 3.0);
+        let correct = test
+            .iter()
+            .zip(&ty)
+            .filter(|(r, &label)| (nb.score(r.as_slice()) >= 0.5) == label)
+            .count();
+        let acc = correct as f64 / ty.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_monotone_in_log_odds() {
+        let (rows, y) = gaussian_data(500, 3, 2.0);
+        let nb = GaussianNaiveBayes::fit(rows.iter().map(|r| r.as_slice()), &y);
+        let mut prev: Option<(f64, f32)> = None;
+        let mut pts: Vec<(f64, f32)> = rows
+            .iter()
+            .map(|r| (nb.log_odds(r.as_slice()), nb.score(r.as_slice())))
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (lo, s) in pts {
+            assert!((0.0..=1.0).contains(&s));
+            if let Some((plo, ps)) = prev {
+                assert!(lo >= plo);
+                assert!(s >= ps, "score must be monotone in log-odds");
+            }
+            prev = Some((lo, s));
+        }
+    }
+
+    #[test]
+    fn prior_shifts_the_boundary() {
+        // Same likelihoods, rarer positives → lower scores.
+        let mut rows = Vec::new();
+        let mut y_balanced = Vec::new();
+        let mut y_rare = Vec::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        for i in 0..1_000 {
+            rows.push([dist::normal(&mut rng, 0.0, 1.0) as f32, 0.0]);
+            y_balanced.push(i % 2 == 0);
+            y_rare.push(i % 10 == 0);
+        }
+        let nb_b = GaussianNaiveBayes::fit(rows.iter().map(|r| r.as_slice()), &y_balanced);
+        let nb_r = GaussianNaiveBayes::fit(rows.iter().map(|r| r.as_slice()), &y_rare);
+        // Feature is uninformative in both, so the score ≈ the prior.
+        let probe = [0.0f32, 0.0];
+        assert!(nb_r.score(&probe) < nb_b.score(&probe));
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let rows: Vec<[f32; 1]> = vec![[5.0]; 100];
+        let y: Vec<bool> = (0..100).map(|i| i < 30).collect();
+        let nb = GaussianNaiveBayes::fit(rows.iter().map(|r| r.as_slice()), &y);
+        let s = nb.score(&[5.0]);
+        assert!(s.is_finite());
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class() {
+        let rows: Vec<[f32; 1]> = vec![[0.0]; 5];
+        GaussianNaiveBayes::fit(rows.iter().map(|r| r.as_slice()), &[true; 5]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Historical baselines from the paper's related-work survey (§2).
+//!
+//! The paper positions ORF against a decade of SMART-based predictors.
+//! Beyond the three it evaluates directly (RF/DT/SVM, in `orfpred-trees`
+//! and `orfpred-svm`), this crate implements the earlier generations so the
+//! `repro baselines` extension can line the whole literature up on one
+//! dataset:
+//!
+//! * [`bayes::GaussianNaiveBayes`] — Hamerly & Elkan (ICML'01): supervised
+//!   naive Bayes over the SMART features;
+//! * [`mahalanobis::MahalanobisDetector`] — Wang et al. (IEEE Trans. Rel.
+//!   2013): unsupervised anomaly detection by Mahalanobis distance from the
+//!   healthy population;
+//! * [`gbdt::Gbdt`] — gradient-boosted decision trees (the boosting
+//!   comparator the paper's §3.2 argues ORF parallelises better than, and
+//!   the model family of Li et al.'s GBRTs).
+
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod gbdt;
+pub mod mahalanobis;
+
+pub use bayes::GaussianNaiveBayes;
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use mahalanobis::MahalanobisDetector;

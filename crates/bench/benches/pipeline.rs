@@ -1,0 +1,111 @@
+//! Data-plane benchmarks: fleet simulation throughput, the online labeller,
+//! streaming scaling, Wilcoxon screening, and per-disk metric reduction —
+//! everything that has to keep up with a datacenter's daily SMART firehose.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orfpred_core::OnlineLabeller;
+use orfpred_eval::metrics::score_test_disks;
+use orfpred_eval::scorer::ThresholdScorer;
+use orfpred_smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred_smart::scale::OnlineMinMax;
+use orfpred_smart::select::rank_sum_test;
+use orfpred_trees::threshold::ThresholdModel;
+use orfpred_util::Xoshiro256pp;
+use std::hint::black_box;
+
+fn fleet_cfg() -> FleetConfig {
+    let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 3);
+    cfg.duration_days = 200;
+    cfg
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let cfg = fleet_cfg();
+    let n_samples: usize = FleetSim::new(&cfg)
+        .disk_infos()
+        .iter()
+        .map(|d| d.observed_days() as usize)
+        .sum();
+    let mut group = c.benchmark_group("fleet_sim");
+    group.throughput(Throughput::Elements(n_samples as u64));
+    group.bench_function("generate_stream", |b| {
+        b.iter(|| FleetSim::new(black_box(&cfg)).count());
+    });
+    group.finish();
+}
+
+fn bench_labeller(c: &mut Criterion) {
+    let ds = FleetSim::collect(&fleet_cfg());
+    let mut group = c.benchmark_group("online_labeller");
+    group.throughput(Throughput::Elements(ds.records.len() as u64));
+    group.bench_function("full_stream", |b| {
+        b.iter(|| {
+            let mut l = OnlineLabeller::new(7);
+            let mut released = 0usize;
+            for rec in &ds.records {
+                if l.observe_sample(rec.disk_id, rec.day, &rec.features)
+                    .is_some()
+                {
+                    released += 1;
+                }
+                let info = &ds.disks[rec.disk_id as usize];
+                if info.failed && rec.day == info.last_day {
+                    released += l.observe_failure(rec.disk_id).len();
+                }
+            }
+            released
+        });
+    });
+    group.finish();
+}
+
+fn bench_scaler(c: &mut Criterion) {
+    let ds = FleetSim::collect(&fleet_cfg());
+    let cols = orfpred_smart::attrs::table2_feature_columns();
+    let mut group = c.benchmark_group("online_scaler");
+    group.throughput(Throughput::Elements(ds.records.len() as u64));
+    group.bench_function("update_and_transform", |b| {
+        b.iter(|| {
+            let mut s = OnlineMinMax::new_log1p(&cols);
+            let mut buf = vec![0.0f32; cols.len()];
+            let mut acc = 0.0f32;
+            for rec in &ds.records {
+                s.update(&rec.features);
+                s.transform_into(&rec.features, &mut buf);
+                acc += buf[0];
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_rank_sum(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
+    let xs: Vec<f32> = (0..2_000).map(|_| rng.next_f32()).collect();
+    let ys: Vec<f32> = (0..30_000).map(|_| rng.next_f32() + 0.1).collect();
+    c.bench_function("wilcoxon_rank_sum_32k", |b| {
+        b.iter(|| rank_sum_test(black_box(&xs), black_box(&ys)));
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let ds = FleetSim::collect(&fleet_cfg());
+    let disks: Vec<u32> = ds.disks.iter().map(|d| d.disk_id).collect();
+    let scorer = ThresholdScorer {
+        model: ThresholdModel::conservative(),
+    };
+    let mut group = c.benchmark_group("metrics");
+    group.throughput(Throughput::Elements(ds.records.len() as u64));
+    group.bench_function("score_test_disks", |b| {
+        b.iter(|| score_test_disks(black_box(&ds), &disks, &scorer, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generator, bench_labeller, bench_scaler, bench_rank_sum, bench_metrics
+);
+criterion_main!(benches);

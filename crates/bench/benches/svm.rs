@@ -1,0 +1,66 @@
+//! SMO benchmarks: the §4.4 observation that SVM "computational efficiency
+//! and memory use are too expensive for online monitoring", quantified —
+//! training is superlinear in sample count and scoring is linear in the
+//! number of support vectors (vs. tree depth for forests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use orfpred_svm::{Kernel, Svm, SvmConfig};
+use orfpred_util::{Matrix, Xoshiro256pp};
+use std::hint::black_box;
+
+fn dataset(n: usize, seed: u64) -> (Matrix, Vec<bool>) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut x = Matrix::new(19);
+    let mut y = Vec::with_capacity(n);
+    let mut row = vec![0.0f32; 19];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.next_f32();
+        }
+        y.push(row[0] + 0.3 * row[1] > 0.7);
+        x.push_row(&row);
+    }
+    (x, y)
+}
+
+fn cfg() -> SvmConfig {
+    SvmConfig {
+        c_pos: 10.0,
+        c_neg: 10.0,
+        kernel: Kernel::Rbf { gamma: 1.0 },
+        max_iter: 50_000,
+        ..SvmConfig::default()
+    }
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_fit");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let (x, y) = dataset(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("rbf", n), &n, |b, _| {
+            b.iter(|| Svm::fit(black_box(&x), &y, &cfg()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let (x, y) = dataset(2_000, 2);
+    let svm = Svm::fit(&x, &y, &cfg());
+    let (probes, _) = dataset(1_000, 3);
+    let mut group = c.benchmark_group("svm_decision");
+    group.throughput(Throughput::Elements(probes.n_rows() as u64));
+    group.bench_function(format!("{}_support_vectors", svm.n_support()), |b| {
+        b.iter(|| svm.decision_batch(black_box(&probes)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fit, bench_decision
+);
+criterion_main!(benches);

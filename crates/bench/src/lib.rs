@@ -1,0 +1,4 @@
+//! Criterion benchmark crate for `orfpred`; see the `benches/` directory.
+//!
+//! This library target is intentionally empty — it exists so the bench
+//! targets have a package to live in without polluting the public API.

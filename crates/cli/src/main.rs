@@ -1,0 +1,323 @@
+//! `orfpred` — the operational command-line interface.
+//!
+//! ```text
+//! orfpred simulate --out fleet.csv [--dataset sta|stb] [--scale tiny|small] [--seed N]
+//! orfpred train    --csv fleet.csv --model model.json [--online] [--lambda R] [--seed N]
+//! orfpred score    --csv fleet.csv --model model.json [--tau T] [--top K]
+//! orfpred eval     --csv fleet.csv --model model.json [--target-far F]
+//! orfpred inspect  --csv fleet.csv
+//! orfpred drift    --csv fleet.csv [--top N]
+//! orfpred assess   --csv fleet.csv [--seed N]
+//! ```
+//!
+//! * `simulate` writes a Backblaze-format CSV from the fleet simulator —
+//!   handy for demos and for testing downstream tooling;
+//! * `train` fits either the offline Random Forest (default) or the Online
+//!   Random Forest (`--online`, trained by chronological replay) on the
+//!   7-day labelling of the CSV, and saves a self-contained JSON model
+//!   (scaler + forest);
+//! * `score` prints the per-disk maximum risk score (descending), i.e. the
+//!   disks an operator should migrate first;
+//! * `eval` computes per-disk FDR/FAR at a FAR-pinned operating point plus
+//!   AUC on a held-out 30 % disk split;
+//! * `inspect` prints dataset statistics;
+//! * `drift` measures healthy-population distribution shift between the
+//!   first and last month — the early warning that an offline model is
+//!   aging;
+//! * `assess` trains a multi-level health assessor and triages every disk's
+//!   latest snapshot into act-now / schedule / healthy bands.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+mod model;
+
+use model::SavedModel;
+use orfpred_smart::csv::read_dataset;
+use orfpred_smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred_smart::record::Dataset;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean switches.
+struct Args {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String], switch_names: &[&str]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            if switch_names.contains(&name) {
+                switches.push(name.to_string());
+            } else {
+                i += 1;
+                let value = argv
+                    .get(i)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                pairs.push((name.to_string(), value.clone()));
+            }
+            i += 1;
+        }
+        Ok(Self { pairs, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad value '{v}'")),
+        }
+    }
+}
+
+fn load_csv(path: &str) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_dataset(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!(
+            "usage: orfpred <simulate|train|score|eval|inspect|drift|assess> [options]\n\
+             run `orfpred <command> --help` conventions: see crate docs"
+        );
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "simulate" => simulate(&argv[1..]),
+        "train" => train(&argv[1..]),
+        "score" => score(&argv[1..]),
+        "eval" => evaluate(&argv[1..]),
+        "inspect" => inspect(&argv[1..]),
+        "drift" => drift(&argv[1..]),
+        "assess" => assess(&argv[1..]),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+fn simulate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let out = args.require("out")?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let scale = match args.get("scale").unwrap_or("tiny") {
+        "tiny" => ScalePreset::Tiny,
+        "small" => ScalePreset::Small,
+        "medium" => ScalePreset::Medium,
+        other => return Err(format!("unknown scale '{other}'")),
+    };
+    let cfg = match args.get("dataset").unwrap_or("sta") {
+        "sta" => FleetConfig::sta(scale, seed),
+        "stb" => FleetConfig::stb(scale, seed),
+        other => return Err(format!("unknown dataset '{other}' (sta|stb)")),
+    };
+    let ds = FleetSim::collect(&cfg);
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    orfpred_smart::csv::write_dataset(&ds, &mut writer).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} snapshots from {} disks ({} failed) to {out}",
+        ds.n_records(),
+        ds.disks.len(),
+        ds.n_failed()
+    );
+    Ok(())
+}
+
+fn train(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["online"])?;
+    let csv = args.require("csv")?;
+    let model_path = args.require("model")?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let lambda: f64 = args.parse_num("lambda", 3.0)?;
+    let ds = load_csv(csv)?;
+    let saved = if args.has("online") {
+        SavedModel::train_online(&ds, seed)?
+    } else {
+        SavedModel::train_offline(&ds, Some(lambda), seed)?
+    };
+    saved.save(model_path)?;
+    eprintln!("saved {} model to {model_path}", saved.kind());
+    Ok(())
+}
+
+fn score(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let ds = load_csv(args.require("csv")?)?;
+    let saved = SavedModel::load(args.require("model")?)?;
+    let tau: f32 = args.parse_num("tau", 0.5)?;
+    let top: usize = args.parse_num("top", 20)?;
+
+    // Per-disk max score over the most recent week of samples — "who is at
+    // risk right now".
+    let by_disk = ds.records_by_disk();
+    let mut risks: Vec<(f32, u32)> = ds
+        .disks
+        .iter()
+        .map(|d| {
+            let recent = d.last_day.saturating_sub(7);
+            let best = by_disk[d.disk_id as usize]
+                .iter()
+                .map(|&pos| &ds.records[pos])
+                .filter(|r| r.day >= recent)
+                .map(|r| saved.score(&r.features))
+                .fold(f32::NEG_INFINITY, f32::max);
+            (best, d.disk_id)
+        })
+        .collect();
+    risks.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!("{:>10} {:>10} {:>8}", "disk", "risk", "alarm");
+    for &(risk, disk) in risks.iter().take(top) {
+        println!(
+            "{:>10} {:>10.3} {:>8}",
+            format!("S{disk:08}"),
+            risk,
+            if risk >= tau { "YES" } else { "" }
+        );
+    }
+    let alarms = risks.iter().filter(|&&(r, _)| r >= tau).count();
+    eprintln!("{alarms} of {} disks above τ = {tau}", risks.len());
+    Ok(())
+}
+
+fn evaluate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let ds = load_csv(args.require("csv")?)?;
+    let saved = SavedModel::load(args.require("model")?)?;
+    let target_far: f64 = args.parse_num("target-far", 0.01)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+
+    let mut rng = orfpred_util::Xoshiro256pp::seed_from_u64(seed);
+    let split = orfpred_eval::split::DiskSplit::stratified(&ds, 0.7, &mut rng);
+    let scored = orfpred_eval::metrics::scored_disks_with(
+        &ds,
+        &split.test,
+        &|_, rec| saved.score(&rec.features),
+        7,
+        0,
+        ds.duration_days.saturating_add(1),
+    );
+    let op = scored.tune_for_far(target_far);
+    let (n_failed, n_good) = scored.counts();
+    println!(
+        "held-out disks: {n_failed} failed / {n_good} good\n\
+         AUC: {:.4}\n\
+         at FAR ≤ {:.2}%: FDR {:.2}%  FAR {:.2}%  (τ = {:.3})",
+        scored.auc(),
+        target_far * 100.0,
+        op.fdr * 100.0,
+        op.far * 100.0,
+        op.tau
+    );
+    Ok(())
+}
+
+fn drift(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let ds = load_csv(args.require("csv")?)?;
+    let top: usize = args.parse_num("top", 12)?;
+    let cols: Vec<usize> = (0..orfpred_smart::attrs::N_FEATURES).collect();
+    let report = orfpred_smart::drift::measure_drift(&ds, &cols, 30, 5_000);
+    print!("{}", report.render(top));
+    Ok(())
+}
+
+fn assess(argv: &[String]) -> Result<(), String> {
+    use orfpred_eval::health::{HealthAssessor, HealthLevel};
+    let args = Args::parse(argv, &[])?;
+    let ds = load_csv(args.require("csv")?)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let mut rng = orfpred_util::Xoshiro256pp::seed_from_u64(seed);
+    let split = orfpred_eval::split::DiskSplit::stratified(&ds, 0.7, &mut rng);
+    let forest = orfpred_trees::ForestConfig::default();
+    let assessor = HealthAssessor::fit(
+        &ds,
+        &split.is_train,
+        &orfpred_smart::attrs::table2_feature_columns(),
+        &forest,
+        &mut rng,
+    )
+    .ok_or("not enough failure data to train the assessor")?;
+    let report = assessor.evaluate(&ds, &split.is_train);
+    eprintln!(
+        "band accuracy on held-out failed-disk samples: {:.1}% over {} samples",
+        report.acc_failed * 100.0,
+        report.n_samples
+    );
+    // Triage every disk's latest snapshot.
+    let by_disk = ds.records_by_disk();
+    let mut critical = Vec::new();
+    let mut warning = 0usize;
+    let mut healthy = 0usize;
+    for d in &ds.disks {
+        let Some(&last) = by_disk[d.disk_id as usize].last() else {
+            continue;
+        };
+        match assessor.assess(&ds.records[last].features) {
+            HealthLevel::Critical => critical.push(d.disk_id),
+            HealthLevel::Warning => warning += 1,
+            HealthLevel::Healthy => healthy += 1,
+        }
+    }
+    println!(
+        "{} disks: {} act-now / {warning} schedule / {healthy} healthy",
+        ds.disks.len(),
+        critical.len()
+    );
+    for d in critical.iter().take(50) {
+        println!("  S{d:08}  migrate immediately");
+    }
+    Ok(())
+}
+
+fn inspect(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let ds = load_csv(args.require("csv")?)?;
+    let s = orfpred_smart::summary::summarize(&ds, 30);
+    println!(
+        "model {} | {} disks ({} failed) | {} snapshots over {} days",
+        s.model,
+        s.n_good + s.n_failed,
+        s.n_failed,
+        s.n_samples,
+        ds.duration_days
+    );
+    println!(
+        "labelled (7-day window): {} positive / {} negative (1:{:.0})",
+        s.n_positive, s.n_negative, s.imbalance
+    );
+    println!("population by month: {:?}", s.population_by_month);
+    println!("failures  by month: {:?}", s.failures_by_month);
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Self-contained on-disk model format: the scaler and forest bundled into
+//! one JSON document, so a model file scores raw Backblaze rows with no
+//! side-channel configuration.
+
+use orfpred_core::{OnlineRandomForest, OrfConfig};
+use orfpred_eval::prep::{build_matrix, stream_orf, training_labels};
+use orfpred_smart::attrs::table2_feature_columns;
+use orfpred_smart::record::Dataset;
+use orfpred_smart::scale::{MinMaxScaler, OnlineMinMax};
+use orfpred_trees::{ForestConfig, RandomForest};
+use orfpred_util::Xoshiro256pp;
+use serde::{Deserialize, Serialize};
+
+/// A trained model plus the preprocessing it expects.
+#[derive(Serialize, Deserialize)]
+pub enum SavedModel {
+    /// Offline Random Forest + offline scaler.
+    Offline {
+        scaler: MinMaxScaler,
+        forest: RandomForest,
+    },
+    /// Online Random Forest + the streaming scaler state it ended with.
+    Online {
+        scaler: OnlineMinMax,
+        forest: OnlineRandomForest,
+    },
+}
+
+impl SavedModel {
+    /// Train the offline RF on the dataset's 7-day labelling.
+    pub fn train_offline(ds: &Dataset, lambda: Option<f64>, seed: u64) -> Result<Self, String> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let all = vec![true; ds.disks.len()];
+        let labels = training_labels(ds, &all, ds.duration_days, 7);
+        let tm = build_matrix(ds, &labels, &table2_feature_columns(), lambda, &mut rng)
+            .ok_or("dataset has no positive samples — cannot train")?;
+        let forest = RandomForest::fit(&tm.x, &tm.y, &ForestConfig::default(), rng.next_u64());
+        Ok(SavedModel::Offline {
+            scaler: tm.scaler,
+            forest,
+        })
+    }
+
+    /// Train the ORF by chronological replay of the labelled samples.
+    pub fn train_online(ds: &Dataset, seed: u64) -> Result<Self, String> {
+        let all = vec![true; ds.disks.len()];
+        let labels = training_labels(ds, &all, ds.duration_days, 7);
+        if !labels.iter().any(|l| l.positive) {
+            return Err("dataset has no positive samples — cannot train".into());
+        }
+        let (forest, scaler) = stream_orf(
+            ds,
+            &labels,
+            &table2_feature_columns(),
+            &OrfConfig::default(),
+            seed,
+        );
+        Ok(SavedModel::Online { scaler, forest })
+    }
+
+    /// Risk score of a raw 48-column snapshot.
+    pub fn score(&self, features: &[f32]) -> f32 {
+        match self {
+            SavedModel::Offline { scaler, forest } => forest.score(&scaler.transform(features)),
+            SavedModel::Online { scaler, forest } => forest.score(&scaler.transform(features)),
+        }
+    }
+
+    /// Human-readable kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SavedModel::Offline { .. } => "offline random forest",
+            SavedModel::Online { .. } => "online random forest",
+        }
+    }
+
+    /// Serialize to a JSON file.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)
+            .map_err(|e| format!("serialize model: {e}"))
+    }
+
+    /// Load from a JSON file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        serde_json::from_reader(std::io::BufReader::new(file))
+            .map_err(|e| format!("parse model {path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_smart::gen::{FleetConfig, FleetSim, ScalePreset};
+
+    fn dataset() -> Dataset {
+        let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 31);
+        cfg.n_good = 60;
+        cfg.n_failed = 12;
+        cfg.duration_days = 250;
+        FleetSim::collect(&cfg)
+    }
+
+    #[test]
+    fn offline_model_round_trips_through_disk() {
+        let ds = dataset();
+        let model = SavedModel::train_offline(&ds, Some(3.0), 1).unwrap();
+        let dir = std::env::temp_dir().join("orfpred_cli_test_offline.json");
+        let path = dir.to_str().unwrap();
+        model.save(path).unwrap();
+        let back = SavedModel::load(path).unwrap();
+        for rec in ds.records.iter().take(100) {
+            assert_eq!(model.score(&rec.features), back.score(&rec.features));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn online_model_trains_and_scores() {
+        let ds = dataset();
+        let model = SavedModel::train_online(&ds, 2).unwrap();
+        assert_eq!(model.kind(), "online random forest");
+        for rec in ds.records.iter().take(50) {
+            let s = model.score(&rec.features);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn training_without_positives_errors() {
+        let mut ds = dataset();
+        for d in &mut ds.disks {
+            d.failed = false;
+            d.last_day = ds.duration_days;
+        }
+        // Records past each disk's (now extended) window are fine; rebuild
+        // a consistent record set by keeping only day-0 samples.
+        ds.records.retain(|r| r.day == 0);
+        assert!(SavedModel::train_offline(&ds, Some(3.0), 1).is_err());
+        assert!(SavedModel::train_online(&ds, 1).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! End-to-end CLI tests: drive the built `orfpred` binary through the full
+//! simulate → inspect → train → score → eval workflow, exactly as a
+//! downstream operator would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_orfpred"))
+}
+
+fn tmp(name: &str) -> (PathBuf, String) {
+    let p = std::env::temp_dir().join(format!("orfpred_cli_{}_{name}", std::process::id()));
+    let s = p.to_str().unwrap().to_string();
+    (p, s)
+}
+
+#[test]
+fn full_workflow_simulate_train_score_eval() {
+    let (csv_path, csv) = tmp("fleet.csv");
+    let (model_path, model) = tmp("model.json");
+
+    // simulate
+    let out = bin()
+        .args([
+            "simulate",
+            "--out",
+            &csv,
+            "--dataset",
+            "sta",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(csv_path.exists());
+
+    // inspect
+    let out = bin().args(["inspect", "--csv", &csv]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ST4000DM000"), "inspect output: {text}");
+    assert!(text.contains("failed"), "inspect output: {text}");
+
+    // train (offline)
+    let out = bin()
+        .args(["train", "--csv", &csv, "--model", &model, "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model_path.exists());
+
+    // score
+    let out = bin()
+        .args(["score", "--csv", &csv, "--model", &model, "--top", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "score failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().count() >= 6, "score output: {text}");
+    assert!(text.contains("risk"));
+
+    // eval
+    let out = bin()
+        .args([
+            "eval",
+            "--csv",
+            &csv,
+            "--model",
+            &model,
+            "--target-far",
+            "0.05",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "eval failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("AUC"), "eval output: {text}");
+    assert!(text.contains("FDR"), "eval output: {text}");
+
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&model_path).ok();
+}
+
+#[test]
+fn online_training_path_works() {
+    let (csv_path, csv) = tmp("fleet2.csv");
+    let (model_path, model) = tmp("model2.json");
+    assert!(bin()
+        .args([
+            "simulate",
+            "--out",
+            &csv,
+            "--dataset",
+            "stb",
+            "--scale",
+            "tiny",
+            "--seed",
+            "9"
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["train", "--csv", &csv, "--model", &model, "--online"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("online random forest"));
+    std::fs::remove_file(&csv_path).ok();
+    std::fs::remove_file(&model_path).ok();
+}
+
+#[test]
+fn drift_command_reports_cumulative_attributes() {
+    let (csv_path, csv) = tmp("fleet3.csv");
+    assert!(bin()
+        .args([
+            "simulate",
+            "--out",
+            &csv,
+            "--dataset",
+            "sta",
+            "--scale",
+            "tiny",
+            "--seed",
+            "4"
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["drift", "--csv", &csv, "--top", "6"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Power-On Hours is the canonical drifting attribute.
+    assert!(text.contains("smart_9_raw"), "drift output: {text}");
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn assess_command_triages_disks() {
+    let (csv_path, csv) = tmp("fleet4.csv");
+    assert!(bin()
+        .args([
+            "simulate",
+            "--out",
+            &csv,
+            "--dataset",
+            "stb",
+            "--scale",
+            "tiny",
+            "--seed",
+            "6"
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin().args(["assess", "--csv", &csv]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("act-now"), "assess output: {text}");
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_message() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success(), "no-arg run must fail");
+
+    let out = bin().args(["train", "--csv"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin()
+        .args([
+            "score",
+            "--csv",
+            "/nonexistent.csv",
+            "--model",
+            "/nonexistent.json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

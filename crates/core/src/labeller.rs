@@ -1,0 +1,249 @@
+//! The automatic online label method (§3.2, Figure 1).
+//!
+//! In online operation the true status of a disk is unknown at sample time:
+//! a disk may fail a few days after reporting a perfectly healthy-looking
+//! snapshot. The paper's rule: keep each disk's most recent `W` samples in
+//! a fixed-length queue, *unlabelled*. Then:
+//!
+//! * when a **new sample** arrives and the queue is full, the oldest queued
+//!   sample is at least `W` days old — the disk demonstrably survived the
+//!   prediction window after reporting it — so it is released as
+//!   **negative**;
+//! * when the **disk fails**, everything still queued was reported within
+//!   the window before death, so it is all released as **positive**.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// A sample the labeller has released with a definitive label.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReleasedSample {
+    /// Disk the sample came from.
+    pub disk_id: u32,
+    /// Day the sample was collected.
+    pub day: u16,
+    /// The (unscaled) feature row, exactly as observed.
+    pub features: Box<[f32]>,
+    /// `true` = the disk failed within the window after this sample.
+    pub positive: bool,
+}
+
+/// A queued (day, features) sample awaiting its label.
+type PendingSample = (u16, Box<[f32]>);
+
+/// Per-disk fixed-length queues of unlabelled samples.
+///
+/// ```
+/// use orfpred_core::OnlineLabeller;
+///
+/// let mut labeller = OnlineLabeller::new(7);
+/// // Seven days of samples for disk 3: everything stays unlabelled.
+/// for day in 0..7 {
+///     assert!(labeller.observe_sample(3, day, &[1.0]).is_none());
+/// }
+/// // Day 7: the day-0 sample has provably survived the window → negative.
+/// let aged_out = labeller.observe_sample(3, 7, &[1.0]).unwrap();
+/// assert!(!aged_out.positive);
+/// assert_eq!(aged_out.day, 0);
+/// // The disk fails: everything still queued becomes positive.
+/// let flushed = labeller.observe_failure(3);
+/// assert_eq!(flushed.len(), 7);
+/// assert!(flushed.iter().all(|s| s.positive));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineLabeller {
+    window: usize,
+    queues: HashMap<u32, VecDeque<PendingSample>>,
+}
+
+impl OnlineLabeller {
+    /// New labeller with queue length `window` (the paper's prediction
+    /// horizon, 7 days).
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must hold at least one sample");
+        Self {
+            window,
+            queues: HashMap::new(),
+        }
+    }
+
+    /// Enqueue a freshly collected sample. If the disk's queue was full,
+    /// the aged-out oldest sample is returned, labelled negative.
+    pub fn observe_sample(
+        &mut self,
+        disk_id: u32,
+        day: u16,
+        features: &[f32],
+    ) -> Option<ReleasedSample> {
+        let queue = self.queues.entry(disk_id).or_default();
+        let released = if queue.len() >= self.window {
+            queue
+                .pop_front()
+                .map(|(old_day, old_features)| ReleasedSample {
+                    disk_id,
+                    day: old_day,
+                    features: old_features,
+                    positive: false,
+                })
+        } else {
+            None
+        };
+        queue.push_back((day, features.into()));
+        released
+    }
+
+    /// The disk failed: all queued samples are released as positives (in
+    /// chronological order) and the disk is forgotten (Algorithm 2 lines
+    /// 2–8).
+    pub fn observe_failure(&mut self, disk_id: u32) -> Vec<ReleasedSample> {
+        let Some(queue) = self.queues.remove(&disk_id) else {
+            return Vec::new();
+        };
+        queue
+            .into_iter()
+            .map(|(day, features)| ReleasedSample {
+                disk_id,
+                day,
+                features,
+                positive: true,
+            })
+            .collect()
+    }
+
+    /// The disk left the fleet without failing (decommissioned / end of
+    /// observation). Its queued samples stay unlabelled and are dropped;
+    /// returns how many were discarded.
+    pub fn retire(&mut self, disk_id: u32) -> usize {
+        self.queues.remove(&disk_id).map_or(0, |q| q.len())
+    }
+
+    /// Number of disks with queued samples.
+    pub fn n_disks(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total samples currently held unlabelled.
+    pub fn n_pending(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Queue length bound `W`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(v: f32) -> Vec<f32> {
+        vec![v, v + 1.0]
+    }
+
+    #[test]
+    fn nothing_released_until_queue_fills() {
+        let mut l = OnlineLabeller::new(3);
+        assert!(l.observe_sample(1, 0, &feat(0.0)).is_none());
+        assert!(l.observe_sample(1, 1, &feat(1.0)).is_none());
+        assert!(l.observe_sample(1, 2, &feat(2.0)).is_none());
+        assert_eq!(l.n_pending(), 3);
+        let out = l.observe_sample(1, 3, &feat(3.0)).expect("queue full");
+        assert!(!out.positive);
+        assert_eq!(out.day, 0, "oldest sample ages out first");
+        assert_eq!(l.n_pending(), 3, "queue stays at window length");
+    }
+
+    #[test]
+    fn failure_flushes_queue_as_positives_in_order() {
+        let mut l = OnlineLabeller::new(7);
+        for day in 0..5u16 {
+            l.observe_sample(9, day, &feat(day as f32));
+        }
+        let pos = l.observe_failure(9);
+        assert_eq!(pos.len(), 5);
+        assert!(pos.iter().all(|s| s.positive && s.disk_id == 9));
+        let days: Vec<u16> = pos.iter().map(|s| s.day).collect();
+        assert_eq!(days, vec![0, 1, 2, 3, 4]);
+        assert_eq!(l.n_disks(), 0, "failed disk forgotten");
+    }
+
+    #[test]
+    fn a_sample_is_never_released_twice() {
+        let mut l = OnlineLabeller::new(2);
+        let mut released = Vec::new();
+        for day in 0..10u16 {
+            if let Some(s) = l.observe_sample(3, day, &feat(day as f32)) {
+                released.push(s.day);
+            }
+        }
+        released.extend(l.observe_failure(3).into_iter().map(|s| s.day));
+        let mut sorted = released.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), released.len(), "duplicate release");
+        assert_eq!(released.len(), 10, "every sample eventually labelled");
+    }
+
+    #[test]
+    fn positives_only_come_from_failed_disks() {
+        let mut l = OnlineLabeller::new(3);
+        let mut all = Vec::new();
+        for day in 0..20u16 {
+            if let Some(s) = l.observe_sample(1, day, &feat(0.0)) {
+                all.push(s);
+            }
+            if let Some(s) = l.observe_sample(2, day, &feat(1.0)) {
+                all.push(s);
+            }
+        }
+        all.extend(l.observe_failure(2));
+        for s in &all {
+            if s.positive {
+                assert_eq!(s.disk_id, 2, "only disk 2 failed");
+            }
+        }
+        assert!(all.iter().any(|s| s.positive));
+        assert!(all.iter().any(|s| !s.positive && s.disk_id == 1));
+    }
+
+    #[test]
+    fn retire_discards_pending_without_labels() {
+        let mut l = OnlineLabeller::new(5);
+        for day in 0..4u16 {
+            l.observe_sample(7, day, &feat(0.0));
+        }
+        assert_eq!(l.retire(7), 4);
+        assert_eq!(l.n_disks(), 0);
+        assert_eq!(l.retire(7), 0, "idempotent");
+        assert!(l.observe_failure(7).is_empty(), "nothing left to flush");
+    }
+
+    #[test]
+    fn independent_disks_do_not_interfere() {
+        let mut l = OnlineLabeller::new(2);
+        l.observe_sample(1, 0, &feat(0.0));
+        l.observe_sample(2, 0, &feat(9.0));
+        l.observe_sample(1, 1, &feat(1.0));
+        // Disk 1's queue is full; disk 2's is not.
+        let out = l.observe_sample(1, 2, &feat(2.0)).unwrap();
+        assert_eq!((out.disk_id, out.day), (1, 0));
+        assert!(l.observe_sample(2, 1, &feat(9.5)).is_none());
+        assert_eq!(l.n_disks(), 2);
+    }
+
+    #[test]
+    fn features_survive_the_queue_unchanged() {
+        let mut l = OnlineLabeller::new(1);
+        l.observe_sample(4, 0, &[0.25, 0.5, 0.75]);
+        let out = l.observe_sample(4, 1, &[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(&*out.features, &[0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_is_rejected() {
+        OnlineLabeller::new(0);
+    }
+}

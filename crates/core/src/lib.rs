@@ -1,0 +1,33 @@
+//! Online Random Forests for disk failure prediction — the paper's core
+//! contribution (§3, Algorithms 1 and 2).
+//!
+//! * [`tree::OnlineTree`] — a decision tree grown on-the-fly: each unsplit
+//!   leaf keeps a pool of `N` random threshold tests with streaming class
+//!   statistics and splits once it has seen `MinParentSize` (α) samples and
+//!   some test reaches `MinGain` (β) of Gini improvement (Eq. 1–2);
+//! * [`forest::OnlineRandomForest`] — Algorithm 1: online bagging where each
+//!   arriving sample updates each tree `k ~ Poisson(λ)` times, with the
+//!   paper's imbalance correction `λp`/`λn` (Eq. 3); out-of-bag samples
+//!   (`k = 0`) feed a per-tree OOBE estimate, and trees that are old and
+//!   inaccurate (`OOBE > θ_OOBE ∧ AGE > θ_AGE`) are discarded and regrown —
+//!   the unlearning mechanism that defeats model aging;
+//! * [`labeller::OnlineLabeller`] — the automatic online label method
+//!   (Figure 1): per-disk queues of recent unlabelled samples, flushed as
+//!   positives when the disk fails and aged out as negatives otherwise;
+//! * [`online::OnlinePredictor`] — Algorithm 2 end-to-end: labeller +
+//!   streaming min–max scaler + ORF + alarm threshold, consuming the fleet
+//!   event stream directly.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod forest;
+pub mod labeller;
+pub mod online;
+pub mod tree;
+
+pub use config::OrfConfig;
+pub use forest::OnlineRandomForest;
+pub use labeller::{OnlineLabeller, ReleasedSample};
+pub use online::{Alarm, OnlinePredictor, OnlinePredictorConfig};
+pub use tree::OnlineTree;

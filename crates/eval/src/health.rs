@@ -1,0 +1,258 @@
+//! Multi-level health assessment (extension).
+//!
+//! The paper's related work (Xu et al.'s RNNs, Li et al.'s GBRTs) reframes
+//! binary failure prediction as *health-degree* assessment: predict which
+//! residual-life band a disk is in, so operators can triage ("migrate
+//! today" vs "schedule for next week" vs "healthy"). This module grafts
+//! that formulation onto the substrates built here: one-vs-rest Random
+//! Forests over residual-life bands, evaluated with the ACC-on-failed-
+//! samples metric those papers report.
+
+use crate::split::DiskSplit;
+use orfpred_smart::record::Dataset;
+use orfpred_smart::scale::MinMaxScaler;
+use orfpred_trees::{ForestConfig, RandomForest};
+use orfpred_util::{Matrix, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// Residual-life bands (days until failure). The paper's related work uses
+/// similar 3–6 level schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthLevel {
+    /// Fails within 7 days — act now.
+    Critical,
+    /// Fails within 8–30 days — schedule migration.
+    Warning,
+    /// No failure within 30 days.
+    Healthy,
+}
+
+/// All levels, in severity order.
+pub const LEVELS: [HealthLevel; 3] = [
+    HealthLevel::Critical,
+    HealthLevel::Warning,
+    HealthLevel::Healthy,
+];
+
+/// Residual-life band of a sample, given the disk's metadata.
+/// `None` when the true band is unknowable (survivor's final 30 days).
+pub fn health_label(failed: bool, last_day: u16, day: u16) -> Option<HealthLevel> {
+    let days_left = u32::from(last_day) - u32::from(day);
+    if failed {
+        Some(if days_left < 7 {
+            HealthLevel::Critical
+        } else if days_left < 30 {
+            HealthLevel::Warning
+        } else {
+            HealthLevel::Healthy
+        })
+    } else if days_left >= 30 {
+        Some(HealthLevel::Healthy)
+    } else {
+        None
+    }
+}
+
+/// A fitted multi-level assessor: one-vs-rest forests.
+pub struct HealthAssessor {
+    critical: RandomForest,
+    warning: RandomForest,
+    scaler: MinMaxScaler,
+}
+
+/// Per-level evaluation on held-out failed-disk samples.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Fraction of held-out *failed-disk* samples assigned their true band
+    /// (the "ACC on failed samples" of Xu et al.; their RNN reports
+    /// 40–60 %).
+    pub acc_failed: f64,
+    /// Per-true-level recall over failed-disk samples
+    /// (critical, warning, healthy).
+    pub recall: [f64; 3],
+    /// Confusion counts `confusion[true][predicted]` over failed samples.
+    pub confusion: [[u64; 3]; 3],
+    /// Held-out failed samples evaluated.
+    pub n_samples: u64,
+}
+
+impl HealthAssessor {
+    /// Train on the training-disk samples of `ds` (balanced per level).
+    pub fn fit(
+        ds: &Dataset,
+        is_train: &[bool],
+        cols: &[usize],
+        forest: &ForestConfig,
+        rng: &mut Xoshiro256pp,
+    ) -> Option<Self> {
+        // Collect per-level sample indices.
+        let mut by_level: [Vec<usize>; 3] = Default::default();
+        for (pos, rec) in ds.records.iter().enumerate() {
+            if !is_train[rec.disk_id as usize] {
+                continue;
+            }
+            let info = &ds.disks[rec.disk_id as usize];
+            if let Some(level) = health_label(info.failed, info.last_day, rec.day) {
+                by_level[level_index(level)].push(pos);
+            }
+        }
+        let n_crit = by_level[0].len();
+        if n_crit == 0 || by_level[1].is_empty() {
+            return None;
+        }
+        // Downsample the flood levels to ~3× the critical band.
+        let cap = 3 * n_crit;
+        for lvl in [1usize, 2] {
+            if by_level[lvl].len() > cap {
+                let keep = rng.sample_indices(by_level[lvl].len(), cap);
+                by_level[lvl] = keep.into_iter().map(|k| by_level[lvl][k]).collect();
+            }
+        }
+        let all: Vec<(usize, usize)> = by_level
+            .iter()
+            .enumerate()
+            .flat_map(|(lvl, v)| v.iter().map(move |&p| (lvl, p)))
+            .collect();
+        let scaler = MinMaxScaler::fit_log1p(
+            all.iter().map(|&(_, p)| ds.records[p].features.as_slice()),
+            cols,
+        );
+        let mut x = Matrix::with_capacity(cols.len(), all.len());
+        for &(_, p) in &all {
+            x.push_row(&scaler.transform(&ds.records[p].features));
+        }
+        let y_crit: Vec<bool> = all.iter().map(|&(lvl, _)| lvl == 0).collect();
+        // "Warning or worse" vs healthy: a monotone severity cascade.
+        let y_warn: Vec<bool> = all.iter().map(|&(lvl, _)| lvl <= 1).collect();
+        let critical = RandomForest::fit(&x, &y_crit, forest, rng.next_u64());
+        let warning = RandomForest::fit(&x, &y_warn, forest, rng.next_u64());
+        Some(Self {
+            critical,
+            warning,
+            scaler,
+        })
+    }
+
+    /// Predicted band for a raw snapshot (severity cascade at τ = 0.5).
+    pub fn assess(&self, features: &[f32]) -> HealthLevel {
+        let row = self.scaler.transform(features);
+        if self.critical.score(&row) >= 0.5 {
+            HealthLevel::Critical
+        } else if self.warning.score(&row) >= 0.5 {
+            HealthLevel::Warning
+        } else {
+            HealthLevel::Healthy
+        }
+    }
+
+    /// Evaluate on the held-out failed disks' samples.
+    pub fn evaluate(&self, ds: &Dataset, is_train: &[bool]) -> HealthReport {
+        let mut confusion = [[0u64; 3]; 3];
+        for rec in &ds.records {
+            if is_train[rec.disk_id as usize] {
+                continue;
+            }
+            let info = &ds.disks[rec.disk_id as usize];
+            if !info.failed {
+                continue;
+            }
+            let Some(truth) = health_label(true, info.last_day, rec.day) else {
+                continue;
+            };
+            let pred = self.assess(&rec.features);
+            confusion[level_index(truth)][level_index(pred)] += 1;
+        }
+        let n_samples: u64 = confusion.iter().flatten().sum();
+        let correct: u64 = (0..3).map(|i| confusion[i][i]).sum();
+        let mut recall = [0.0f64; 3];
+        for (i, r) in recall.iter_mut().enumerate() {
+            let row_total: u64 = confusion[i].iter().sum();
+            *r = if row_total > 0 {
+                confusion[i][i] as f64 / row_total as f64
+            } else {
+                f64::NAN
+            };
+        }
+        HealthReport {
+            acc_failed: if n_samples > 0 {
+                correct as f64 / n_samples as f64
+            } else {
+                f64::NAN
+            },
+            recall,
+            confusion,
+            n_samples,
+        }
+    }
+}
+
+fn level_index(level: HealthLevel) -> usize {
+    match level {
+        HealthLevel::Critical => 0,
+        HealthLevel::Warning => 1,
+        HealthLevel::Healthy => 2,
+    }
+}
+
+/// Convenience: split, fit, evaluate.
+pub fn run_health(
+    ds: &Dataset,
+    cols: &[usize],
+    forest: &ForestConfig,
+    seed: u64,
+) -> Option<HealthReport> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let split = DiskSplit::stratified(ds, 0.7, &mut rng);
+    let assessor = HealthAssessor::fit(ds, &split.is_train, cols, forest, &mut rng)?;
+    Some(assessor.evaluate(ds, &split.is_train))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_smart::attrs::table2_feature_columns;
+    use orfpred_smart::gen::{FleetConfig, FleetSim, ScalePreset};
+
+    #[test]
+    fn health_label_bands_are_correct() {
+        // Failed disk, last_day 100.
+        assert_eq!(health_label(true, 100, 100), Some(HealthLevel::Critical));
+        assert_eq!(health_label(true, 100, 94), Some(HealthLevel::Critical));
+        assert_eq!(health_label(true, 100, 93), Some(HealthLevel::Warning));
+        assert_eq!(health_label(true, 100, 71), Some(HealthLevel::Warning));
+        assert_eq!(health_label(true, 100, 70), Some(HealthLevel::Healthy));
+        // Survivor observed to day 100.
+        assert_eq!(health_label(false, 100, 70), Some(HealthLevel::Healthy));
+        assert_eq!(health_label(false, 100, 71), None, "status unknowable");
+    }
+
+    #[test]
+    fn assessor_beats_chance_on_failed_samples() {
+        let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 41);
+        cfg.n_good = 150;
+        cfg.n_failed = 40;
+        cfg.duration_days = 360;
+        let ds = FleetSim::collect(&cfg);
+        let forest = ForestConfig {
+            n_trees: 12,
+            ..ForestConfig::default()
+        };
+        let report = run_health(&ds, &table2_feature_columns(), &forest, 3).expect("trainable");
+        assert!(report.n_samples > 500);
+        // Three bands: chance ≈ 1/3 only if balanced; failed-disk samples
+        // are mostly healthy-band, so demand a real margin over the trivial
+        // all-healthy classifier is unfair — instead require critical-band
+        // recall (the operationally vital one) to be substantial.
+        assert!(
+            report.recall[0] > 0.5,
+            "critical recall {:.2} (confusion {:?})",
+            report.recall[0],
+            report.confusion
+        );
+        assert!(
+            report.acc_failed > 0.5,
+            "ACC {:.2} (related work reports 40-60%)",
+            report.acc_failed
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Evaluation methodology of the paper (§4.3–§4.5).
+//!
+//! * [`metrics`] — per-disk FDR/FAR (a failed disk counts as detected iff
+//!   any sample in its final week scores positive; a good disk counts as a
+//!   false alarm iff any sample outside the latest week does) and operating
+//!   point search ("all points ensure FAR around 1.0 %");
+//! * [`split`] — stratified 70/30 disk-level train/test splits;
+//! * [`prep`] — glue from labelled datasets to training matrices (scaling,
+//!   λ-downsampling, chronological sample streams);
+//! * [`scorer`] — a common scoring interface over every model family (RF,
+//!   DT, SVM, threshold baseline, ORF);
+//! * [`sweeps`] — Table 3 (λ on offline RF) and Table 4 (λn on ORF);
+//! * [`monthly`] — Figures 2–3 (monthly convergence, ORF vs offline
+//!   RF/DT/SVM at FAR ≈ 1 %);
+//! * [`longterm`] — Figures 4–7 (practical long-term use: no-update /
+//!   1-month replacing / accumulation / ORF);
+//! * [`ablation`] — single-knob ORF design-choice ablations;
+//! * [`zoo`] — the whole related-work model lineage under one protocol;
+//! * [`streaming`] — two-pass paper-scale evaluation with O(disks) memory;
+//! * [`health`] — multi-level residual-life assessment (extension);
+//! * [`report`] — table/series containers with text and JSON rendering.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod health;
+pub mod longterm;
+pub mod metrics;
+pub mod monthly;
+pub mod prep;
+pub mod report;
+pub mod scorer;
+pub mod split;
+pub mod streaming;
+pub mod sweeps;
+pub mod zoo;
+
+pub use metrics::{score_test_disks, ScoredDisks};
+pub use scorer::Scorer;
+pub use split::DiskSplit;

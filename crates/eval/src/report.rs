@@ -1,0 +1,194 @@
+//! Report containers: tables (mean ± sd rows) and figure series, rendered
+//! as aligned text (what `repro` prints) and JSON (what `EXPERIMENTS.md`
+//! is regenerated from).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a hyper-parameter sweep table (Tables 3–4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Parameter value rendered as text ("3", "0.02", "Max", …).
+    pub param: String,
+    /// Mean FDR over repeats, in percent.
+    pub fdr_mean: f64,
+    /// FDR standard deviation, in percent.
+    pub fdr_sd: f64,
+    /// Mean FAR over repeats, in percent.
+    pub far_mean: f64,
+    /// FAR standard deviation, in percent.
+    pub far_sd: f64,
+}
+
+/// A sweep table for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepTable {
+    /// Table caption.
+    pub title: String,
+    /// Name of the swept parameter.
+    pub param_name: String,
+    /// Dataset label (STA / STB).
+    pub dataset: String,
+    /// Rows in sweep order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepTable {
+    /// Render as an aligned text table (paper-style `mean ± sd`).
+    pub fn render(&self) -> String {
+        let mut out = format!("{} — {}\n", self.title, self.dataset);
+        out.push_str(&format!(
+            "{:>8} | {:>16} | {:>16}\n",
+            self.param_name, "FDR(%)", "FAR(%)"
+        ));
+        out.push_str(&format!("{:->8}-+-{:->16}-+-{:->16}\n", "", "", ""));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>8} | {:>7.2} ± {:>6.2} | {:>7.2} ± {:>6.2}\n",
+                r.param, r.fdr_mean, r.fdr_sd, r.far_mean, r.far_sd
+            ));
+        }
+        out
+    }
+}
+
+/// One named series of a figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// X values (months).
+    pub x: Vec<f64>,
+    /// Y values (percent); `NaN` = no data point that month.
+    pub y: Vec<f64>,
+}
+
+/// A figure: several series over a shared x-axis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure caption.
+    pub title: String,
+    /// X axis label.
+    pub xlabel: String,
+    /// Y axis label.
+    pub ylabel: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as a month-by-month text table, one column per series.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        out.push_str(&format!("{:>8}", self.xlabel));
+        for s in &self.series {
+            out.push_str(&format!(" | {:>14}", s.name));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:->8}", ""));
+        for _ in &self.series {
+            out.push_str(&format!("-+-{:->14}", ""));
+        }
+        out.push('\n');
+        // Union of x values across series.
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.x.iter().copied())
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        for &x in &xs {
+            out.push_str(&format!("{x:>8.0}"));
+            for s in &self.series {
+                let y =
+                    s.x.iter()
+                        .position(|&v| v == x)
+                        .map(|i| s.y[i])
+                        .unwrap_or(f64::NAN);
+                if y.is_nan() {
+                    out.push_str(&format!(" | {:>14}", "-"));
+                } else {
+                    out.push_str(&format!(" | {y:>14.2}"));
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("({} in %)\n", self.ylabel));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_table_renders_every_row() {
+        let t = SweepTable {
+            title: "Impact of λ on Offline RF".into(),
+            param_name: "λ".into(),
+            dataset: "STA".into(),
+            rows: vec![
+                SweepRow {
+                    param: "1".into(),
+                    fdr_mean: 98.22,
+                    fdr_sd: 0.25,
+                    far_mean: 11.88,
+                    far_sd: 2.62,
+                },
+                SweepRow {
+                    param: "Max".into(),
+                    fdr_mean: 35.14,
+                    fdr_sd: 0.18,
+                    far_mean: 0.0,
+                    far_sd: 0.0,
+                },
+            ],
+        };
+        let s = t.render();
+        assert!(s.contains("98.22"));
+        assert!(s.contains("Max"));
+        // title + header + separator + one line per row
+        assert_eq!(s.lines().count(), 3 + 2);
+    }
+
+    #[test]
+    fn figure_renders_union_of_months_with_gaps() {
+        let f = Figure {
+            title: "FDR".into(),
+            xlabel: "month".into(),
+            ylabel: "FDR".into(),
+            series: vec![
+                Series {
+                    name: "ORF".into(),
+                    x: vec![2.0, 3.0],
+                    y: vec![50.0, 60.0],
+                },
+                Series {
+                    name: "RF".into(),
+                    x: vec![3.0],
+                    y: vec![70.0],
+                },
+            ],
+        };
+        let s = f.render();
+        assert!(s.contains("ORF"));
+        assert!(s.contains("70.00"));
+        // Month 2 has no RF point → a dash somewhere on that line.
+        let line2 = s.lines().find(|l| l.trim_start().starts_with('2')).unwrap();
+        assert!(line2.contains('-'));
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let f = Figure {
+            title: "t".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        let j = serde_json::to_string(&f).unwrap();
+        let back: Figure = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.title, "t");
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared plumbing for the repro harness: scales, datasets, model configs.
+
+use orfpred_core::OrfConfig;
+use orfpred_smart::attrs::table2_feature_columns;
+use orfpred_smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred_smart::record::Dataset;
+use orfpred_trees::{CartConfig, ForestConfig};
+
+/// Population scale of the simulated fleets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// A few hundred disks — smoke runs.
+    Tiny,
+    /// ~1/20 of Table 1 — the default; shapes are stable at this size.
+    Small,
+    /// ~1/5 of Table 1 — used by the long-term figures.
+    Medium,
+    /// Full Table 1 counts — heavy (tens of millions of snapshots).
+    Paper,
+}
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    pub scale: Scale,
+    pub seed: u64,
+    pub repeats: usize,
+    pub out_dir: String,
+    pub svm: bool,
+    pub fast: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            seed: 42,
+            repeats: 3,
+            out_dir: "results".into(),
+            svm: true,
+            fast: false,
+        }
+    }
+}
+
+impl Options {
+    fn preset(&self) -> ScalePreset {
+        match self.scale {
+            Scale::Tiny => ScalePreset::Tiny,
+            Scale::Small => ScalePreset::Small,
+            Scale::Medium => ScalePreset::Medium,
+            Scale::Paper => ScalePreset::Paper,
+        }
+    }
+
+    /// The STA fleet configuration at this scale.
+    pub fn sta_config(&self) -> FleetConfig {
+        FleetConfig::sta(self.preset(), self.seed)
+    }
+
+    /// The STB fleet configuration at this scale.
+    pub fn stb_config(&self) -> FleetConfig {
+        FleetConfig::stb(self.preset(), self.seed)
+    }
+
+    /// Materialise the STA dataset (logs a line; generation takes a bit).
+    pub fn sta(&self) -> Dataset {
+        let cfg = self.sta_config();
+        self.warn_if_heavy(&cfg);
+        eprintln!(
+            "[repro] generating STA ({} disks, {} days)…",
+            cfg.n_disks(),
+            cfg.duration_days
+        );
+        FleetSim::collect(&cfg)
+    }
+
+    fn warn_if_heavy(&self, cfg: &FleetConfig) {
+        let approx = cfg.n_disks() * usize::from(cfg.duration_days) * 2 / 3;
+        if approx > 10_000_000 {
+            eprintln!(
+                "[repro] WARNING: materialising ~{approx} snapshots (≈{} GB);                  the paper scale is intended for table1/summary/CSV export —                  run the model experiments at --scale small or medium",
+                approx * 200 / 1_000_000_000
+            );
+        }
+    }
+
+    /// Materialise the STB dataset.
+    pub fn stb(&self) -> Dataset {
+        let cfg = self.stb_config();
+        self.warn_if_heavy(&cfg);
+        eprintln!(
+            "[repro] generating STB ({} disks, {} days)…",
+            cfg.n_disks(),
+            cfg.duration_days
+        );
+        FleetSim::collect(&cfg)
+    }
+
+    /// The Table 2 feature columns.
+    pub fn cols(&self) -> Vec<usize> {
+        table2_feature_columns()
+    }
+
+    /// Offline RF settings (reduced under `--fast`/tiny).
+    pub fn forest_cfg(&self) -> ForestConfig {
+        let n_trees = if self.reduced() { 15 } else { 30 };
+        ForestConfig {
+            n_trees,
+            ..ForestConfig::default()
+        }
+    }
+
+    /// DT baseline settings (`fitctree`-like, with a minimum leaf mass so a
+    /// lone tree cannot memorise micro-cells).
+    pub fn dt_cfg(&self) -> CartConfig {
+        CartConfig {
+            max_splits: Some(100),
+            min_samples_leaf: 15,
+            ..CartConfig::default()
+        }
+    }
+
+    /// ORF settings (reduced under `--fast`/tiny).
+    pub fn orf_cfg(&self) -> OrfConfig {
+        if self.reduced() {
+            OrfConfig {
+                n_trees: 15,
+                n_tests: 150,
+                min_parent_size: 60.0,
+                warmup_age: 20,
+                ..OrfConfig::default()
+            }
+        } else {
+            OrfConfig::default()
+        }
+    }
+
+    fn reduced(&self) -> bool {
+        self.fast || self.scale == Scale::Tiny
+    }
+
+    /// Write a JSON result artifact.
+    pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+        let path = format!("{}/{}.json", self.out_dir, name);
+        let file = std::fs::File::create(&path).expect("create result file");
+        serde_json::to_writer_pretty(file, value).expect("serialize result");
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = Options::default();
+        assert_eq!(o.scale, Scale::Small);
+        assert!(o.svm);
+        assert!(!o.fast);
+        assert_eq!(o.repeats, 3);
+    }
+
+    #[test]
+    fn scale_presets_map_to_fleet_sizes() {
+        for (scale, expect_good) in [
+            (Scale::Tiny, 260),
+            (Scale::Small, 1_727),
+            (Scale::Medium, 6_907),
+            (Scale::Paper, 34_535),
+        ] {
+            let o = Options {
+                scale,
+                ..Options::default()
+            };
+            assert_eq!(o.sta_config().n_good, expect_good);
+        }
+    }
+
+    #[test]
+    fn reduced_settings_kick_in_for_tiny_and_fast() {
+        let tiny = Options {
+            scale: Scale::Tiny,
+            ..Options::default()
+        };
+        assert_eq!(tiny.forest_cfg().n_trees, 15);
+        let fast = Options {
+            fast: true,
+            ..Options::default()
+        };
+        assert_eq!(fast.orf_cfg().n_trees, 15);
+        let full = Options::default();
+        assert_eq!(full.forest_cfg().n_trees, 30);
+        assert_eq!(full.orf_cfg().n_tests, 500);
+    }
+
+    #[test]
+    fn table2_columns_are_the_feature_set() {
+        assert_eq!(Options::default().cols().len(), 19);
+    }
+}

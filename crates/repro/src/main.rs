@@ -1,0 +1,140 @@
+//! `repro` — regenerate every table and figure of the ICPP 2018 paper.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--repeats N]
+//!                    [--out DIR] [--no-svm] [--fast]
+//!
+//! experiments:
+//!   table1        dataset overview (Table 1)
+//!   table2        feature selection (Table 2)
+//!   table3        λ sweep for offline RF (Table 3, STA + STB)
+//!   table4        λn sweep for ORF (Table 4, STA + STB)
+//!   fig2 | fig3   monthly FDR convergence on STA | STB (Figures 2–3)
+//!   fig4 | fig6   long-term FAR | FDR on STA (Figures 4 and 6)
+//!   fig5 | fig7   long-term FAR | FDR on STB (Figures 5 and 7)
+//!   threshold     vendor threshold-baseline FDR/FAR (§2 strawman)
+//!   ablation      single-knob ORF design ablations (extension)
+//!   zoo           the full related-work model lineage, one protocol (extension)
+//!   paper-scale   streaming O(disks)-memory eval (works at --scale paper)
+//!   health        multi-level residual-life assessment (extension)
+//!   drift         healthy-population distribution drift (§1 motivation)
+//!   roc           per-disk ROC curves + AUC for RF and ORF (extension)
+//!   summary       extended §4.1 field-data statistics
+//!   interpret     ORF feature importances (§3.2 interpretability claim)
+//!   all           everything above
+//! ```
+//!
+//! Results are printed as text tables and also written as JSON into the
+//! output directory (default `results/`), from which `EXPERIMENTS.md` is
+//! refreshed.
+
+mod common;
+mod figures;
+mod tables;
+
+use common::{Options, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--repeats N] [--out DIR] [--no-svm] [--fast]");
+        eprintln!(
+            "experiments: table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 threshold all"
+        );
+        std::process::exit(2);
+    }
+    let cmd = args[0].clone();
+    let mut opts = Options::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--repeats" => {
+                i += 1;
+                opts.repeats = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--repeats needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--no-svm" => opts.svm = false,
+            "--fast" => opts.fast = true,
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("create output directory");
+
+    let t0 = std::time::Instant::now();
+    match cmd.as_str() {
+        "table1" => tables::table1(&opts),
+        "table2" => tables::table2(&opts),
+        "table3" => tables::table3(&opts),
+        "table4" => tables::table4(&opts),
+        "threshold" => tables::threshold_baseline(&opts),
+        "calib" => tables::calib(&opts),
+        "ablation" => tables::ablation(&opts),
+        "zoo" => tables::zoo(&opts),
+        "paper-scale" => tables::paper_scale(&opts),
+        "health" => tables::health(&opts),
+        "drift" => tables::drift(&opts),
+        "roc" => tables::roc(&opts),
+        "summary" => tables::summary(&opts),
+        "interpret" => tables::interpret(&opts),
+        "fig2" => figures::fig2(&opts),
+        "fig3" => figures::fig3(&opts),
+        "fig4" | "fig6" => figures::longterm_sta(&opts),
+        "fig5" | "fig7" => figures::longterm_stb(&opts),
+        "all" => {
+            tables::table1(&opts);
+            tables::table2(&opts);
+            tables::table3(&opts);
+            tables::table4(&opts);
+            tables::threshold_baseline(&opts);
+            tables::ablation(&opts);
+            tables::zoo(&opts);
+            tables::summary(&opts);
+            tables::roc(&opts);
+            tables::health(&opts);
+            tables::drift(&opts);
+            tables::interpret(&opts);
+            figures::fig2(&opts);
+            figures::fig3(&opts);
+            figures::longterm_sta(&opts);
+            figures::longterm_stb(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[repro] {cmd} done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,288 @@
+//! The SMART attribute catalog and the flat feature layout.
+//!
+//! Every daily snapshot carries [`N_ATTRIBUTES`] attributes, each with a
+//! vendor-normalized value (1-byte, higher = healthier) and a raw value
+//! (6-byte counter/rate). Following §4.2 of the paper both are treated as
+//! candidate features, giving [`N_FEATURES`] = 48 columns.
+//!
+//! Layout: feature index `2 * attr_index` is the **normalized** value and
+//! `2 * attr_index + 1` is the **raw** value of `ATTRIBUTES[attr_index]`.
+
+/// Number of SMART attributes reported per disk per day.
+pub const N_ATTRIBUTES: usize = 24;
+
+/// Number of candidate features (normalized + raw per attribute).
+pub const N_FEATURES: usize = 2 * N_ATTRIBUTES;
+
+/// A SMART attribute identifier (the standard numeric ID, e.g. 5 for
+/// Reallocated Sectors Count).
+pub type AttrId = u16;
+
+/// Whether a feature column is a vendor-normalized or raw value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Vendor-normalized 1-byte value (higher = healthier, typically ≤ 100
+    /// or ≤ 200 depending on the attribute).
+    Normalized,
+    /// Raw 6-byte counter / encoded rate.
+    Raw,
+}
+
+/// Static description of one SMART attribute.
+#[derive(Clone, Copy, Debug)]
+pub struct AttrInfo {
+    /// Standard SMART ID.
+    pub id: AttrId,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// True for attributes that accumulate monotonically over a disk's life
+    /// (Power-On Hours, Load Cycle Count, …). The paper identifies these
+    /// *cumulative* attributes as the root cause of model aging.
+    pub cumulative: bool,
+}
+
+/// The 24 attributes reported by the simulated (Seagate-like) disk models,
+/// matching the attribute set present in Backblaze data for ST4000DM000 /
+/// ST3000DM001.
+pub const ATTRIBUTES: [AttrInfo; N_ATTRIBUTES] = [
+    AttrInfo {
+        id: 1,
+        name: "Read Error Rate",
+        cumulative: false,
+    },
+    AttrInfo {
+        id: 3,
+        name: "Spin-Up Time",
+        cumulative: false,
+    },
+    AttrInfo {
+        id: 4,
+        name: "Start/Stop Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 5,
+        name: "Reallocated Sectors Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 7,
+        name: "Seek Error Rate",
+        cumulative: false,
+    },
+    AttrInfo {
+        id: 9,
+        name: "Power-On Hours",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 10,
+        name: "Spin Retry Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 12,
+        name: "Power Cycle Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 183,
+        name: "Runtime Bad Block",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 184,
+        name: "End-to-End Error",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 187,
+        name: "Reported Uncorrectable Errors",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 188,
+        name: "Command Timeout",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 189,
+        name: "High Fly Writes",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 190,
+        name: "Airflow Temperature",
+        cumulative: false,
+    },
+    AttrInfo {
+        id: 192,
+        name: "Power-off Retract Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 193,
+        name: "Load Cycle Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 194,
+        name: "Temperature Celsius",
+        cumulative: false,
+    },
+    AttrInfo {
+        id: 195,
+        name: "Hardware ECC Recovered",
+        cumulative: false,
+    },
+    AttrInfo {
+        id: 197,
+        name: "Current Pending Sector Count",
+        cumulative: false,
+    },
+    AttrInfo {
+        id: 198,
+        name: "Uncorrectable Sector Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 199,
+        name: "UltraDMA CRC Error Count",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 240,
+        name: "Head Flying Hours",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 241,
+        name: "Total LBAs Written",
+        cumulative: true,
+    },
+    AttrInfo {
+        id: 242,
+        name: "Total LBAs Read",
+        cumulative: true,
+    },
+];
+
+/// Index of the attribute with the given SMART ID, if present.
+pub fn attr_index(id: AttrId) -> Option<usize> {
+    ATTRIBUTES.iter().position(|a| a.id == id)
+}
+
+/// Feature column for `(id, kind)`, if the attribute is in the catalog.
+pub fn feature_index(id: AttrId, kind: FeatureKind) -> Option<usize> {
+    attr_index(id).map(|i| match kind {
+        FeatureKind::Normalized => 2 * i,
+        FeatureKind::Raw => 2 * i + 1,
+    })
+}
+
+/// Attribute ID and kind for a feature column.
+pub fn feature_meta(feature: usize) -> (AttrId, FeatureKind) {
+    assert!(feature < N_FEATURES, "feature index {feature} out of range");
+    let attr = ATTRIBUTES[feature / 2];
+    let kind = if feature.is_multiple_of(2) {
+        FeatureKind::Normalized
+    } else {
+        FeatureKind::Raw
+    };
+    (attr.id, kind)
+}
+
+/// Human-readable label for a feature column, e.g. `"smart_187_raw"`.
+pub fn feature_name(feature: usize) -> String {
+    let (id, kind) = feature_meta(feature);
+    let suffix = match kind {
+        FeatureKind::Normalized => "normalized",
+        FeatureKind::Raw => "raw",
+    };
+    format!("smart_{id}_{suffix}")
+}
+
+/// The 19 features the paper selects (Table 2): 9 normalized + 10 raw
+/// values over 13 attribute IDs, in rank order of contribution
+/// (rank 1 = SMART 187, rank 2 = SMART 197, …).
+///
+/// Entries are `(id, kind)`; use [`feature_index`] to map into columns.
+pub const TABLE2_SELECTED: [(AttrId, FeatureKind); 19] = [
+    (187, FeatureKind::Normalized),
+    (187, FeatureKind::Raw),
+    (197, FeatureKind::Normalized),
+    (197, FeatureKind::Raw),
+    (5, FeatureKind::Normalized),
+    (5, FeatureKind::Raw),
+    (184, FeatureKind::Normalized),
+    (184, FeatureKind::Raw),
+    (9, FeatureKind::Raw),
+    (193, FeatureKind::Normalized),
+    (193, FeatureKind::Raw),
+    (7, FeatureKind::Normalized),
+    (183, FeatureKind::Raw),
+    (198, FeatureKind::Normalized),
+    (198, FeatureKind::Raw),
+    (189, FeatureKind::Normalized),
+    (12, FeatureKind::Raw),
+    (199, FeatureKind::Raw),
+    (1, FeatureKind::Normalized),
+];
+
+/// Feature columns of the Table 2 selection, in the paper's rank order.
+pub fn table2_feature_columns() -> Vec<usize> {
+    TABLE2_SELECTED
+        .iter()
+        .map(|&(id, kind)| feature_index(id, kind).expect("Table 2 attribute must be in catalog"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_unique_sorted_ids() {
+        for w in ATTRIBUTES.windows(2) {
+            assert!(w[0].id < w[1].id, "{} !< {}", w[0].id, w[1].id);
+        }
+    }
+
+    #[test]
+    fn feature_index_round_trips_through_meta() {
+        for f in 0..N_FEATURES {
+            let (id, kind) = feature_meta(f);
+            assert_eq!(feature_index(id, kind), Some(f));
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_yields_none() {
+        assert_eq!(attr_index(255), None);
+        assert_eq!(feature_index(255, FeatureKind::Raw), None);
+    }
+
+    #[test]
+    fn table2_has_19_unique_columns_with_9_norms_and_10_raws() {
+        let cols = table2_feature_columns();
+        assert_eq!(cols.len(), 19);
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 19, "columns must be distinct");
+        let norms = TABLE2_SELECTED
+            .iter()
+            .filter(|&&(_, k)| k == FeatureKind::Normalized)
+            .count();
+        assert_eq!(norms, 9);
+        assert_eq!(TABLE2_SELECTED.len() - norms, 10);
+    }
+
+    #[test]
+    fn feature_names_follow_backblaze_convention() {
+        let col = feature_index(5, FeatureKind::Raw).unwrap();
+        assert_eq!(feature_name(col), "smart_5_raw");
+        let col = feature_index(187, FeatureKind::Normalized).unwrap();
+        assert_eq!(feature_name(col), "smart_187_normalized");
+    }
+}

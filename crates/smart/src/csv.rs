@@ -1,0 +1,339 @@
+//! Backblaze-format CSV I/O.
+//!
+//! The daily Backblaze files have the schema
+//! `date,serial_number,model,capacity_bytes,failure,smart_<id>_normalized,smart_<id>_raw,…`.
+//! [`write_dataset`] emits exactly that (so tools built for the real data
+//! work on simulated data), and [`read_dataset`] loads real Backblaze rows
+//! into a [`Dataset`] — any experiment in this repository runs unchanged on
+//! the genuine field data.
+
+use crate::attrs::{ATTRIBUTES, N_ATTRIBUTES, N_FEATURES};
+use crate::record::{Dataset, DiskDay, DiskInfo};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + u64::from(doy);
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (inverse of [`days_from_civil`]).
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Calendar origin used when writing simulated datasets (Backblaze logs
+/// begin 2013-04-10).
+pub const EPOCH_DATE: (i64, u32, u32) = (2013, 4, 10);
+
+fn format_date(day: u16) -> String {
+    let base = days_from_civil(EPOCH_DATE.0, EPOCH_DATE.1, EPOCH_DATE.2);
+    let (y, m, d) = civil_from_days(base + i64::from(day));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn parse_date(s: &str) -> Result<i64, String> {
+    let mut parts = s.split('-');
+    let mut next = |name: &str| {
+        parts
+            .next()
+            .ok_or_else(|| format!("date '{s}' missing {name}"))
+    };
+    let y: i64 = next("year")?
+        .parse()
+        .map_err(|e| format!("bad year in '{s}': {e}"))?;
+    let m: u32 = next("month")?
+        .parse()
+        .map_err(|e| format!("bad month in '{s}': {e}"))?;
+    let d: u32 = next("day")?
+        .parse()
+        .map_err(|e| format!("bad day in '{s}': {e}"))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(format!("date '{s}' out of range"));
+    }
+    Ok(days_from_civil(y, m, d))
+}
+
+/// Write a dataset in Backblaze daily-CSV format.
+pub fn write_dataset<W: Write>(ds: &Dataset, out: &mut W) -> io::Result<()> {
+    // Header.
+    write!(out, "date,serial_number,model,capacity_bytes,failure")?;
+    for a in &ATTRIBUTES {
+        write!(out, ",smart_{}_normalized,smart_{}_raw", a.id, a.id)?;
+    }
+    writeln!(out)?;
+    let capacity: u64 = 4_000_787_030_016; // metadata only
+    for rec in &ds.records {
+        let info = &ds.disks[rec.disk_id as usize];
+        let failure = u8::from(info.failed && info.last_day == rec.day);
+        write!(
+            out,
+            "{},S{:08},{},{},{}",
+            format_date(rec.day),
+            rec.disk_id,
+            ds.model,
+            capacity,
+            failure
+        )?;
+        for attr in 0..N_ATTRIBUTES {
+            // Norms are small integers, raws can be large: print raws as
+            // integers like the real files do.
+            write!(
+                out,
+                ",{},{}",
+                rec.features[2 * attr] as i64,
+                rec.features[2 * attr + 1] as i64
+            )?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Read a Backblaze-format CSV into a [`Dataset`].
+///
+/// Robust to column order and to extra SMART columns not in our catalog
+/// (they are ignored); missing catalog attributes read as 0 (Backblaze
+/// leaves unreported values empty).
+pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, String> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or("empty CSV")?
+        .map_err(|e| e.to_string())?;
+    let columns: Vec<&str> = header.split(',').collect();
+
+    let mut col_date = None;
+    let mut col_serial = None;
+    let mut col_model = None;
+    let mut col_failure = None;
+    // Map CSV column -> feature index.
+    let mut feature_cols: Vec<(usize, usize)> = Vec::new();
+    for (i, name) in columns.iter().enumerate() {
+        match *name {
+            "date" => col_date = Some(i),
+            "serial_number" => col_serial = Some(i),
+            "model" => col_model = Some(i),
+            "failure" => col_failure = Some(i),
+            _ => {
+                if let Some(rest) = name.strip_prefix("smart_") {
+                    let (id_str, kind) = match rest.strip_suffix("_normalized") {
+                        Some(id) => (id, 0usize),
+                        None => match rest.strip_suffix("_raw") {
+                            Some(id) => (id, 1usize),
+                            None => continue,
+                        },
+                    };
+                    if let Ok(id) = id_str.parse::<u16>() {
+                        if let Some(attr) = crate::attrs::attr_index(id) {
+                            feature_cols.push((i, 2 * attr + kind));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let col_date = col_date.ok_or("missing 'date' column")?;
+    let col_serial = col_serial.ok_or("missing 'serial_number' column")?;
+    let col_failure = col_failure.ok_or("missing 'failure' column")?;
+
+    struct Row {
+        abs_day: i64,
+        serial: String,
+        failed: bool,
+        features: [f32; N_FEATURES],
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut model = String::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != columns.len() {
+            return Err(format!(
+                "line {}: {} fields, header has {}",
+                lineno + 2,
+                fields.len(),
+                columns.len()
+            ));
+        }
+        let abs_day = parse_date(fields[col_date])?;
+        let mut features = [0.0f32; N_FEATURES];
+        for &(csv_col, feat) in &feature_cols {
+            let s = fields[csv_col].trim();
+            if !s.is_empty() {
+                features[feat] = s
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: bad value '{s}': {e}", lineno + 2))?
+                    as f32;
+            }
+        }
+        if model.is_empty() {
+            if let Some(c) = col_model {
+                model = fields[c].to_string();
+            }
+        }
+        rows.push(Row {
+            abs_day,
+            serial: fields[col_serial].to_string(),
+            failed: fields[col_failure].trim() == "1",
+            features,
+        });
+    }
+    if rows.is_empty() {
+        return Err("CSV contains no data rows".into());
+    }
+
+    let min_day = rows.iter().map(|r| r.abs_day).min().unwrap();
+    let max_day = rows.iter().map(|r| r.abs_day).max().unwrap();
+    if max_day - min_day > i64::from(u16::MAX) {
+        return Err("observation window exceeds u16 days".into());
+    }
+
+    // Assign dense disk ids by serial (first-seen order).
+    let mut ids: HashMap<String, u32> = HashMap::new();
+    let mut serials: Vec<String> = Vec::new();
+    for r in &rows {
+        if !ids.contains_key(&r.serial) {
+            ids.insert(r.serial.clone(), serials.len() as u32);
+            serials.push(r.serial.clone());
+        }
+    }
+
+    let mut records: Vec<DiskDay> = Vec::with_capacity(rows.len());
+    let mut install = vec![u16::MAX; serials.len()];
+    let mut last = vec![0u16; serials.len()];
+    let mut failed = vec![false; serials.len()];
+    for r in &rows {
+        let disk_id = ids[&r.serial];
+        let day = (r.abs_day - min_day) as u16;
+        let d = disk_id as usize;
+        install[d] = install[d].min(day);
+        last[d] = last[d].max(day);
+        failed[d] |= r.failed;
+        records.push(DiskDay {
+            disk_id,
+            day,
+            features: r.features,
+        });
+    }
+    records.sort_by_key(|r| (r.day, r.disk_id));
+    records.dedup_by_key(|r| (r.day, r.disk_id));
+
+    let disks: Vec<DiskInfo> = (0..serials.len())
+        .map(|d| DiskInfo {
+            disk_id: d as u32,
+            install_day: install[d],
+            last_day: last[d],
+            failed: failed[d],
+        })
+        .collect();
+    let ds = Dataset {
+        model,
+        duration_days: (max_day - min_day) as u16,
+        records,
+        disks,
+    };
+    ds.validate()?;
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{FleetConfig, FleetSim, ScalePreset};
+    use std::io::BufReader;
+
+    #[test]
+    fn civil_date_round_trip() {
+        for &(y, m, d) in &[(1970, 1, 1), (2013, 4, 10), (2000, 2, 29), (2026, 12, 31)] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+    }
+
+    #[test]
+    fn date_formatting_advances_by_day() {
+        assert_eq!(format_date(0), "2013-04-10");
+        assert_eq!(format_date(1), "2013-04-11");
+        assert_eq!(format_date(365), "2014-04-10");
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_structure() {
+        let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 21);
+        cfg.n_good = 15;
+        cfg.n_failed = 4;
+        cfg.duration_days = 120;
+        let ds = FleetSim::collect(&cfg);
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.model, ds.model);
+        assert_eq!(back.disks.len(), ds.disks.len());
+        assert_eq!(back.n_records(), ds.n_records());
+        assert_eq!(back.n_failed(), ds.n_failed());
+        // Raw integer counters survive exactly; norms too (both written as
+        // integers, and the simulator's norms are near-integers already).
+        for (a, b) in ds.records.iter().zip(&back.records) {
+            assert_eq!(a.day, b.day);
+            let realloc = crate::attrs::feature_index(5, crate::attrs::FeatureKind::Raw).unwrap();
+            assert_eq!(a.features[realloc] as i64, b.features[realloc] as i64);
+        }
+    }
+
+    #[test]
+    fn reader_tolerates_column_reorder_and_unknown_attributes() {
+        let csv =
+            "serial_number,date,failure,model,smart_5_raw,smart_9999_raw,smart_187_normalized\n\
+                   A1,2020-01-01,0,X,5,77,100\n\
+                   A1,2020-01-02,1,X,9,77,95\n\
+                   B2,2020-01-01,0,X,0,77,100\n";
+        let ds = read_dataset(BufReader::new(csv.as_bytes())).unwrap();
+        assert_eq!(ds.disks.len(), 2);
+        assert_eq!(ds.n_failed(), 1);
+        assert_eq!(ds.duration_days, 1);
+        let realloc = crate::attrs::feature_index(5, crate::attrs::FeatureKind::Raw).unwrap();
+        let n187 = crate::attrs::feature_index(187, crate::attrs::FeatureKind::Normalized).unwrap();
+        let rec = ds.records.iter().find(|r| r.day == 1).unwrap();
+        assert_eq!(rec.features[realloc], 9.0);
+        assert_eq!(rec.features[n187], 95.0);
+    }
+
+    #[test]
+    fn reader_rejects_malformed_input() {
+        assert!(read_dataset(BufReader::new("".as_bytes())).is_err());
+        assert!(read_dataset(BufReader::new("a,b,c\n".as_bytes())).is_err());
+        let missing_field = "date,serial_number,failure\n2020-01-01,A\n";
+        assert!(read_dataset(BufReader::new(missing_field.as_bytes())).is_err());
+        let bad_date = "date,serial_number,failure\n2020-13-01,A,0\n";
+        assert!(read_dataset(BufReader::new(bad_date.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn reader_handles_empty_smart_cells() {
+        let csv = "date,serial_number,failure,smart_5_raw\n2020-01-01,A,0,\n";
+        let ds = read_dataset(BufReader::new(csv.as_bytes())).unwrap();
+        let realloc = crate::attrs::feature_index(5, crate::attrs::FeatureKind::Raw).unwrap();
+        assert_eq!(ds.records[0].features[realloc], 0.0);
+    }
+}

@@ -1,0 +1,581 @@
+//! Per-disk simulation state and the daily step function.
+
+use super::profile::ModelProfile;
+use crate::attrs::N_FEATURES;
+use orfpred_util::{dist, Xoshiro256pp};
+use serde::{Deserialize, Serialize};
+
+/// Canonical latent failure modes. Real drive failures cluster into
+/// distinct mechanisms with distinct SMART signatures; a model must have
+/// *seen* a mode to detect it, which is what makes early-deployment FDR low
+/// and convergence take months (Figures 2–3). Channel order:
+/// (realloc, pending, 187, 198, 183, 184, 189, 188, 199, seek, read).
+const FAILURE_MODES: [[f32; 11]; 6] = [
+    // media wear-out: reallocation cascade (sector counters only)
+    [1.8, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    // head degradation: flying anomalies + servo decay, no media errors
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.8, 0.0, 0.0, 1.6, 1.3],
+    // uncorrectable cascade: hard read errors only
+    [0.0, 0.3, 1.9, 1.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    // interface/firmware: timeouts + CRC + end-to-end, media clean
+    [0.0, 0.0, 0.0, 0.0, 0.0, 1.5, 0.0, 1.8, 1.7, 0.0, 0.0],
+    // surface defects found offline: runtime bad blocks + offline scans
+    [0.4, 0.0, 0.0, 1.7, 1.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    // mixed / cascading multi-system failure: everything, faintly
+    [0.7, 0.8, 0.5, 0.4, 0.3, 0.2, 0.4, 0.3, 0.2, 0.5, 0.4],
+];
+
+/// Symptom channels a failing disk can express. Each failing symptomatic
+/// disk draws one of the [`FAILURE_MODES`] and jitters its per-channel
+/// magnitudes, so no single SMART attribute is a perfect separator and a
+/// mode must be represented in training before it is detectable.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SymptomPlan {
+    /// Days before the failure day when symptoms begin.
+    pub ramp_days: u16,
+    /// Latent failure-mode cluster (index into `FAILURE_MODES`).
+    pub mode: u8,
+    /// Per-channel intensity multipliers (0 = channel not expressed).
+    pub realloc: f32,
+    pub pending: f32,
+    pub reported_uncorrectable: f32,
+    pub offline_uncorrectable: f32,
+    pub runtime_bad_block: f32,
+    pub end_to_end: f32,
+    pub high_fly_writes: f32,
+    pub command_timeout: f32,
+    pub crc: f32,
+    /// Degradation of the seek-error-rate normalized value (points).
+    pub seek_degrade: f32,
+    /// Degradation of the read-error-rate normalized value (points).
+    pub read_degrade: f32,
+}
+
+/// Planned destiny of a disk, fixed at fleet construction.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Fate {
+    /// Survives the whole observation window (censored).
+    Survive,
+    /// Fails with no SMART signature (mechanical/electronic).
+    Sudden {
+        /// Day the disk stops reporting.
+        fail_day: u16,
+    },
+    /// Fails after a symptom ramp.
+    Symptomatic {
+        /// Day the disk stops reporting.
+        fail_day: u16,
+        /// Which channels ramp, and how hard.
+        plan: SymptomPlan,
+    },
+}
+
+impl Fate {
+    /// Day the disk stops reporting (failure day), if it fails.
+    pub fn fail_day(&self) -> Option<u16> {
+        match self {
+            Fate::Survive => None,
+            Fate::Sudden { fail_day } | Fate::Symptomatic { fail_day, .. } => Some(*fail_day),
+        }
+    }
+
+    /// Sample a failure fate.
+    ///
+    /// `fail_day` must leave room for the longest ramp; the fleet builder
+    /// guarantees `fail_day ≥ install_day + 50`.
+    pub fn sample_failure(rng: &mut Xoshiro256pp, profile: &ModelProfile, fail_day: u16) -> Fate {
+        if rng.bernoulli(profile.sudden_failure_fraction) {
+            return Fate::Sudden { fail_day };
+        }
+        let ramp_days = dist::geometric(rng, 1.0 / profile.ramp_mean_days).clamp(5, 45) as u16;
+        // Per-disk overall severity; "weak" failures are faint across the
+        // board and dominate the misses at low-FAR operating points.
+        let weak = rng.bernoulli(profile.weak_symptom_fraction);
+        let overall =
+            dist::log_normal(rng, 0.0, 0.45) * if weak { profile.weak_severity } else { 1.0 };
+        let mode = dist::weighted_index(rng, &profile.mode_weights) % FAILURE_MODES.len();
+        let base = &FAILURE_MODES[mode];
+        // Per-channel magnitude: mode signature × per-disk jitter.
+        let mut channel = |b: f32| -> f32 {
+            if b > 0.0 {
+                (overall * f64::from(b) * dist::log_normal(rng, 0.0, 0.35)) as f32
+            } else {
+                0.0
+            }
+        };
+        let plan = SymptomPlan {
+            ramp_days,
+            mode: mode as u8,
+            realloc: channel(base[0]),
+            pending: channel(base[1]),
+            reported_uncorrectable: channel(base[2]),
+            offline_uncorrectable: channel(base[3]),
+            runtime_bad_block: channel(base[4]),
+            end_to_end: channel(base[5]),
+            high_fly_writes: channel(base[6]),
+            command_timeout: channel(base[7]),
+            crc: channel(base[8]),
+            seek_degrade: channel(base[9]),
+            read_degrade: channel(base[10]),
+        };
+        Fate::Symptomatic { fail_day, plan }
+    }
+}
+
+/// Mutable simulation state of one disk.
+#[derive(Clone, Debug)]
+pub struct DiskState {
+    /// Dense disk identifier.
+    pub disk_id: u32,
+    /// First day the disk reports data.
+    pub install_day: u16,
+    /// Predetermined destiny.
+    pub fate: Fate,
+    /// Install batch index (drives batch drift).
+    pub batch: u16,
+    rng: Xoshiro256pp,
+
+    // Cumulative counters (raw SMART values).
+    poh_hours: f64,
+    start_stop: f64,
+    realloc: f64,
+    spin_retry: f64,
+    power_cycles: f64,
+    runtime_bad_block: f64,
+    end_to_end: f64,
+    reported_uncorrectable: f64,
+    command_timeout: f64,
+    high_fly_writes: f64,
+    power_off_retract: f64,
+    load_cycles: f64,
+    pending: f64,
+    offline_uncorrectable: f64,
+    crc: f64,
+    head_flying_hours: f64,
+    lbas_written_gb: f64,
+    lbas_read_gb: f64,
+
+    // Per-disk stable baselines.
+    temp_base: f64,
+    seek_norm_base: f64,
+    read_norm_base: f64,
+    spin_up_norm: f64,
+    load_rate: f64,
+    daily_write_gb: f64,
+    /// Chronically noisy but healthy disk (exposed for fleet diagnostics).
+    pub grumpy: bool,
+    /// Multiplier applied to benign glitch probabilities.
+    glitch_mult: f64,
+}
+
+impl DiskState {
+    /// Create a disk installed on `install_day` with the given fate.
+    pub fn new(
+        disk_id: u32,
+        install_day: u16,
+        fate: Fate,
+        profile: &ModelProfile,
+        master: &Xoshiro256pp,
+    ) -> Self {
+        // Stream id: disk_id in the high bits so fate sampling (done by the
+        // fleet from stream ids below 2^32) never collides.
+        let mut rng = master.split(0x1_0000_0000u64 + u64::from(disk_id));
+        let batch = install_day / 120;
+        let grumpy = rng.bernoulli(profile.grumpy_fraction);
+        let batch_f = f64::from(batch) * profile.batch_drift;
+        Self {
+            disk_id,
+            install_day,
+            fate,
+            batch,
+            temp_base: profile.temp_mean + dist::normal(&mut rng, 0.0, 2.0) + 0.3 * batch_f,
+            seek_norm_base: (75.0 + dist::normal(&mut rng, 0.0, 6.0) - 1.2 * batch_f)
+                .clamp(45.0, 95.0),
+            read_norm_base: (81.0 + dist::normal(&mut rng, 0.0, 2.5)).clamp(60.0, 95.0),
+            spin_up_norm: (93.0 + dist::normal(&mut rng, 0.0, 2.0)).clamp(80.0, 100.0),
+            load_rate: profile.load_cycles_per_day
+                * dist::log_normal(&mut rng, 0.0, 0.25)
+                * (1.0 + 0.05 * batch_f),
+            daily_write_gb: 35.0 * dist::log_normal(&mut rng, 0.0, 0.4),
+            grumpy,
+            glitch_mult: (if grumpy { 40.0 } else { 1.0 })
+                * dist::log_normal(&mut rng, 0.0, 0.3)
+                * (1.0 + 0.15 * batch_f),
+            // ~15% of drives ship with a handful of factory-remapped
+            // sectors — keeps "realloc > 0" from separating the classes by
+            // itself, as in real fleets.
+            realloc: if rng.bernoulli(0.15) {
+                f64::from(dist::poisson(&mut rng, 4.0)) + 1.0
+            } else {
+                0.0
+            },
+            rng,
+            poh_hours: 0.0,
+            start_stop: 1.0,
+            spin_retry: 0.0,
+            power_cycles: 1.0,
+            runtime_bad_block: 0.0,
+            end_to_end: 0.0,
+            reported_uncorrectable: 0.0,
+            command_timeout: 0.0,
+            high_fly_writes: 0.0,
+            power_off_retract: 0.0,
+            load_cycles: 0.0,
+            pending: 0.0,
+            offline_uncorrectable: 0.0,
+            crc: 0.0,
+            head_flying_hours: 0.0,
+            lbas_written_gb: 0.0,
+            lbas_read_gb: 0.0,
+        }
+    }
+
+    /// Whether the disk is still reporting on `day`.
+    pub fn active(&self, day: u16) -> bool {
+        day >= self.install_day && self.fate.fail_day().is_none_or(|f| day <= f)
+    }
+
+    /// Advance one day and emit the SMART snapshot for `day`.
+    ///
+    /// `env_glitch` is the calendar-time ambient glitch multiplier supplied
+    /// by the fleet (environment drift).
+    pub fn step(&mut self, day: u16, profile: &ModelProfile, env_glitch: f64) -> [f32; N_FEATURES] {
+        debug_assert!(self.active(day), "stepping inactive disk");
+        let rng = &mut self.rng;
+        let age_days = f64::from(day - self.install_day);
+
+        // --- Cumulative attribute growth (the model-aging driver). ---
+        self.poh_hours += 24.0 * rng.range_f64(0.96, 1.0);
+        self.head_flying_hours += 23.0 * rng.range_f64(0.9, 1.0);
+        self.load_cycles += self.load_rate * rng.range_f64(0.6, 1.4);
+        self.lbas_written_gb += self.daily_write_gb * rng.range_f64(0.3, 1.7);
+        self.lbas_read_gb += self.daily_write_gb * 2.2 * rng.range_f64(0.3, 1.7);
+        if rng.bernoulli(profile.power_cycles_per_100d / 100.0) {
+            self.power_cycles += 1.0;
+            self.start_stop += 1.0;
+            if rng.bernoulli(0.25) {
+                self.power_off_retract += 1.0;
+            }
+        }
+
+        // --- Benign glitches on every disk (healthy FAR pressure). ---
+        // The "grumpy" multiplier applies to the mundane counters (media
+        // reallocations, interface CRC, transient pending sectors); the
+        // hard-error counters (187/198/183) stay at the base rate — healthy
+        // drives essentially never report uncorrectable errors, which is
+        // what keeps FAR at ~1% achievable for a well-tuned model.
+        // Rates are per-day lifetime-calibrated: a typical good disk should
+        // go its whole life (~2.5 years) without ever touching the hard
+        // counters — the ~1% FAR floor of the paper's Table 3/4 comes from
+        // the few percent of healthy disks that do get contaminated (plus
+        // the chronically noisy "grumpy" tail).
+        // Grumpy (chronically noisy) disks express through the *soft*
+        // counters only — reallocations, CRC, flight anomalies. Their rows
+        // are persistent and therefore well-represented among training
+        // negatives, teaching every learner that "elevated realloc/CRC with
+        // clean pending/187" is survivable. The hard counters (pending
+        // surges, reported uncorrectables) stay rare per *lifetime* on
+        // healthy disks — they are the irreducible FAR floor.
+        let glitch = profile.glitch_rate * self.glitch_mult * env_glitch;
+        let hard_glitch = profile.glitch_rate * env_glitch;
+        if rng.bernoulli(glitch * 3.0) {
+            self.realloc += f64::from(dist::poisson(rng, 1.2));
+        }
+        if rng.bernoulli(hard_glitch * 0.6) {
+            // Benign pending-sector episode (small, mostly self-clearing).
+            self.pending += f64::from(dist::poisson(rng, 1.2)) + 1.0;
+        }
+        if rng.bernoulli(glitch) {
+            self.crc += f64::from(dist::poisson(rng, 1.0));
+        }
+        if rng.bernoulli(glitch * 0.7) {
+            self.high_fly_writes += f64::from(dist::poisson(rng, 0.8));
+        }
+        if rng.bernoulli(glitch * 0.5) {
+            self.command_timeout += f64::from(dist::poisson(rng, 0.7));
+        }
+        if rng.bernoulli(hard_glitch * 0.7) {
+            // Rare benign reported-uncorrectable blip: keeps SMART 187 from
+            // being a perfect separator (lifetime odds ~1%).
+            self.reported_uncorrectable += 1.0;
+        }
+        if rng.bernoulli(hard_glitch * 0.5) {
+            self.offline_uncorrectable += 1.0;
+        }
+        if rng.bernoulli(hard_glitch * 0.6) {
+            self.runtime_bad_block += 1.0;
+        }
+
+        // --- Wear: old healthy disks slowly accumulate reallocations. ---
+        let wear_p = profile.wear_error_rate * age_days / (365.0 * 365.0);
+        if rng.bernoulli(wear_p.min(0.5)) {
+            self.realloc += f64::from(dist::poisson(rng, 1.2));
+        }
+
+        // --- Pending sectors partially resolve into reallocations. ---
+        if self.pending > 0.0 {
+            let resolved = (self.pending * 0.25).floor();
+            self.pending -= resolved;
+            self.realloc += resolved * 0.6;
+        }
+
+        // --- Symptom ramp for symptomatic failing disks. ---
+        let mut seek_deg = 0.0f64;
+        let mut read_deg = 0.0f64;
+        if let Fate::Symptomatic { fail_day, plan } = &self.fate {
+            let ramp_start = fail_day.saturating_sub(plan.ramp_days);
+            if day >= ramp_start {
+                // Escalation toward the failure day. The exponent controls
+                // how much the final week towers over the rest of the ramp:
+                // shallow enough that pre-window ramp samples (which the
+                // 7-day labelling rule marks *negative*) genuinely overlap
+                // the window samples — the label noise that makes the
+                // paper's λ=Max row collapse.
+                let p = (f64::from(day - ramp_start) + 1.0) / (f64::from(plan.ramp_days) + 1.0);
+                let esc = profile.symptom_intensity * p.powf(1.3);
+                let mut bump = |mult: f32, base: f64| -> f64 {
+                    if mult > 0.0 {
+                        f64::from(dist::poisson(
+                            rng,
+                            (f64::from(mult) * base * esc).min(500.0),
+                        ))
+                    } else {
+                        0.0
+                    }
+                };
+                self.realloc += bump(plan.realloc, 2.2);
+                self.pending += bump(plan.pending, 2.6);
+                self.reported_uncorrectable += bump(plan.reported_uncorrectable, 0.7);
+                self.offline_uncorrectable += bump(plan.offline_uncorrectable, 0.6);
+                self.runtime_bad_block += bump(plan.runtime_bad_block, 0.5);
+                self.end_to_end += bump(plan.end_to_end, 0.25);
+                self.high_fly_writes += bump(plan.high_fly_writes, 0.5);
+                self.command_timeout += bump(plan.command_timeout, 0.5);
+                self.crc += bump(plan.crc, 0.5);
+                seek_deg = f64::from(plan.seek_degrade) * 12.0 * p;
+                read_deg = f64::from(plan.read_degrade) * 9.0 * p;
+                if rng.bernoulli(0.10 * p) {
+                    self.spin_retry += 1.0;
+                }
+            }
+        }
+
+        let noise = rng_snapshot_inputs(rng);
+        self.snapshot(noise, seek_deg, read_deg)
+    }
+
+    /// Assemble the 48-column feature row from the current counters.
+    fn snapshot(&self, noise: SnapshotNoise, seek_deg: f64, read_deg: f64) -> [f32; N_FEATURES] {
+        let mut f = [0.0f32; N_FEATURES];
+        let mut set = |attr_idx: usize, norm: f64, raw: f64| {
+            // Vendor-normalized values are 1-byte integers on real drives.
+            f[2 * attr_idx] = norm.clamp(1.0, 253.0).round() as f32;
+            f[2 * attr_idx + 1] = raw.max(0.0) as f32;
+        };
+
+        // Vendor-normalized values follow simple monotone formulas of the
+        // raws, with attribute-specific sensitivities — mirroring how some
+        // norms saturate (stay at 100) while the raw is already moving,
+        // which is why the paper keeps both as candidates (§4.2).
+        let temp = self.temp_base + noise.temp;
+        set(
+            0,
+            self.read_norm_base - read_deg + noise.read,
+            noise.read_raw,
+        ); // 1 Read Error Rate
+        set(1, self.spin_up_norm, 0.0); // 3 Spin-Up Time
+        set(2, 100.0 - self.start_stop / 100.0, self.start_stop); // 4 Start/Stop
+        set(
+            3,
+            100.0 - (self.realloc - 40.0).max(0.0) / 16.0,
+            self.realloc,
+        ); // 5 Realloc
+        set(
+            4,
+            self.seek_norm_base - seek_deg + noise.seek,
+            noise.seek_raw,
+        ); // 7 Seek Error Rate
+        set(5, 100.0 - self.poh_hours / 730.0, self.poh_hours); // 9 POH
+        set(6, 100.0 - self.spin_retry, self.spin_retry); // 10 Spin Retry
+        set(7, 100.0 - self.power_cycles / 50.0, self.power_cycles); // 12 Power Cycle
+        set(8, 100.0 - self.runtime_bad_block, self.runtime_bad_block); // 183
+        set(9, 100.0 - 20.0 * self.end_to_end, self.end_to_end); // 184
+        set(
+            10,
+            100.0 - self.reported_uncorrectable,
+            self.reported_uncorrectable,
+        ); // 187
+        set(11, 100.0 - self.command_timeout / 2.0, self.command_timeout); // 188
+        set(12, 100.0 - self.high_fly_writes, self.high_fly_writes); // 189
+        set(13, 100.0 - temp, temp); // 190 Airflow Temperature
+        set(
+            14,
+            100.0 - self.power_off_retract / 10.0,
+            self.power_off_retract,
+        ); // 192
+        set(15, 100.0 - self.load_cycles / 3000.0, self.load_cycles); // 193
+        set(16, 100.0 - temp + 64.0, temp); // 194 Temperature
+        set(17, 50.0 + noise.ecc, noise.ecc_raw); // 195 Hardware ECC
+        set(18, 100.0 - self.pending / 2.0, self.pending); // 197 Pending
+        set(
+            19,
+            100.0 - self.offline_uncorrectable,
+            self.offline_uncorrectable,
+        ); // 198
+        set(20, 200.0 - self.crc, self.crc); // 199 CRC
+        set(21, 100.0, self.head_flying_hours); // 240
+        set(22, 100.0, self.lbas_written_gb); // 241
+        set(23, 100.0, self.lbas_read_gb); // 242
+        f
+    }
+}
+
+/// Per-snapshot measurement noise, drawn once per day.
+struct SnapshotNoise {
+    temp: f64,
+    read: f64,
+    read_raw: f64,
+    seek: f64,
+    seek_raw: f64,
+    ecc: f64,
+    ecc_raw: f64,
+}
+
+fn rng_snapshot_inputs(rng: &mut Xoshiro256pp) -> SnapshotNoise {
+    SnapshotNoise {
+        temp: dist::normal(rng, 0.0, 1.2),
+        read: dist::normal(rng, 0.0, 1.5),
+        // Seagate raw read/seek error rates are huge composite numbers whose
+        // magnitude carries little health signal; model them as wide noise.
+        read_raw: rng.range_f64(1.0e6, 2.4e8),
+        seek: dist::normal(rng, 0.0, 1.0),
+        seek_raw: rng.range_f64(1.0e8, 9.0e8),
+        ecc: dist::normal(rng, 0.0, 4.0),
+        ecc_raw: rng.range_f64(1.0e6, 2.4e8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{feature_index, FeatureKind};
+
+    fn master() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(99)
+    }
+
+    fn profile() -> ModelProfile {
+        ModelProfile::st4000dm000()
+    }
+
+    #[test]
+    fn surviving_disk_is_active_through_window() {
+        let d = DiskState::new(0, 10, Fate::Survive, &profile(), &master());
+        assert!(!d.active(9));
+        assert!(d.active(10));
+        assert!(d.active(60_000_u16));
+    }
+
+    #[test]
+    fn failed_disk_stops_reporting_after_fail_day() {
+        let d = DiskState::new(0, 0, Fate::Sudden { fail_day: 100 }, &profile(), &master());
+        assert!(d.active(100));
+        assert!(!d.active(101));
+    }
+
+    #[test]
+    fn cumulative_attributes_grow_monotonically() {
+        let p = profile();
+        let mut d = DiskState::new(1, 0, Fate::Survive, &p, &master());
+        let poh = feature_index(9, FeatureKind::Raw).unwrap();
+        let lc = feature_index(193, FeatureKind::Raw).unwrap();
+        let mut prev_poh = -1.0f32;
+        let mut prev_lc = -1.0f32;
+        for day in 0..200 {
+            let f = d.step(day, &p, 1.0);
+            assert!(f[poh] > prev_poh, "POH must grow");
+            assert!(f[lc] >= prev_lc, "load cycles must not shrink");
+            prev_poh = f[poh];
+            prev_lc = f[lc];
+        }
+        // ~200 days ≈ 4 800 hours.
+        assert!((4_000.0..5_000.0).contains(&prev_poh), "POH {prev_poh}");
+    }
+
+    #[test]
+    fn symptomatic_disk_shows_error_ramp_before_failure() {
+        let p = profile();
+        let m = master();
+        // Average over several disks: individual plans can skip channels.
+        let mut late_realloc = 0.0f64;
+        let mut early_realloc = 0.0f64;
+        for id in 0..30u32 {
+            let mut rng = m.split(u64::from(id));
+            let fate = Fate::sample_failure(&mut rng, &p, 200);
+            let mut d = DiskState::new(id, 0, fate, &p, &m);
+            let col = feature_index(5, FeatureKind::Raw).unwrap();
+            for day in 0..=200u16 {
+                if !d.active(day) {
+                    break;
+                }
+                let f = d.step(day, &p, 1.0);
+                if day == 150 {
+                    early_realloc += f64::from(f[col]);
+                }
+                if day == 200 {
+                    late_realloc += f64::from(f[col]);
+                }
+            }
+        }
+        assert!(
+            late_realloc > early_realloc + 50.0,
+            "expected a ramp: early {early_realloc}, late {late_realloc}"
+        );
+    }
+
+    #[test]
+    fn sudden_failure_shows_no_ramp() {
+        let p = profile();
+        let m = master();
+        let mut d = DiskState::new(7, 0, Fate::Sudden { fail_day: 120 }, &p, &m);
+        let col = feature_index(187, FeatureKind::Raw).unwrap();
+        let mut last = 0.0f32;
+        for day in 0..=120u16 {
+            last = d.step(day, &p, 1.0)[col];
+        }
+        assert!(last < 3.0, "sudden failures must not ramp 187, got {last}");
+    }
+
+    #[test]
+    fn fate_sampling_is_deterministic_per_stream() {
+        let p = profile();
+        let mut a = master().split(5);
+        let mut b = master().split(5);
+        let fa = Fate::sample_failure(&mut a, &p, 300);
+        let fb = Fate::sample_failure(&mut b, &p, 300);
+        assert_eq!(format!("{fa:?}"), format!("{fb:?}"));
+    }
+
+    #[test]
+    fn snapshot_norms_stay_in_vendor_range() {
+        let p = profile();
+        let m = master();
+        let mut rng = m.split(11);
+        let fate = Fate::sample_failure(&mut rng, &p, 400);
+        let mut d = DiskState::new(3, 0, fate, &p, &m);
+        for day in 0..=400u16 {
+            if !d.active(day) {
+                break;
+            }
+            let f = d.step(day, &p, 2.0);
+            for attr in 0..crate::attrs::N_ATTRIBUTES {
+                let norm = f[2 * attr];
+                assert!(
+                    (1.0..=253.0).contains(&norm),
+                    "norm out of range at attr {attr}: {norm}"
+                );
+                assert!(f[2 * attr + 1] >= 0.0, "raw must be non-negative");
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Fleet-level simulation: install schedule, fate assignment, and the
+//! chronological event stream.
+
+use super::disk::{DiskState, Fate};
+use super::{FleetConfig, ModelProfile};
+use crate::record::{Dataset, DiskDay, DiskInfo};
+use orfpred_util::Xoshiro256pp;
+
+/// One event of the chronological fleet stream.
+///
+/// For each day, the stream emits every active disk's [`FleetEvent::Sample`]
+/// (ascending `disk_id`), then a [`FleetEvent::Failure`] for each disk that
+/// failed that day — mirroring how a monitoring daemon would observe the
+/// fleet, and matching the input order Algorithm 2 of the paper expects.
+#[derive(Clone, Debug)]
+pub enum FleetEvent {
+    /// Daily SMART snapshot.
+    Sample(DiskDay),
+    /// The disk stopped responding; its last snapshot was today's.
+    Failure {
+        /// Disk that failed.
+        disk_id: u32,
+        /// Day of failure.
+        day: u16,
+    },
+}
+
+/// Day-stepped fleet simulator; iterate it for the event stream or call
+/// [`FleetSim::collect`] to materialise a [`Dataset`].
+pub struct FleetSim {
+    profile: ModelProfile,
+    duration_days: u16,
+    disks: Vec<DiskState>,
+    day: u16,
+    buffer: std::collections::VecDeque<FleetEvent>,
+}
+
+impl FleetSim {
+    /// Build the fleet: sample install days, choose which disks fail, and
+    /// assign fates. Deterministic in `cfg.seed`.
+    pub fn new(cfg: &FleetConfig) -> Self {
+        let master = Xoshiro256pp::seed_from_u64(cfg.seed);
+        let mut setup = master.split(0);
+        let n = cfg.n_disks();
+        let p = &cfg.profile;
+        let dur = f64::from(cfg.duration_days);
+
+        // Install schedule: a block at day 0, the rest spread uniformly
+        // (fleet growth — part of the drift the paper studies).
+        let mut install_days: Vec<u16> = (0..n)
+            .map(|_| {
+                if setup.bernoulli(p.initial_fleet_fraction) {
+                    0
+                } else {
+                    (setup.next_f64() * dur * p.install_span_fraction) as u16
+                }
+            })
+            .collect();
+        install_days.sort_unstable();
+
+        // Which disks fail: sampled over the whole fleet, but a failing disk
+        // needs ≥ 50 observed days so a symptom ramp fits inside its life.
+        let mut failed_flags = vec![false; n];
+        let mut assigned = 0usize;
+        let mut guard = 0usize;
+        while assigned < cfg.n_failed {
+            let i = setup.index(n);
+            let latest_ok = install_days[i] as u32 + 50 < u32::from(cfg.duration_days);
+            if !failed_flags[i] && latest_ok {
+                failed_flags[i] = true;
+                assigned += 1;
+            }
+            guard += 1;
+            assert!(
+                guard < 100 * n.max(1),
+                "cannot place {} failures in a {}-day window",
+                cfg.n_failed,
+                cfg.duration_days
+            );
+        }
+
+        let disks: Vec<DiskState> = (0..n)
+            .map(|i| {
+                let install = install_days[i];
+                let mut fate_rng = master.split(1 + i as u64);
+                let fate = if failed_flags[i] {
+                    // Failure day uniform over the feasible range.
+                    let lo = u32::from(install) + 50;
+                    let hi = u32::from(cfg.duration_days);
+                    let fail_day = (lo + fate_rng.next_below(u64::from(hi - lo)) as u32) as u16;
+                    Fate::sample_failure(&mut fate_rng, p, fail_day)
+                } else {
+                    Fate::Survive
+                };
+                DiskState::new(i as u32, install, fate, p, &master)
+            })
+            .collect();
+
+        Self {
+            profile: cfg.profile.clone(),
+            duration_days: cfg.duration_days,
+            disks,
+            day: 0,
+            buffer: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Per-disk metadata (install/last day, failed flag) — available before
+    /// simulation because fates are fixed at construction.
+    pub fn disk_infos(&self) -> Vec<DiskInfo> {
+        self.disks
+            .iter()
+            .map(|d| DiskInfo {
+                disk_id: d.disk_id,
+                install_day: d.install_day,
+                last_day: d.fate.fail_day().unwrap_or(self.duration_days),
+                failed: d.fate.fail_day().is_some(),
+            })
+            .collect()
+    }
+
+    /// Length of the observation window in days.
+    pub fn duration_days(&self) -> u16 {
+        self.duration_days
+    }
+
+    /// Disk model profile driving the simulation.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Calendar-time ambient glitch multiplier (environment drift).
+    fn env_glitch(&self, day: u16) -> f64 {
+        1.0 + self.profile.env_drift * f64::from(day) / f64::from(self.duration_days.max(1))
+    }
+
+    /// Simulate one day, pushing its events into the buffer.
+    fn step_day(&mut self) {
+        let day = self.day;
+        let env = self.env_glitch(day);
+        let mut failures = Vec::new();
+        for disk in &mut self.disks {
+            if !disk.active(day) {
+                continue;
+            }
+            let features = disk.step(day, &self.profile, env);
+            self.buffer.push_back(FleetEvent::Sample(DiskDay {
+                disk_id: disk.disk_id,
+                day,
+                features,
+            }));
+            if disk.fate.fail_day() == Some(day) {
+                failures.push(disk.disk_id);
+            }
+        }
+        for disk_id in failures {
+            self.buffer.push_back(FleetEvent::Failure { disk_id, day });
+        }
+        self.day += 1;
+    }
+
+    /// Materialise the whole stream into a [`Dataset`].
+    ///
+    /// Only for `Tiny`/`Small` scales — the `Paper` scale produces tens of
+    /// millions of rows and should be consumed as a stream.
+    pub fn collect(cfg: &FleetConfig) -> Dataset {
+        let mut sim = Self::new(cfg);
+        let disks = sim.disk_infos();
+        let mut records =
+            Vec::with_capacity(disks.iter().map(|d| d.observed_days() as usize).sum());
+        for ev in &mut sim {
+            if let FleetEvent::Sample(rec) = ev {
+                records.push(rec);
+            }
+        }
+        let ds = Dataset {
+            model: cfg.profile.name.clone(),
+            duration_days: cfg.duration_days,
+            records,
+            disks,
+        };
+        debug_assert_eq!(ds.validate(), Ok(()));
+        ds
+    }
+}
+
+impl Iterator for FleetSim {
+    type Item = FleetEvent;
+
+    fn next(&mut self) -> Option<FleetEvent> {
+        while self.buffer.is_empty() {
+            if self.day > self.duration_days {
+                return None;
+            }
+            self.step_day();
+        }
+        self.buffer.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ScalePreset;
+
+    fn tiny_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 7);
+        cfg.duration_days = 200;
+        cfg.n_good = 40;
+        cfg.n_failed = 8;
+        cfg
+    }
+
+    #[test]
+    fn collect_produces_valid_dataset_with_requested_counts() {
+        let cfg = tiny_cfg();
+        let ds = FleetSim::collect(&cfg);
+        ds.validate().unwrap();
+        assert_eq!(ds.n_good(), 40);
+        assert_eq!(ds.n_failed(), 8);
+        assert_eq!(ds.disks.len(), 48);
+        assert!(ds.n_records() > 40 * 100, "too few records");
+    }
+
+    #[test]
+    fn stream_is_deterministic_in_seed() {
+        let cfg = tiny_cfg();
+        let a = FleetSim::collect(&cfg);
+        let b = FleetSim::collect(&cfg);
+        assert_eq!(a.n_records(), b.n_records());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.disk_id, y.disk_id);
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.features, y.features);
+        }
+        let mut cfg2 = cfg;
+        cfg2.seed = 8;
+        let c = FleetSim::collect(&cfg2);
+        assert!(
+            a.records
+                .iter()
+                .zip(&c.records)
+                .any(|(x, y)| x.features != y.features),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn failure_events_match_disk_infos() {
+        let cfg = tiny_cfg();
+        let mut sim = FleetSim::new(&cfg);
+        let infos = sim.disk_infos();
+        let mut observed_failures = Vec::new();
+        for ev in &mut sim {
+            if let FleetEvent::Failure { disk_id, day } = ev {
+                observed_failures.push((disk_id, day));
+            }
+        }
+        let expected: Vec<(u32, u16)> = infos
+            .iter()
+            .filter(|d| d.failed)
+            .map(|d| (d.disk_id, d.last_day))
+            .collect();
+        let mut sorted = observed_failures.clone();
+        sorted.sort_unstable();
+        let mut exp_sorted = expected.clone();
+        exp_sorted.sort_unstable();
+        assert_eq!(sorted, exp_sorted);
+    }
+
+    #[test]
+    fn samples_arrive_in_day_then_disk_order() {
+        let cfg = tiny_cfg();
+        let sim = FleetSim::new(&cfg);
+        let mut prev = (0u16, -1i64);
+        for ev in sim {
+            if let FleetEvent::Sample(r) = ev {
+                let key = (r.day, i64::from(r.disk_id));
+                assert!(key > prev, "ordering violated: {key:?} after {prev:?}");
+                prev = key;
+            }
+        }
+    }
+
+    #[test]
+    fn failed_disks_emit_sample_on_failure_day_and_none_after() {
+        let cfg = tiny_cfg();
+        let ds = FleetSim::collect(&cfg);
+        for d in ds.disks.iter().filter(|d| d.failed) {
+            let days: Vec<u16> = ds.disk_records(d.disk_id).map(|r| r.day).collect();
+            assert_eq!(*days.last().unwrap(), d.last_day);
+            assert_eq!(days.len() as u32, d.observed_days());
+        }
+    }
+
+    #[test]
+    fn sta_and_stb_presets_match_table1_ratios() {
+        for preset in [
+            ScalePreset::Tiny,
+            ScalePreset::Small,
+            ScalePreset::Medium,
+            ScalePreset::Paper,
+        ] {
+            let sta = FleetConfig::sta(preset, 1);
+            let ratio = sta.n_good as f64 / sta.n_failed as f64;
+            assert!((15.0..20.0).contains(&ratio), "STA ratio {ratio}");
+            let stb = FleetConfig::stb(preset, 1);
+            let ratio = stb.n_good as f64 / stb.n_failed as f64;
+            assert!((1.9..2.4).contains(&ratio), "STB ratio {ratio}");
+        }
+        assert_eq!(FleetConfig::sta(ScalePreset::Paper, 1).n_good, 34_535);
+        assert_eq!(FleetConfig::stb(ScalePreset::Paper, 1).n_failed, 1_357);
+    }
+}

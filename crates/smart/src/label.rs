@@ -1,0 +1,221 @@
+//! Offline labelling with the 7-day prediction window (§3 and §4.4).
+//!
+//! The task is: *will this disk fail within the next `window_days` days?*
+//! Given full knowledge up to a `cutoff` day:
+//!
+//! * samples of a disk that failed on `f ≤ cutoff`: **positive** in the last
+//!   `window_days` before `f`, **negative** earlier;
+//! * samples of a disk still operating at `cutoff`: **negative** if at least
+//!   `window_days` old at the cutoff (the disk demonstrably did not fail in
+//!   the following week), **unlabeled** otherwise — exactly the rule the
+//!   paper uses for good disks in the training set.
+//!
+//! Note the deliberate label noise the paper accepts: a disk that fails
+//! *after* the cutoff contributes negative samples that may already show
+//! symptoms. ORF's robustness to this noise is part of the claim.
+
+use crate::record::{Dataset, DiskDay, DiskInfo};
+use serde::{Deserialize, Serialize};
+
+/// Labelling policy parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LabelPolicy {
+    /// Prediction horizon: a sample is positive if the disk fails within
+    /// this many days. The paper fixes 7.
+    pub window_days: u16,
+}
+
+impl Default for LabelPolicy {
+    fn default() -> Self {
+        Self { window_days: 7 }
+    }
+}
+
+/// A labelled training sample (indices into a [`Dataset`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Labeled {
+    /// Position in `Dataset::records`.
+    pub record: usize,
+    /// True = the disk failed within the window after this sample.
+    pub positive: bool,
+}
+
+impl LabelPolicy {
+    /// Label one sample given knowledge up to `cutoff` (inclusive).
+    /// Returns `None` for unlabeled samples.
+    pub fn label(&self, rec: &DiskDay, info: &DiskInfo, cutoff: u16) -> Option<bool> {
+        debug_assert_eq!(rec.disk_id, info.disk_id);
+        if rec.day > cutoff {
+            return None; // sample not yet observed
+        }
+        if info.failed && info.last_day <= cutoff {
+            // Failure already observed: positive iff inside the window.
+            Some(rec.day + self.window_days > info.last_day)
+        } else {
+            // Still operating at the cutoff (from the cutoff's viewpoint a
+            // disk failing later is indistinguishable from a good one).
+            if rec.day + self.window_days > cutoff {
+                None
+            } else {
+                Some(false)
+            }
+        }
+    }
+
+    /// Label every sample of `ds` observable up to `cutoff`.
+    pub fn label_dataset(&self, ds: &Dataset, cutoff: u16) -> Vec<Labeled> {
+        let mut out = Vec::new();
+        for (i, rec) in ds.records.iter().enumerate() {
+            if rec.day > cutoff {
+                break; // records are chronological
+            }
+            let info = &ds.disks[rec.disk_id as usize];
+            if let Some(positive) = self.label(rec, info, cutoff) {
+                out.push(Labeled {
+                    record: i,
+                    positive,
+                });
+            }
+        }
+        out
+    }
+
+    /// Label samples within the day range `(from, to]` only — used by the
+    /// 1-month replacing update strategy of §4.5.
+    pub fn label_range(&self, ds: &Dataset, from: u16, to: u16) -> Vec<Labeled> {
+        self.label_dataset(ds, to)
+            .into_iter()
+            .filter(|l| ds.records[l.record].day > from)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::N_FEATURES;
+
+    fn rec(disk_id: u32, day: u16) -> DiskDay {
+        DiskDay {
+            disk_id,
+            day,
+            features: [0.0; N_FEATURES],
+        }
+    }
+
+    fn failed(last_day: u16) -> DiskInfo {
+        DiskInfo {
+            disk_id: 0,
+            install_day: 0,
+            last_day,
+            failed: true,
+        }
+    }
+
+    fn good(last_day: u16) -> DiskInfo {
+        DiskInfo {
+            disk_id: 0,
+            install_day: 0,
+            last_day,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn failed_disk_window_is_positive() {
+        let p = LabelPolicy::default();
+        let info = failed(100);
+        // Days 94..=100 are within 7 days of failure.
+        assert_eq!(p.label(&rec(0, 94), &info, 200), Some(true));
+        assert_eq!(p.label(&rec(0, 100), &info, 200), Some(true));
+        assert_eq!(p.label(&rec(0, 93), &info, 200), Some(false));
+    }
+
+    #[test]
+    fn good_disk_recent_samples_are_unlabeled() {
+        let p = LabelPolicy::default();
+        let info = good(300);
+        assert_eq!(p.label(&rec(0, 200), &info, 200), None, "too fresh");
+        assert_eq!(p.label(&rec(0, 194), &info, 200), None, "inside window");
+        assert_eq!(p.label(&rec(0, 193), &info, 200), Some(false));
+    }
+
+    #[test]
+    fn future_samples_are_invisible() {
+        let p = LabelPolicy::default();
+        assert_eq!(p.label(&rec(0, 201), &good(300), 200), None);
+    }
+
+    #[test]
+    fn disk_failing_after_cutoff_is_treated_as_operating() {
+        let p = LabelPolicy::default();
+        let info = failed(210); // fails in the future
+                                // At cutoff 200 this disk looks healthy; its day-198 sample is
+                                // unlabeled, its day-190 sample is (noisily) negative.
+        assert_eq!(p.label(&rec(0, 198), &info, 200), None);
+        assert_eq!(p.label(&rec(0, 190), &info, 200), Some(false));
+        // Once the failure is observed the same samples become positive.
+        assert_eq!(p.label(&rec(0, 204), &info, 250), Some(true));
+    }
+
+    #[test]
+    fn label_dataset_counts() {
+        let p = LabelPolicy::default();
+        let mut ds = Dataset {
+            model: "T".into(),
+            duration_days: 50,
+            records: Vec::new(),
+            disks: vec![
+                DiskInfo {
+                    disk_id: 0,
+                    install_day: 0,
+                    last_day: 20,
+                    failed: true,
+                },
+                DiskInfo {
+                    disk_id: 1,
+                    install_day: 0,
+                    last_day: 50,
+                    failed: false,
+                },
+            ],
+        };
+        for day in 0..=50u16 {
+            if day <= 20 {
+                ds.records.push(rec(0, day));
+            }
+            let mut r = rec(1, day);
+            r.disk_id = 1;
+            ds.records.push(r);
+        }
+        ds.records.sort_by_key(|r| (r.day, r.disk_id));
+        let labels = p.label_dataset(&ds, 50);
+        let pos = labels.iter().filter(|l| l.positive).count();
+        // Failed disk: days 14..=20 positive = 7 samples.
+        assert_eq!(pos, 7);
+        // Good disk: days 0..=43 negative (44), days 44..=50 unlabeled;
+        // failed disk days 0..=13 negative (14).
+        assert_eq!(labels.len() - pos, 44 + 14);
+    }
+
+    #[test]
+    fn label_range_excludes_older_samples() {
+        let p = LabelPolicy::default();
+        let ds = Dataset {
+            model: "T".into(),
+            duration_days: 100,
+            records: (0..=100u16).map(|d| rec(0, d)).collect(),
+            disks: vec![DiskInfo {
+                disk_id: 0,
+                install_day: 0,
+                last_day: 100,
+                failed: false,
+            }],
+        };
+        let labels = p.label_range(&ds, 60, 90);
+        assert!(labels
+            .iter()
+            .all(|l| ds.records[l.record].day > 60 && ds.records[l.record].day <= 83));
+        assert!(!labels.is_empty());
+    }
+}

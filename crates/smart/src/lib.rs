@@ -1,0 +1,38 @@
+//! SMART data substrate for `orfpred`.
+//!
+//! The paper evaluates on the public Backblaze SMART logs (datasets "STA" =
+//! ST4000DM000 and "STB" = ST3000DM001, Table 1). That data cannot be
+//! shipped here, so this crate provides two interchangeable sources:
+//!
+//! 1. [`gen::FleetSim`] — a seeded, day-stepped **fleet simulator** that
+//!    emits daily SMART snapshots with the Backblaze schema (24 attributes ×
+//!    {normalized, raw} = 48 candidate features), failure phenomenology
+//!    matching published analyses of the same data (symptom ramps in the
+//!    reallocated/pending/uncorrectable counters, plus a fraction of sudden
+//!    failures with no SMART signature), and the *mechanistic* distribution
+//!    drift (fleet aging, batch turnover, environment drift) that causes the
+//!    "model aging" problem the paper studies.
+//! 2. [`csv`] — a reader/writer for genuine Backblaze daily CSVs, so the
+//!    real data drops into every experiment unchanged.
+//!
+//! On top of either source it implements the paper's data plumbing:
+//! offline labelling with the 7-day prediction window (§4.4), min–max
+//! feature scaling (Eq. 5), and Wilcoxon rank-sum feature selection (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod csv;
+pub mod drift;
+pub mod gen;
+pub mod label;
+pub mod record;
+pub mod scale;
+pub mod select;
+pub mod summary;
+
+pub use attrs::{AttrId, FeatureKind, ATTRIBUTES, N_ATTRIBUTES, N_FEATURES};
+pub use gen::{FleetConfig, FleetEvent, FleetSim, ScalePreset};
+pub use label::{LabelPolicy, Labeled};
+pub use record::{Dataset, DiskDay, DiskInfo};
+pub use scale::MinMaxScaler;

@@ -1,0 +1,227 @@
+//! Core record types: a daily SMART snapshot, per-disk metadata, and the
+//! in-memory [`Dataset`] container used by the offline baselines and the
+//! evaluation harnesses.
+
+use crate::attrs::N_FEATURES;
+use serde::{Deserialize, Serialize};
+
+/// One daily SMART snapshot of one disk (a row of the Backblaze daily CSV).
+///
+/// `features` holds the unscaled values in the layout defined by
+/// [`crate::attrs`]: even columns are vendor-normalized values, odd columns
+/// raw values.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiskDay {
+    /// Dense disk identifier (index into [`Dataset::disks`]).
+    pub disk_id: u32,
+    /// Days since the start of the observation window.
+    pub day: u16,
+    /// Unscaled candidate feature values.
+    #[serde(with = "feature_array")]
+    pub features: [f32; N_FEATURES],
+}
+
+/// serde adapter for `[f32; N_FEATURES]` (serde only derives arrays ≤ 32).
+mod feature_array {
+    use super::N_FEATURES;
+    use serde::de::Error;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[f32; N_FEATURES], s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(v.iter())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[f32; N_FEATURES], D::Error> {
+        let v: Vec<f32> = Vec::deserialize(d)?;
+        v.try_into()
+            .map_err(|v: Vec<f32>| D::Error::invalid_length(v.len(), &"48 feature values"))
+    }
+}
+
+/// Per-disk metadata: observation bounds and final status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskInfo {
+    /// Dense disk identifier.
+    pub disk_id: u32,
+    /// First day the disk reports data.
+    pub install_day: u16,
+    /// Last day the disk reports data (failure day for failed disks,
+    /// end of observation for survivors).
+    pub last_day: u16,
+    /// Whether the disk failed on `last_day` (survivors are censored).
+    pub failed: bool,
+}
+
+impl DiskInfo {
+    /// Number of days the disk reports data.
+    pub fn observed_days(&self) -> u32 {
+        u32::from(self.last_day) - u32::from(self.install_day) + 1
+    }
+}
+
+/// An in-memory dataset: chronologically ordered snapshots plus per-disk
+/// metadata. Produced by [`crate::gen::FleetSim::collect`] or
+/// [`crate::csv::read_dataset`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Disk model name (e.g. `"ST4000DM000"`).
+    pub model: String,
+    /// Length of the observation window in days.
+    pub duration_days: u16,
+    /// Snapshots ordered by `(day, disk_id)`.
+    pub records: Vec<DiskDay>,
+    /// Metadata indexed by `disk_id`.
+    pub disks: Vec<DiskInfo>,
+}
+
+impl Dataset {
+    /// Number of good (surviving) disks.
+    pub fn n_good(&self) -> usize {
+        self.disks.iter().filter(|d| !d.failed).count()
+    }
+
+    /// Number of failed disks.
+    pub fn n_failed(&self) -> usize {
+        self.disks.iter().filter(|d| d.failed).count()
+    }
+
+    /// Iterate over records of a single disk.
+    ///
+    /// Records are scattered through the chronological stream, so this scans;
+    /// use [`Dataset::records_by_disk`] when visiting many disks.
+    pub fn disk_records(&self, disk_id: u32) -> impl Iterator<Item = &DiskDay> {
+        self.records.iter().filter(move |r| r.disk_id == disk_id)
+    }
+
+    /// Index of record positions grouped per disk (one `Vec<usize>` of
+    /// positions into `records` per disk, each chronologically sorted).
+    pub fn records_by_disk(&self) -> Vec<Vec<usize>> {
+        let mut idx = vec![Vec::new(); self.disks.len()];
+        for (pos, rec) in self.records.iter().enumerate() {
+            idx[rec.disk_id as usize].push(pos);
+        }
+        idx
+    }
+
+    /// Verify structural invariants; used by tests and the CSV loader.
+    ///
+    /// Checks chronological ordering, disk-id bounds, and agreement between
+    /// record days and per-disk observation windows.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, d) in self.disks.iter().enumerate() {
+            if d.disk_id as usize != i {
+                return Err(format!("disk {i} has mismatched id {}", d.disk_id));
+            }
+            if d.install_day > d.last_day {
+                return Err(format!("disk {i} installs after its last day"));
+            }
+            if d.last_day > self.duration_days {
+                return Err(format!("disk {i} outlives the dataset"));
+            }
+        }
+        let mut prev = (0u16, 0u32);
+        for (pos, r) in self.records.iter().enumerate() {
+            let key = (r.day, r.disk_id);
+            if pos > 0 && key <= prev {
+                return Err(format!("records not strictly ordered at {pos}"));
+            }
+            prev = key;
+            let info = self
+                .disks
+                .get(r.disk_id as usize)
+                .ok_or_else(|| format!("record {pos} references unknown disk {}", r.disk_id))?;
+            if r.day < info.install_day || r.day > info.last_day {
+                return Err(format!(
+                    "record {pos}: day {} outside disk {} window [{}, {}]",
+                    r.day, r.disk_id, info.install_day, info.last_day
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of snapshots.
+    pub fn n_records(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mk = |disk_id, day| DiskDay {
+            disk_id,
+            day,
+            features: [0.0; N_FEATURES],
+        };
+        Dataset {
+            model: "T".into(),
+            duration_days: 10,
+            records: vec![mk(0, 0), mk(1, 0), mk(0, 1), mk(1, 1), mk(1, 2)],
+            disks: vec![
+                DiskInfo {
+                    disk_id: 0,
+                    install_day: 0,
+                    last_day: 1,
+                    failed: true,
+                },
+                DiskInfo {
+                    disk_id: 1,
+                    install_day: 0,
+                    last_day: 2,
+                    failed: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_validation() {
+        let d = tiny();
+        assert_eq!(d.n_good(), 1);
+        assert_eq!(d.n_failed(), 1);
+        assert_eq!(d.n_records(), 5);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_disorder() {
+        let mut d = tiny();
+        d.records.swap(0, 2);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_window_record() {
+        let mut d = tiny();
+        d.records[4].day = 9; // disk 1 only lives to day 2
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn records_by_disk_partitions_chronologically() {
+        let d = tiny();
+        let idx = d.records_by_disk();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[0].len(), 2);
+        assert_eq!(idx[1].len(), 3);
+        for per_disk in &idx {
+            assert!(per_disk
+                .windows(2)
+                .all(|w| d.records[w[0]].day < d.records[w[1]].day));
+        }
+    }
+
+    #[test]
+    fn observed_days_is_inclusive() {
+        let info = DiskInfo {
+            disk_id: 0,
+            install_day: 3,
+            last_day: 5,
+            failed: false,
+        };
+        assert_eq!(info.observed_days(), 3);
+    }
+}

@@ -1,0 +1,319 @@
+//! Feature selection (§4.2 of the paper).
+//!
+//! Two stages, matching the paper's pipeline:
+//!
+//! 1. **Wilcoxon rank-sum filter** — drop candidate features whose positive
+//!    and negative sample distributions are statistically indistinguishable
+//!    (the paper drops 20 of 48 this way);
+//! 2. **redundancy elimination** — of highly correlated surviving pairs keep
+//!    the more discriminative one (the paper drops 9 more via greedy
+//!    FDR-comparison; we use |Pearson r| as the tractable proxy and expose
+//!    the RF-importance-based ranking in `orfpred-trees` for the final
+//!    Table 2 ordering).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sided Wilcoxon rank-sum (Mann–Whitney) test.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RankSum {
+    /// Mann–Whitney U statistic of the first sample.
+    pub u: f64,
+    /// Normal-approximation z-score (tie-corrected).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+/// Two-sided Wilcoxon rank-sum test with the normal approximation and tie
+/// correction. Suitable for the sample sizes here (hundreds+ per class).
+///
+/// Returns `p = 1` when either sample is empty or all values are tied.
+///
+/// ```
+/// use orfpred_smart::select::rank_sum_test;
+///
+/// let healthy = [0.0f32, 1.0, 0.5, 0.2, 0.8, 0.1, 0.9, 0.4];
+/// let failing = [5.0f32, 6.5, 4.8, 7.2, 5.9, 6.1, 5.5, 6.8];
+/// let t = rank_sum_test(&failing, &healthy);
+/// assert!(t.p < 0.001, "clearly shifted distributions");
+/// assert!(t.z > 0.0, "first sample stochastically larger");
+/// ```
+pub fn rank_sum_test(xs: &[f32], ys: &[f32]) -> RankSum {
+    let n1 = xs.len();
+    let n2 = ys.len();
+    if n1 == 0 || n2 == 0 {
+        return RankSum {
+            u: 0.0,
+            z: 0.0,
+            p: 1.0,
+        };
+    }
+    // Pool, sort, assign mid-ranks.
+    let mut pooled: Vec<(f32, bool)> = xs
+        .iter()
+        .map(|&v| (v, true))
+        .chain(ys.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in rank-sum input"));
+
+    let n = pooled.len();
+    let mut rank_sum_x = 0.0f64;
+    let mut tie_term = 0.0f64; // Σ (t³ - t) over tie groups
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0; // 1-based average rank
+        for item in &pooled[i..=j] {
+            if item.1 {
+                rank_sum_x += mid_rank;
+            }
+        }
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j + 1;
+    }
+
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let nf = n as f64;
+    let u = rank_sum_x - n1f * (n1f + 1.0) / 2.0;
+    let mean_u = n1f * n2f / 2.0;
+    let var_u = n1f * n2f / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        // All values identical: no discrimination whatsoever.
+        return RankSum { u, z: 0.0, p: 1.0 };
+    }
+    // Continuity correction.
+    let diff = u - mean_u;
+    let corrected = if diff > 0.5 {
+        diff - 0.5
+    } else if diff < -0.5 {
+        diff + 0.5
+    } else {
+        0.0
+    };
+    let z = corrected / var_u.sqrt();
+    let p = (2.0 * normal_sf(z.abs())).min(1.0);
+    RankSum { u, z, p }
+}
+
+/// Standard normal survival function `P(Z > z)` via `erfc`.
+fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Numerical Recipes rational approximation,
+/// |error| ≤ 1.2e-7 — ample for feature screening).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Pearson correlation of two equal-length slices (0 if degenerate).
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().map(|&v| f64::from(v)).sum::<f64>() / nf;
+    let my = ys.iter().map(|&v| f64::from(v)).sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = f64::from(x) - mx;
+        let dy = f64::from(y) - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Outcome of the two-stage selection.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SelectionReport {
+    /// Surviving feature columns, ordered by increasing p-value.
+    pub kept: Vec<usize>,
+    /// Per-candidate p-values (index = candidate position).
+    pub p_values: Vec<f64>,
+    /// Columns dropped by the rank-sum filter.
+    pub dropped_nondiscriminative: Vec<usize>,
+    /// Columns dropped as redundant (correlated with a stronger survivor).
+    pub dropped_redundant: Vec<usize>,
+}
+
+/// Run the selection pipeline.
+///
+/// `pos`/`neg` are row-major matrices of positive/negative samples over
+/// `candidates` columns (full 48-column rows; `candidates` indexes into
+/// them). `alpha` is the rank-sum significance level (paper-equivalent
+/// setting: 0.01); `corr_threshold` the |r| above which the weaker of a pair
+/// is dropped (0.95 works well).
+pub fn select_features(
+    pos: &[&[f32]],
+    neg: &[&[f32]],
+    candidates: &[usize],
+    alpha: f64,
+    corr_threshold: f64,
+) -> SelectionReport {
+    let mut report = SelectionReport::default();
+    let col = |rows: &[&[f32]], c: usize| -> Vec<f32> { rows.iter().map(|r| r[c]).collect() };
+
+    // Stage 1: rank-sum filter.
+    let mut survivors: Vec<(usize, f64)> = Vec::new();
+    for &c in candidates {
+        let xs = col(pos, c);
+        let ys = col(neg, c);
+        let t = rank_sum_test(&xs, &ys);
+        report.p_values.push(t.p);
+        if t.p <= alpha {
+            survivors.push((c, t.p));
+        } else {
+            report.dropped_nondiscriminative.push(c);
+        }
+    }
+    survivors.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    // Stage 2: redundancy elimination — iterate strongest-first, drop any
+    // later feature highly correlated with an already-kept one. Correlation
+    // is computed over the pooled sample.
+    let pooled: Vec<&[f32]> = pos.iter().chain(neg.iter()).copied().collect();
+    let mut kept: Vec<usize> = Vec::new();
+    for (c, _p) in survivors {
+        let xs = col(&pooled, c);
+        let redundant = kept.iter().any(|&k| {
+            let ys = col(&pooled, k);
+            pearson(&xs, &ys).abs() > corr_threshold
+        });
+        if redundant {
+            report.dropped_redundant.push(c);
+        } else {
+            kept.push(c);
+        }
+    }
+    report.kept = kept;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_util::{dist, Xoshiro256pp};
+
+    #[test]
+    fn rank_sum_separated_samples_give_tiny_p() {
+        let xs: Vec<f32> = (0..100).map(|i| 10.0 + i as f32 * 0.01).collect();
+        let ys: Vec<f32> = (0..100).map(|i| i as f32 * 0.01).collect();
+        let t = rank_sum_test(&xs, &ys);
+        assert!(t.p < 1e-10, "p = {}", t.p);
+        assert!(t.z > 10.0);
+    }
+
+    #[test]
+    fn rank_sum_identical_distributions_give_large_p() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut rejections = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let xs: Vec<f32> = (0..60).map(|_| rng.next_f32()).collect();
+            let ys: Vec<f32> = (0..60).map(|_| rng.next_f32()).collect();
+            if rank_sum_test(&xs, &ys).p < 0.05 {
+                rejections += 1;
+            }
+        }
+        // Under H0 the rejection rate should be ≈ alpha.
+        assert!(
+            (rejections as f64) < 0.12 * trials as f64,
+            "too many H0 rejections: {rejections}/{trials}"
+        );
+    }
+
+    #[test]
+    fn rank_sum_handles_ties_and_degenerate_inputs() {
+        let xs = [1.0f32; 30];
+        let ys = [1.0f32; 30];
+        let t = rank_sum_test(&xs, &ys);
+        assert_eq!(t.p, 1.0, "all-tied data discriminates nothing");
+        assert_eq!(rank_sum_test(&[], &[1.0]).p, 1.0);
+        // Heavy ties but a real shift must still be detected.
+        let xs: Vec<f32> = (0..200).map(|i| f32::from((i % 3) as u8)).collect();
+        let ys: Vec<f32> = (0..200).map(|i| f32::from((i % 3) as u8) + 1.0).collect();
+        assert!(rank_sum_test(&xs, &ys).p < 1e-6);
+    }
+
+    #[test]
+    fn rank_sum_is_symmetric_in_p() {
+        let xs: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let ys: Vec<f32> = (0..50).map(|i| i as f32 + 20.0).collect();
+        let a = rank_sum_test(&xs, &ys);
+        let b = rank_sum_test(&ys, &xs);
+        assert!((a.p - b.p).abs() < 1e-12);
+        assert!((a.z + b.z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_207).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_79).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-12);
+    }
+
+    #[test]
+    fn pearson_detects_linear_relation() {
+        let xs: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let ys: Vec<f32> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-9);
+        let zs: Vec<f32> = xs.iter().map(|&x| -x).collect();
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0, "degenerate");
+    }
+
+    #[test]
+    fn selection_keeps_signal_drops_noise_and_duplicates() {
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        // Columns: 0 = signal, 1 = near-copy of 0, 2 = pure noise.
+        let mut pos_rows = Vec::new();
+        let mut neg_rows = Vec::new();
+        for _ in 0..300 {
+            let s = dist::normal(&mut rng, 3.0, 1.0) as f32;
+            pos_rows.push([s, s + 0.001 * rng.next_f32(), rng.next_f32()]);
+            let s = dist::normal(&mut rng, 0.0, 1.0) as f32;
+            neg_rows.push([s, s + 0.001 * rng.next_f32(), rng.next_f32()]);
+        }
+        let pos: Vec<&[f32]> = pos_rows.iter().map(|r| r.as_slice()).collect();
+        let neg: Vec<&[f32]> = neg_rows.iter().map(|r| r.as_slice()).collect();
+        let rep = select_features(&pos, &neg, &[0, 1, 2], 0.01, 0.95);
+        assert_eq!(rep.kept.len(), 1, "kept {:?}", rep.kept);
+        assert!(rep.kept[0] == 0 || rep.kept[0] == 1);
+        assert_eq!(rep.dropped_redundant.len(), 1);
+        assert_eq!(rep.dropped_nondiscriminative, vec![2]);
+    }
+}

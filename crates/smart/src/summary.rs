@@ -1,0 +1,223 @@
+//! Dataset summary statistics: the "A Look at the Field Data" numbers
+//! (§4.1) plus the reliability curves any fleet operator wants — failure
+//! hazard by disk age, population growth by month, per-class sample counts,
+//! and attribute quantiles.
+
+use crate::attrs::feature_name;
+use crate::label::LabelPolicy;
+use crate::record::Dataset;
+use orfpred_util::stats::percentile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Disk model string.
+    pub model: String,
+    /// Good / failed disk counts.
+    pub n_good: usize,
+    /// Number of failed disks.
+    pub n_failed: usize,
+    /// Total daily snapshots.
+    pub n_samples: usize,
+    /// Positive samples under the 7-day labelling rule.
+    pub n_positive: usize,
+    /// Negative samples under the 7-day labelling rule.
+    pub n_negative: usize,
+    /// negative:positive imbalance ratio.
+    pub imbalance: f64,
+    /// Active disks at the start of each month.
+    pub population_by_month: Vec<usize>,
+    /// Failures per month.
+    pub failures_by_month: Vec<usize>,
+    /// Empirical failure hazard per 90-day age bucket
+    /// (failures / disk-days at that age, scaled to annualised %).
+    pub hazard_by_age_bucket: Vec<f64>,
+}
+
+/// Compute the summary (single pass over records plus disk metadata).
+pub fn summarize(ds: &Dataset, month_days: u16) -> DatasetSummary {
+    let n_months = (usize::from(ds.duration_days) + usize::from(month_days) - 1)
+        / usize::from(month_days).max(1);
+    let mut population_by_month = vec![0usize; n_months.max(1)];
+    let mut failures_by_month = vec![0usize; n_months.max(1)];
+    const BUCKET: u32 = 90;
+    let max_age = ds
+        .disks
+        .iter()
+        .map(|d| d.observed_days())
+        .max()
+        .unwrap_or(0);
+    let n_buckets = (max_age / BUCKET + 1) as usize;
+    let mut disk_days = vec![0u64; n_buckets];
+    let mut failures_at_age = vec![0u64; n_buckets];
+
+    for d in &ds.disks {
+        for (m, pop) in population_by_month.iter_mut().enumerate() {
+            let day = (m as u16) * month_days;
+            if d.install_day <= day && day <= d.last_day {
+                *pop += 1;
+            }
+        }
+        if d.failed {
+            let m = usize::from(d.last_day / month_days).min(n_months.saturating_sub(1));
+            failures_by_month[m] += 1;
+            let age = d.observed_days();
+            failures_at_age[(age / BUCKET) as usize] += 1;
+        }
+        let age = d.observed_days();
+        for (b, dd) in disk_days
+            .iter_mut()
+            .enumerate()
+            .take((age / BUCKET) as usize + 1)
+        {
+            let days_in_bucket = age.min((b as u32 + 1) * BUCKET) - (b as u32) * BUCKET;
+            *dd += u64::from(days_in_bucket);
+        }
+    }
+    let hazard_by_age_bucket: Vec<f64> = disk_days
+        .iter()
+        .zip(&failures_at_age)
+        .map(|(&dd, &f)| {
+            if dd == 0 {
+                0.0
+            } else {
+                // Annualised failure rate in percent.
+                f as f64 / dd as f64 * 365.0 * 100.0
+            }
+        })
+        .collect();
+
+    let labels = LabelPolicy::default().label_dataset(ds, ds.duration_days);
+    let n_positive = labels.iter().filter(|l| l.positive).count();
+    let n_negative = labels.len() - n_positive;
+    DatasetSummary {
+        model: ds.model.clone(),
+        n_good: ds.n_good(),
+        n_failed: ds.n_failed(),
+        n_samples: ds.n_records(),
+        n_positive,
+        n_negative,
+        imbalance: if n_positive > 0 {
+            n_negative as f64 / n_positive as f64
+        } else {
+            f64::INFINITY
+        },
+        population_by_month,
+        failures_by_month,
+        hazard_by_age_bucket,
+    }
+}
+
+/// Quantiles of one feature over (a sample of) the dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeatureQuantiles {
+    /// Feature column.
+    pub feature: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// (q01, q25, median, q75, q99, max).
+    pub quantiles: [f64; 6],
+}
+
+/// Per-feature quantiles over every record (or a cap of them).
+pub fn feature_quantiles(ds: &Dataset, cols: &[usize], cap: usize) -> Vec<FeatureQuantiles> {
+    let stride = (ds.records.len() / cap.max(1)).max(1);
+    cols.iter()
+        .map(|&feature| {
+            let mut vals: Vec<f64> = ds
+                .records
+                .iter()
+                .step_by(stride)
+                .map(|r| f64::from(r.features[feature]))
+                .collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = |p: f64| {
+                if vals.is_empty() {
+                    f64::NAN
+                } else {
+                    percentile_sorted(&vals, p)
+                }
+            };
+            FeatureQuantiles {
+                feature,
+                name: feature_name(feature),
+                quantiles: [q(0.01), q(0.25), q(0.5), q(0.75), q(0.99), q(1.0)],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{FleetConfig, FleetSim, ScalePreset};
+
+    fn dataset() -> Dataset {
+        let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 8);
+        cfg.n_good = 70;
+        cfg.n_failed = 12;
+        cfg.duration_days = 300;
+        FleetSim::collect(&cfg)
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let ds = dataset();
+        let s = summarize(&ds, 30);
+        assert_eq!(s.n_good, 70);
+        assert_eq!(s.n_failed, 12);
+        assert_eq!(s.n_samples, ds.n_records());
+        assert_eq!(s.failures_by_month.iter().sum::<usize>(), 12);
+        assert!(s.imbalance > 50.0, "imbalance {}", s.imbalance);
+        // Positives: ≤ 7 per failed disk.
+        assert!(s.n_positive <= 12 * 7);
+        assert!(s.n_positive >= 12, "each failed disk has ≥1 positive");
+        // Fleet grows (installs over time).
+        assert!(
+            s.population_by_month.last().unwrap() >= s.population_by_month.first().unwrap(),
+            "{:?}",
+            s.population_by_month
+        );
+    }
+
+    #[test]
+    fn hazard_buckets_cover_all_failures() {
+        let ds = dataset();
+        let s = summarize(&ds, 30);
+        assert!(!s.hazard_by_age_bucket.is_empty());
+        assert!(s.hazard_by_age_bucket.iter().all(|&h| h >= 0.0));
+        // Total annualised hazard should be in a plausible range given
+        // 12/82 disks fail within 300 days.
+        let mean_hazard =
+            s.hazard_by_age_bucket.iter().sum::<f64>() / s.hazard_by_age_bucket.len() as f64;
+        assert!(
+            (1.0..100.0).contains(&mean_hazard),
+            "mean annualised hazard {mean_hazard}%"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let ds = dataset();
+        let cols = crate::attrs::table2_feature_columns();
+        for fq in feature_quantiles(&ds, &cols, 10_000) {
+            for w in fq.quantiles.windows(2) {
+                assert!(w[0] <= w[1], "{}: {:?}", fq.name, fq.quantiles);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_summary_is_safe() {
+        let ds = Dataset {
+            model: "T".into(),
+            duration_days: 60,
+            records: Vec::new(),
+            disks: Vec::new(),
+        };
+        let s = summarize(&ds, 30);
+        assert_eq!(s.n_samples, 0);
+        assert!(s.imbalance.is_infinite());
+    }
+}

@@ -1,0 +1,71 @@
+//! Kernel functions.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(u, v) = exp(-γ ‖u − v‖²)` — the paper's choice.
+    Rbf {
+        /// Width parameter γ.
+        gamma: f64,
+    },
+    /// `K(u, v) = ⟨u, v⟩`.
+    Linear,
+}
+
+impl Kernel {
+    /// Evaluate the kernel on two feature vectors.
+    #[inline]
+    pub fn eval(&self, u: &[f32], v: &[f32]) -> f64 {
+        debug_assert_eq!(u.len(), v.len());
+        match *self {
+            Kernel::Rbf { gamma } => {
+                let mut d2 = 0.0f64;
+                for (&a, &b) in u.iter().zip(v) {
+                    let d = f64::from(a) - f64::from(b);
+                    d2 += d * d;
+                }
+                (-gamma * d2).exp()
+            }
+            Kernel::Linear => u
+                .iter()
+                .zip(v)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbf_is_one_on_identical_points_and_decays() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        let u = [1.0f32, 2.0, 3.0];
+        assert!((k.eval(&u, &u) - 1.0).abs() < 1e-12);
+        let v = [1.0f32, 2.0, 4.0];
+        assert!((k.eval(&u, &v) - (-0.5f64).exp()).abs() < 1e-12);
+        let far = [100.0f32, 2.0, 3.0];
+        assert!(k.eval(&u, &far) < 1e-12);
+    }
+
+    #[test]
+    fn rbf_is_symmetric_and_bounded() {
+        let k = Kernel::Rbf { gamma: 2.0 };
+        let u = [0.1f32, 0.9];
+        let v = [0.7f32, 0.3];
+        assert_eq!(k.eval(&u, &v), k.eval(&v, &u));
+        let val = k.eval(&u, &v);
+        assert!(val > 0.0 && val <= 1.0);
+    }
+
+    #[test]
+    fn linear_is_dot_product() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(k.eval(&[0.0, 0.0], &[3.0, 4.0]), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Gini impurity (Eq. 1–2 of the paper) over weighted binary class counts.
+//!
+//! Shared by the offline CART (this crate) and the online trees
+//! (`orfpred-core`): both score candidate splits by the same weighted
+//! information gain, so the maths lives in one place.
+
+use serde::{Deserialize, Serialize};
+
+/// Weighted counts of the two classes at a node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Total weight of negative (healthy) samples.
+    pub neg: f64,
+    /// Total weight of positive (about-to-fail) samples.
+    pub pos: f64,
+}
+
+impl ClassCounts {
+    /// Empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add weight `w` of class `positive`.
+    #[inline]
+    pub fn add(&mut self, positive: bool, w: f64) {
+        if positive {
+            self.pos += w;
+        } else {
+            self.neg += w;
+        }
+    }
+
+    /// Remove weight `w` of class `positive`.
+    #[inline]
+    pub fn remove(&mut self, positive: bool, w: f64) {
+        if positive {
+            self.pos -= w;
+        } else {
+            self.neg -= w;
+        }
+    }
+
+    /// Total weight.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.neg + self.pos
+    }
+
+    /// Fraction of positive weight (0 when empty).
+    #[inline]
+    pub fn pos_fraction(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.pos / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Gini impurity `p0(1-p0) + p1(1-p1) = 2 p (1-p)`, in `[0, 0.5]`
+    /// (Eq. 1 of the paper).
+    #[inline]
+    pub fn gini(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        2.0 * (self.pos / t) * (self.neg / t)
+    }
+
+    /// Merge two counts.
+    #[inline]
+    pub fn merged(&self, other: &ClassCounts) -> ClassCounts {
+        ClassCounts {
+            neg: self.neg + other.neg,
+            pos: self.pos + other.pos,
+        }
+    }
+}
+
+/// Weighted information gain of a split (Eq. 2 of the paper):
+/// `G(D) − |Dl|/|D|·G(Dl) − |Dr|/|D|·G(Dr)`.
+///
+/// `left` and `right` must partition the parent. Non-negative by concavity
+/// of the Gini index.
+#[inline]
+pub fn split_gain(left: &ClassCounts, right: &ClassCounts) -> f64 {
+    let parent = left.merged(right);
+    let t = parent.total();
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let gain =
+        parent.gini() - (left.total() / t) * left.gini() - (right.total() / t) * right.gini();
+    // Floating-point rounding can produce tiny negatives; clamp so callers
+    // can rely on `gain >= 0`.
+    gain.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(neg: f64, pos: f64) -> ClassCounts {
+        ClassCounts { neg, pos }
+    }
+
+    #[test]
+    fn gini_range_and_extremes() {
+        assert_eq!(counts(10.0, 0.0).gini(), 0.0, "pure node");
+        assert_eq!(counts(0.0, 10.0).gini(), 0.0, "pure node");
+        assert!(
+            (counts(5.0, 5.0).gini() - 0.5).abs() < 1e-12,
+            "max impurity"
+        );
+        assert_eq!(counts(0.0, 0.0).gini(), 0.0, "empty node");
+    }
+
+    #[test]
+    fn gini_is_symmetric_in_classes() {
+        let a = counts(3.0, 7.0).gini();
+        let b = counts(7.0, 3.0).gini();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_split_gains_parent_impurity() {
+        let l = counts(10.0, 0.0);
+        let r = counts(0.0, 10.0);
+        let parent = l.merged(&r);
+        assert!((split_gain(&l, &r) - parent.gini()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_split_gains_nothing() {
+        // Children with identical class proportions to the parent.
+        let l = counts(6.0, 4.0);
+        let r = counts(3.0, 2.0);
+        assert!(split_gain(&l, &r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_is_never_negative() {
+        for neg_l in 0..10 {
+            for pos_l in 0..10 {
+                for neg_r in 0..10 {
+                    for pos_r in 0..10 {
+                        let g = split_gain(
+                            &counts(f64::from(neg_l), f64::from(pos_l)),
+                            &counts(f64::from(neg_r), f64::from(pos_r)),
+                        );
+                        assert!(g >= 0.0, "negative gain {g}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_remove_round_trips() {
+        let mut c = ClassCounts::new();
+        c.add(true, 2.0);
+        c.add(false, 3.0);
+        c.remove(true, 2.0);
+        assert_eq!(c, counts(3.0, 0.0));
+        assert_eq!(c.pos_fraction(), 0.0);
+        c.add(true, 3.0);
+        assert!((c.pos_fraction() - 0.5).abs() < 1e-12);
+    }
+}

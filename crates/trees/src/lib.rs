@@ -1,0 +1,25 @@
+//! Offline tree learners: the baselines the paper compares ORF against.
+//!
+//! * [`cart::DecisionTree`] — CART with Gini impurity, exact threshold
+//!   search, optional per-node random feature subsets (for forests),
+//!   optional best-first growth with a split cap (mirroring Matlab
+//!   `fitctree` with `MaxNumSplits`, the paper's DT baseline), and class
+//!   weights;
+//! * [`forest::RandomForest`] — bootstrap-aggregated CART trees trained in
+//!   parallel with rayon (the paper's offline RF);
+//! * [`sampling`] — the `NegSampleRatio` (λ) downsampling of Eq. 4 used to
+//!   balance offline training sets;
+//! * [`threshold`] — the vendor-style static SMART threshold detector
+//!   (the 3–10 % FDR strawman of §2).
+
+#![warn(missing_docs)]
+
+pub mod cart;
+pub mod forest;
+pub mod gini;
+pub mod sampling;
+pub mod threshold;
+
+pub use cart::{CartConfig, DecisionTree};
+pub use forest::{ForestConfig, RandomForest};
+pub use sampling::downsample_negatives;

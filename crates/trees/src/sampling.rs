@@ -1,0 +1,101 @@
+//! `NegSampleRatio` downsampling (Eq. 4 of the paper).
+//!
+//! Offline training sets are violently imbalanced (healthy samples outnumber
+//! positives by ~1:700). The paper balances them by keeping **all** positive
+//! samples plus a random subset of negatives of size `λ · |positives|`
+//! (`λ = |Dnc| / |Dp|`, Table 3 sweeps λ ∈ {1..5, Max}).
+
+use orfpred_util::Xoshiro256pp;
+
+/// Keep all positives and a uniform random subset of `λ · n_pos` negatives.
+///
+/// `lambda = None` means "Max" in the paper's notation: no balancing, every
+/// sample kept. Returned indices are sorted.
+pub fn downsample_negatives(y: &[bool], lambda: Option<f64>, rng: &mut Xoshiro256pp) -> Vec<usize> {
+    let Some(lambda) = lambda else {
+        return (0..y.len()).collect();
+    };
+    assert!(lambda > 0.0, "lambda must be positive (use None for Max)");
+    let positives: Vec<usize> = (0..y.len()).filter(|&i| y[i]).collect();
+    let negatives: Vec<usize> = (0..y.len()).filter(|&i| !y[i]).collect();
+    let want = ((positives.len() as f64 * lambda).round() as usize).min(negatives.len());
+    let chosen = rng.sample_indices(negatives.len(), want);
+    let mut keep: Vec<usize> = positives;
+    keep.extend(chosen.into_iter().map(|k| negatives[k]));
+    keep.sort_unstable();
+    keep
+}
+
+/// Realized negative:positive ratio of a label subset — for assertions and
+/// reporting.
+pub fn class_ratio(y: &[bool], idx: &[usize]) -> f64 {
+    let pos = idx.iter().filter(|&&i| y[i]).count();
+    let neg = idx.len() - pos;
+    if pos == 0 {
+        f64::INFINITY
+    } else {
+        neg as f64 / pos as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n_pos: usize, n_neg: usize) -> Vec<bool> {
+        let mut y = vec![true; n_pos];
+        y.extend(vec![false; n_neg]);
+        y
+    }
+
+    #[test]
+    fn keeps_all_positives_and_requested_ratio() {
+        let y = labels(100, 10_000);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let idx = downsample_negatives(&y, Some(3.0), &mut rng);
+        let pos = idx.iter().filter(|&&i| y[i]).count();
+        assert_eq!(pos, 100, "all positives kept");
+        assert_eq!(idx.len(), 100 + 300);
+        assert!((class_ratio(&y, &idx) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_keeps_everything() {
+        let y = labels(10, 500);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let idx = downsample_negatives(&y, None, &mut rng);
+        assert_eq!(idx.len(), 510);
+    }
+
+    #[test]
+    fn lambda_larger_than_available_negatives_saturates() {
+        let y = labels(100, 150);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let idx = downsample_negatives(&y, Some(5.0), &mut rng);
+        assert_eq!(idx.len(), 250, "cannot sample more negatives than exist");
+    }
+
+    #[test]
+    fn indices_are_sorted_and_unique() {
+        let y = labels(50, 1_000);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let idx = downsample_negatives(&y, Some(2.0), &mut rng);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let y = labels(20, 500);
+        let a = downsample_negatives(&y, Some(1.0), &mut Xoshiro256pp::seed_from_u64(9));
+        let b = downsample_negatives(&y, Some(1.0), &mut Xoshiro256pp::seed_from_u64(9));
+        let c = downsample_negatives(&y, Some(1.0), &mut Xoshiro256pp::seed_from_u64(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn class_ratio_of_all_negative_subset_is_infinite() {
+        let y = labels(0, 10);
+        assert!(class_ratio(&y, &[0, 1, 2]).is_infinite());
+    }
+}

@@ -1,0 +1,114 @@
+//! The vendor-style static SMART threshold detector.
+//!
+//! §2 of the paper: drive firmware raises a warning when any SMART
+//! attribute's normalized value crosses its manufacturer-set threshold.
+//! Thresholds are chosen very conservatively to avoid false alarms, which is
+//! why the mechanism only reaches 3–10 % FDR. This module reproduces that
+//! baseline so the repro harness can show the gap machine learning closes.
+
+use orfpred_smart::attrs::{feature_index, FeatureKind};
+use serde::{Deserialize, Serialize};
+
+/// One rule: alarm when the feature value is `<=` the threshold.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ThresholdRule {
+    /// Feature column (into the 48-column snapshot).
+    pub feature: usize,
+    /// Alarm when `value <= threshold`.
+    pub threshold: f32,
+}
+
+/// A set of static threshold rules over *unscaled* snapshots.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThresholdModel {
+    rules: Vec<ThresholdRule>,
+}
+
+impl ThresholdModel {
+    /// Build from explicit rules.
+    pub fn new(rules: Vec<ThresholdRule>) -> Self {
+        Self { rules }
+    }
+
+    /// Manufacturer-like conservative defaults on normalized values:
+    /// thresholds sit far below where healthy disks ever go, so alarms fire
+    /// only for catastrophic SMART values — trading detection for near-zero
+    /// false alarms, exactly the §2 behaviour.
+    pub fn conservative() -> Self {
+        let norm = |id: u16| feature_index(id, FeatureKind::Normalized).expect("catalog id");
+        Self::new(vec![
+            ThresholdRule {
+                feature: norm(5),
+                threshold: 36.0,
+            },
+            ThresholdRule {
+                feature: norm(187),
+                threshold: 40.0,
+            },
+            ThresholdRule {
+                feature: norm(197),
+                threshold: 30.0,
+            },
+            ThresholdRule {
+                feature: norm(198),
+                threshold: 30.0,
+            },
+            ThresholdRule {
+                feature: norm(10),
+                threshold: 50.0,
+            },
+        ])
+    }
+
+    /// True when any rule fires on the (unscaled) snapshot row.
+    pub fn predict(&self, row: &[f32]) -> bool {
+        self.rules.iter().any(|r| row[r.feature] <= r.threshold)
+    }
+
+    /// Access the rules.
+    pub fn rules(&self) -> &[ThresholdRule] {
+        &self.rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_smart::attrs::N_FEATURES;
+
+    #[test]
+    fn healthy_snapshot_raises_no_alarm() {
+        let model = ThresholdModel::conservative();
+        let mut row = [100.0f32; N_FEATURES];
+        // Raw columns irrelevant to the conservative rules.
+        for i in (1..N_FEATURES).step_by(2) {
+            row[i] = 0.0;
+        }
+        assert!(!model.predict(&row));
+    }
+
+    #[test]
+    fn catastrophic_norm_fires() {
+        let model = ThresholdModel::conservative();
+        let mut row = [100.0f32; N_FEATURES];
+        let col = feature_index(5, FeatureKind::Normalized).unwrap();
+        row[col] = 10.0;
+        assert!(model.predict(&row));
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let model = ThresholdModel::new(vec![ThresholdRule {
+            feature: 0,
+            threshold: 5.0,
+        }]);
+        assert!(model.predict(&[5.0]));
+        assert!(!model.predict(&[5.1]));
+    }
+
+    #[test]
+    fn empty_rule_set_never_fires() {
+        let model = ThresholdModel::new(Vec::new());
+        assert!(!model.predict(&[0.0; 4]));
+    }
+}

@@ -1,0 +1,125 @@
+//! A minimal row-major `f32` matrix used as the training-sample container by
+//! the offline learners (CART/RF/SVM). Row-major keeps one sample's features
+//! contiguous — the access pattern of both split search and kernel
+//! evaluation — per the cache-friendliness guidance in the HPC guides.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f32>,
+    n_cols: usize,
+}
+
+impl Matrix {
+    /// Empty matrix with the given column count.
+    pub fn new(n_cols: usize) -> Self {
+        assert!(n_cols > 0, "matrix needs at least one column");
+        Self {
+            data: Vec::new(),
+            n_cols,
+        }
+    }
+
+    /// Empty matrix with capacity for `rows` rows.
+    pub fn with_capacity(n_cols: usize, rows: usize) -> Self {
+        assert!(n_cols > 0, "matrix needs at least one column");
+        Self {
+            data: Vec::with_capacity(n_cols * rows),
+            n_cols,
+        }
+    }
+
+    /// Build from an iterator of rows (all must have `n_cols` entries).
+    pub fn from_rows<'a, I>(n_cols: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut m = Self::new(n_cols);
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Append one row.
+    #[inline]
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.n_cols, "row length mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.data.len() / self.n_cols
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.n_cols + col]
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> {
+        self.data.chunks_exact(self.n_cols)
+    }
+
+    /// True if the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut m = Matrix::new(3);
+        assert!(m.is_empty());
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.rows().count(), 2);
+    }
+
+    #[test]
+    fn from_rows_matches_push() {
+        let rows: Vec<[f32; 2]> = vec![[1.0, 2.0], [3.0, 4.0]];
+        let m = Matrix::from_rows(2, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn rejects_ragged_rows() {
+        let mut m = Matrix::new(2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn rejects_zero_columns() {
+        Matrix::new(0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Feature selection walkthrough (§4.2): Wilcoxon rank-sum screening of the
+//! 48 candidate SMART features, redundancy elimination, and a Random-Forest
+//! importance ranking of the survivors.
+//!
+//! ```sh
+//! cargo run --release --example feature_selection
+//! ```
+
+use orfpred::smart::attrs::{feature_name, N_FEATURES};
+use orfpred::smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred::smart::label::LabelPolicy;
+use orfpred::smart::select::{rank_sum_test, select_features};
+use orfpred::util::Xoshiro256pp;
+
+fn main() {
+    let mut fleet = FleetConfig::sta(ScalePreset::Tiny, 5);
+    fleet.n_good = 200;
+    fleet.n_failed = 40;
+    fleet.duration_days = 500;
+    let ds = FleetSim::collect(&fleet);
+
+    // Label with the 7-day window, gather class-wise rows.
+    let labels = LabelPolicy::default().label_dataset(&ds, ds.duration_days);
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for l in &labels {
+        let row = ds.records[l.record].features.as_slice();
+        if l.positive {
+            pos.push(row);
+        } else if rng.bernoulli(0.1) {
+            neg.push(row);
+        }
+    }
+    println!(
+        "{} positive rows, {} (sampled) negative rows",
+        pos.len(),
+        neg.len()
+    );
+
+    // Show a couple of individual rank-sum verdicts first.
+    for name in ["smart_187_raw", "smart_194_raw", "smart_241_raw"] {
+        let col = (0..N_FEATURES).find(|&c| feature_name(c) == name).unwrap();
+        let xs: Vec<f32> = pos.iter().map(|r| r[col]).collect();
+        let ys: Vec<f32> = neg.iter().map(|r| r[col]).collect();
+        let t = rank_sum_test(&xs, &ys);
+        println!("{name:>22}: z = {:+7.2}, p = {:.2e}", t.z, t.p);
+    }
+
+    // Full pipeline.
+    let candidates: Vec<usize> = (0..N_FEATURES).collect();
+    let report = select_features(&pos, &neg, &candidates, 0.01, 0.97);
+    println!(
+        "\nrank-sum filter dropped {} of 48; redundancy dropped {} more; {} kept:",
+        report.dropped_nondiscriminative.len(),
+        report.dropped_redundant.len(),
+        report.kept.len()
+    );
+    for (i, &col) in report.kept.iter().enumerate() {
+        print!("{:>26}", feature_name(col));
+        if i % 2 == 1 {
+            println!();
+        }
+    }
+    println!();
+    println!(
+        "\ndropped as non-discriminative: {}",
+        report
+            .dropped_nondiscriminative
+            .iter()
+            .map(|&c| feature_name(c))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

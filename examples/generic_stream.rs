@@ -1,0 +1,88 @@
+//! The paper's closing claim: "our method should work for a wide range of
+//! detection applications where the training data becomes available
+//! sequentially". This example applies the ORF to a completely different
+//! domain — drifting network-latency anomaly detection — using nothing but
+//! the public `OnlineRandomForest` API.
+//!
+//! ```sh
+//! cargo run --release --example generic_stream
+//! ```
+
+use orfpred::core::{OnlineRandomForest, OrfConfig};
+use orfpred::util::{dist, Xoshiro256pp};
+
+/// Synthetic service telemetry: (p50 latency, p99 latency, error rate,
+/// queue depth). Anomalies are saturation events; the *normal* operating
+/// point drifts upward over time (traffic growth), which would age a
+/// frozen model.
+fn sample(rng: &mut Xoshiro256pp, t: f64, anomalous: bool) -> [f32; 4] {
+    let drift = 1.0 + 0.5 * t; // normal load grows 50% over the run
+    let (lat_mult, err, queue) = if anomalous {
+        (
+            dist::log_normal(rng, 1.2, 0.3),
+            dist::log_normal(rng, -3.0, 0.5),
+            dist::log_normal(rng, 2.5, 0.4),
+        )
+    } else {
+        (
+            dist::log_normal(rng, 0.0, 0.15),
+            dist::log_normal(rng, -6.5, 0.5),
+            dist::log_normal(rng, 0.5, 0.3),
+        )
+    };
+    let p50 = 20.0 * drift * lat_mult;
+    let p99 = p50 * dist::log_normal(rng, 1.0, 0.2);
+    [
+        (p50 / 200.0) as f32,
+        (p99 / 2_000.0) as f32,
+        err as f32,
+        (queue / 100.0) as f32,
+    ]
+}
+
+fn main() {
+    let cfg = OrfConfig {
+        n_trees: 20,
+        n_tests: 100,
+        min_parent_size: 60.0,
+        lambda_pos: 1.0,
+        lambda_neg: 0.05, // anomalies are ~3% of the stream
+        age_threshold: 2_000,
+        oobe_threshold: 0.35,
+        ..OrfConfig::default()
+    };
+    let mut forest = OnlineRandomForest::new(4, cfg, 42);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+
+    let total = 60_000usize;
+    let mut correct_recent = 0usize;
+    let mut seen_recent = 0usize;
+    for i in 0..total {
+        let t = i as f64 / total as f64;
+        let anomalous = rng.bernoulli(0.03);
+        let x = sample(&mut rng, t, anomalous);
+
+        // Predict before learning (prequential evaluation).
+        let hit = forest.predict(&x, 0.5) == anomalous;
+        if i >= total - 10_000 {
+            seen_recent += 1;
+            correct_recent += usize::from(hit);
+        }
+        forest.update(&x, anomalous);
+
+        if i % 10_000 == 9_999 {
+            println!(
+                "after {:>6} events: trees replaced so far {}, score(normal) {:.2}, score(saturated) {:.2}",
+                i + 1,
+                forest.trees_replaced(),
+                forest.score(&sample(&mut rng, t, false)),
+                forest.score(&sample(&mut rng, t, true)),
+            );
+        }
+    }
+    println!(
+        "\nprequential accuracy over the final 10k events: {:.1}% \
+         (under a 50% drift in the normal operating point, no retraining)",
+        100.0 * correct_recent as f64 / seen_recent as f64
+    );
+}

@@ -1,0 +1,96 @@
+//! Multi-level health triage (extension): instead of a binary alarm,
+//! assign each disk a residual-life band — "act now", "schedule migration",
+//! "healthy" — the formulation the paper's related work (RNN/GBRT health
+//! assessment) argues is what operators actually need.
+//!
+//! ```sh
+//! cargo run --release --example health_triage
+//! ```
+
+use orfpred::eval::health::{HealthAssessor, HealthLevel};
+use orfpred::eval::split::DiskSplit;
+use orfpred::smart::attrs::table2_feature_columns;
+use orfpred::smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred::trees::ForestConfig;
+use orfpred::util::Xoshiro256pp;
+
+fn main() {
+    let mut fleet = FleetConfig::sta(ScalePreset::Tiny, 99);
+    fleet.n_good = 200;
+    fleet.n_failed = 45;
+    fleet.duration_days = 400;
+    println!("generating fleet ({} disks)…", fleet.n_disks());
+    let ds = FleetSim::collect(&fleet);
+
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let split = DiskSplit::stratified(&ds, 0.7, &mut rng);
+    let forest = ForestConfig {
+        n_trees: 20,
+        ..ForestConfig::default()
+    };
+    let assessor = HealthAssessor::fit(
+        &ds,
+        &split.is_train,
+        &table2_feature_columns(),
+        &forest,
+        &mut rng,
+    )
+    .expect("trainable fleet");
+
+    // Band accuracy on held-out failed-disk samples.
+    let report = assessor.evaluate(&ds, &split.is_train);
+    println!(
+        "\nheld-out failed-disk samples: {} | band accuracy {:.1}%",
+        report.n_samples,
+        report.acc_failed * 100.0
+    );
+    println!(
+        "recall by true band: critical {:.1}%, warning {:.1}%, healthy {:.1}%",
+        report.recall[0] * 100.0,
+        report.recall[1] * 100.0,
+        report.recall[2] * 100.0
+    );
+
+    // Operator view: triage every held-out disk by its latest snapshot.
+    let by_disk = ds.records_by_disk();
+    let mut counts = [0usize; 3];
+    let mut act_now: Vec<(u32, bool)> = Vec::new();
+    for &disk in &split.test {
+        let Some(&last) = by_disk[disk as usize].last() else {
+            continue;
+        };
+        let level = assessor.assess(&ds.records[last].features);
+        let idx = match level {
+            HealthLevel::Critical => 0,
+            HealthLevel::Warning => 1,
+            HealthLevel::Healthy => 2,
+        };
+        counts[idx] += 1;
+        if level == HealthLevel::Critical {
+            act_now.push((disk, ds.disks[disk as usize].failed));
+        }
+    }
+    println!(
+        "\ntriage of {} held-out disks' latest snapshots: {} critical / {} warning / {} healthy",
+        split.test.len(),
+        counts[0],
+        counts[1],
+        counts[2]
+    );
+    let true_pos = act_now.iter().filter(|(_, failed)| *failed).count();
+    println!(
+        "of the {} 'act now' disks, {} really were about to fail",
+        act_now.len(),
+        true_pos
+    );
+    for (disk, failed) in act_now.iter().take(10) {
+        println!(
+            "  disk S{disk:08} → migrate immediately ({})",
+            if *failed {
+                "correct: failed"
+            } else {
+                "false alarm"
+            }
+        );
+    }
+}

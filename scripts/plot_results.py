@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from the JSON artefacts in results/.
+
+Usage:
+    cargo run --release -p orfpred-repro -- all --scale small
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Requires matplotlib. Produces fig2.png … fig7.png mirroring the paper's
+Figures 2–7, plus roc.png when `repro roc` artefacts are present.
+"""
+
+import json
+import pathlib
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+RESULTS = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+OUT = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+OUT.mkdir(parents=True, exist_ok=True)
+
+STYLE = {
+    "ORF": dict(color="#d62728", marker="o"),
+    "Offline RF": dict(color="#1f77b4", marker="s"),
+    "DT": dict(color="#2ca02c", marker="^"),
+    "SVM": dict(color="#9467bd", marker="v"),
+    "No updating": dict(color="#1f77b4", marker="s"),
+    "1-month replacing": dict(color="#2ca02c", marker="^"),
+    "Accumulation": dict(color="#9467bd", marker="v"),
+}
+
+
+def load(name):
+    path = RESULTS / f"{name}.json"
+    if not path.exists():
+        print(f"  (skip: {path} not found)")
+        return None
+    return json.loads(path.read_text())
+
+
+def plot_monthly(name, title, ylabel="FDR (%)"):
+    data = load(name)
+    if data is None:
+        return
+    months = data["months"]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for key, label in [
+        ("orf_fdr", "ORF"),
+        ("rf_fdr", "Offline RF"),
+        ("dt_fdr", "DT"),
+        ("svm_fdr", "SVM"),
+    ]:
+        ys = data[key]
+        pts = [(m, y) for m, y in zip(months, ys) if y == y]  # drop NaN
+        if pts:
+            ax.plot(*zip(*pts), label=label, **STYLE[label])
+    ax.set_xlabel("Number Of Months")
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.grid(alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(OUT / f"{name}.png", dpi=150)
+    plt.close(fig)
+    print(f"  wrote {OUT / f'{name}.png'}")
+
+
+def plot_longterm(name, metric, title, fig_name):
+    data = load(name)
+    if data is None:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for key in ["no_update", "replacing", "accumulation", "orf"]:
+        series = data[key]
+        label = series["name"]
+        pts = [(m, y) for m, y in zip(series["months"], series[metric]) if y == y]
+        if pts:
+            ax.plot(*zip(*pts), label=label, **STYLE.get(label, {}))
+    ax.set_xlabel("Number Of Months")
+    ax.set_ylabel(f"{metric.upper()} (%)")
+    ax.set_title(title)
+    ax.grid(alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(OUT / f"{fig_name}.png", dpi=150)
+    plt.close(fig)
+    print(f"  wrote {OUT / f'{fig_name}.png'}")
+
+
+def plot_roc(name):
+    data = load(name)
+    if data is None:
+        return
+    fig, ax = plt.subplots(figsize=(5, 5))
+    for model in data:
+        pts = [(p["far"] * 100, p["fdr"] * 100) for p in model["points"]]
+        pts.append((100.0, 100.0))
+        ax.plot(*zip(*pts), label=f"{model['model']} (AUC {model['auc']:.3f})")
+    ax.set_xlabel("FAR (%)")
+    ax.set_ylabel("FDR (%)")
+    ax.set_xscale("symlog", linthresh=0.1)
+    ax.set_title(f"Per-disk ROC — {name.split('_')[-1]}")
+    ax.grid(alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(OUT / f"{name}.png", dpi=150)
+    plt.close(fig)
+    print(f"  wrote {OUT / f'{name}.png'}")
+
+
+print("monthly convergence (Figures 2–3):")
+plot_monthly("fig2", "Figure 2: ORF vs offline models on STA (FAR ≈ 1%)")
+plot_monthly("fig3", "Figure 3: ORF vs offline models on STB (FAR ≈ 1%)")
+
+print("long-term use (Figures 4–7):")
+plot_longterm("longterm_STA", "far", "Figure 4: FARs on STA", "fig4")
+plot_longterm("longterm_STB", "far", "Figure 5: FARs on STB", "fig5")
+plot_longterm("longterm_STA", "fdr", "Figure 6: FDRs on STA", "fig6")
+plot_longterm("longterm_STB", "fdr", "Figure 7: FDRs on STB", "fig7")
+
+print("ROC curves:")
+plot_roc("roc_STA")
+plot_roc("roc_STB")

@@ -1,0 +1,52 @@
+//! # orfpred — Disk Failure Prediction in Data Centers via Online Learning
+//!
+//! A faithful, from-scratch Rust reproduction of *Xiao, Xiong, Wu, Yi, Jin,
+//! Hu — "Disk Failure Prediction in Data Centers via Online Learning"*
+//! (ICPP 2018). The headline contribution is an **Online Random Forest
+//! (ORF)** that learns from SMART telemetry as it streams in, sidestepping
+//! the "model aging" problem that degrades offline-trained predictors.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`smart`] — SMART attribute schema, synthetic fleet simulator
+//!   (Backblaze-shaped), CSV I/O, labelling and feature selection,
+//! * [`trees`] — offline CART / best-first DT / Random Forest baselines,
+//! * [`svm`] — C-SVC SMO solver (LIBSVM-style baseline),
+//! * [`core`] — the ORF itself plus the automatic online labeller,
+//! * [`eval`] — FDR/FAR metrics, operating points, monthly & long-term
+//!   evaluation harnesses,
+//! * [`util`] — deterministic RNG streams, distributions, streaming stats.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use orfpred::core::{OrfConfig, OnlineRandomForest};
+//! use orfpred::util::Xoshiro256pp;
+//!
+//! // A tiny two-feature stream: class 1 iff x0 > 0.5.
+//! let cfg = OrfConfig {
+//!     n_trees: 10,
+//!     n_tests: 20,
+//!     min_parent_size: 20.0,
+//!     ..OrfConfig::default()
+//! };
+//! let mut forest = OnlineRandomForest::new(2, cfg, 42);
+//! let mut rng = Xoshiro256pp::seed_from_u64(7);
+//! for _ in 0..2000 {
+//!     let x0 = rng.next_f32();
+//!     let x1 = rng.next_f32();
+//!     let label = x0 > 0.5;
+//!     forest.update(&[x0, x1], label);
+//! }
+//! assert!(forest.score(&[0.9, 0.5]) > 0.5);
+//! assert!(forest.score(&[0.1, 0.5]) < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use orfpred_core as core;
+pub use orfpred_eval as eval;
+pub use orfpred_smart as smart;
+pub use orfpred_svm as svm;
+pub use orfpred_trees as trees;
+pub use orfpred_util as util;

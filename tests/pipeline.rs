@@ -1,0 +1,165 @@
+//! End-to-end offline pipeline: simulate a fleet, select features, train
+//! the offline baselines, and check the §4.3 metrics land in sane regions.
+
+use orfpred::eval::metrics::score_test_disks;
+use orfpred::eval::prep::{build_matrix, training_labels};
+use orfpred::eval::scorer::{DtScorer, RfScorer, ThresholdScorer};
+use orfpred::eval::split::DiskSplit;
+use orfpred::smart::attrs::table2_feature_columns;
+use orfpred::smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred::trees::threshold::ThresholdModel;
+use orfpred::trees::{CartConfig, DecisionTree, ForestConfig, RandomForest};
+use orfpred::util::Xoshiro256pp;
+
+fn fleet() -> orfpred::smart::record::Dataset {
+    let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 404);
+    cfg.n_good = 220;
+    cfg.n_failed = 45;
+    cfg.duration_days = 450;
+    FleetSim::collect(&cfg)
+}
+
+#[test]
+fn offline_rf_beats_dt_and_threshold_baseline() {
+    let ds = fleet();
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let split = DiskSplit::stratified(&ds, 0.7, &mut rng);
+    let labels = training_labels(&ds, &split.is_train, ds.duration_days, 7);
+    let tm = build_matrix(&ds, &labels, &table2_feature_columns(), Some(3.0), &mut rng)
+        .expect("trainable");
+
+    let rf = RandomForest::fit(&tm.x, &tm.y, &ForestConfig::default(), 42);
+    let rf_scored = score_test_disks(
+        &ds,
+        &split.test,
+        &RfScorer {
+            model: rf,
+            scaler: tm.scaler.clone(),
+        },
+        7,
+    );
+    // Generous FAR budget: the tiny test set only has ~66 good disks.
+    let rf_op = rf_scored.tune_for_far(0.06);
+    assert!(
+        rf_op.fdr > 0.75,
+        "RF should detect most failures: FDR {:.2} FAR {:.2}",
+        rf_op.fdr,
+        rf_op.far
+    );
+
+    let dt = DecisionTree::fit(
+        &tm.x,
+        &tm.y,
+        &CartConfig {
+            max_splits: Some(100),
+            ..CartConfig::default()
+        },
+        &mut rng,
+    );
+    let dt_scored = score_test_disks(
+        &ds,
+        &split.test,
+        &DtScorer {
+            model: dt,
+            scaler: tm.scaler.clone(),
+        },
+        7,
+    );
+    let dt_op = dt_scored.tune_for_far(0.06);
+    assert!(
+        rf_op.fdr >= dt_op.fdr - 0.15,
+        "RF {:.2} should not lose badly to DT {:.2}",
+        rf_op.fdr,
+        dt_op.fdr
+    );
+
+    // The vendor threshold baseline detects almost nothing (§2: 3-10%).
+    let thr_scored = score_test_disks(
+        &ds,
+        &split.test,
+        &ThresholdScorer {
+            model: ThresholdModel::conservative(),
+        },
+        7,
+    );
+    let thr_fdr = thr_scored.fdr(0.5);
+    assert!(
+        thr_fdr < rf_op.fdr / 2.0,
+        "threshold baseline ({thr_fdr:.2}) must trail the learned model ({:.2})",
+        rf_op.fdr
+    );
+}
+
+#[test]
+fn lambda_controls_the_fdr_far_tradeoff() {
+    // Table 3's mechanism at test scale: more negatives (larger λ) pushes
+    // FAR down at the default vote threshold.
+    let ds = fleet();
+    let mut far_by_lambda = Vec::new();
+    for lambda in [Some(1.0), None] {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let split = DiskSplit::stratified(&ds, 0.7, &mut rng);
+        let labels = training_labels(&ds, &split.is_train, ds.duration_days, 7);
+        let tm = build_matrix(&ds, &labels, &table2_feature_columns(), lambda, &mut rng)
+            .expect("trainable");
+        let rf = RandomForest::fit(&tm.x, &tm.y, &ForestConfig::default(), 9);
+        let scored = score_test_disks(
+            &ds,
+            &split.test,
+            &RfScorer {
+                model: rf,
+                scaler: tm.scaler,
+            },
+            7,
+        );
+        far_by_lambda.push(scored.far(0.5));
+    }
+    assert!(
+        far_by_lambda[0] >= far_by_lambda[1],
+        "λ=1 FAR {:.3} should be ≥ Max FAR {:.3}",
+        far_by_lambda[0],
+        far_by_lambda[1]
+    );
+}
+
+#[test]
+fn feature_selection_keeps_the_failure_indicators() {
+    use orfpred::smart::attrs::{feature_index, FeatureKind};
+    use orfpred::smart::label::LabelPolicy;
+    use orfpred::smart::select::select_features;
+
+    let ds = fleet();
+    let labels = LabelPolicy::default().label_dataset(&ds, ds.duration_days);
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for l in &labels {
+        let row = ds.records[l.record].features.as_slice();
+        if l.positive {
+            pos.push(row);
+        } else if rng.bernoulli(0.05) {
+            neg.push(row);
+        }
+    }
+    let candidates: Vec<usize> = (0..orfpred::smart::attrs::N_FEATURES).collect();
+    let report = select_features(&pos, &neg, &candidates, 0.01, 0.97);
+    // The headline indicators of Table 2 must survive the filter. The
+    // simulator's vendor-normalized values are deterministic transforms of
+    // the raws (|r| = 1), so redundancy elimination keeps exactly one
+    // member of each pair — accept either.
+    for id in [187u16, 197, 5] {
+        let raw = feature_index(id, FeatureKind::Raw).unwrap();
+        let norm = feature_index(id, FeatureKind::Normalized).unwrap();
+        assert!(
+            report.kept.contains(&raw) || report.kept.contains(&norm),
+            "smart_{id} must be selected in some form; kept = {:?}",
+            report.kept
+        );
+    }
+    // And a meaningful number of the 48 candidates must be dropped.
+    assert!(
+        report.kept.len() <= 40,
+        "selection should prune: kept {}",
+        report.kept.len()
+    );
+}

@@ -1,0 +1,76 @@
+//! The O(disks)-memory streaming evaluator must agree with the
+//! materialised pipeline: same split, same labelling semantics, same
+//! protocol — only the negative-downsampling draw differs (reservoir vs
+//! Bernoulli thinning), so headline metrics agree up to sampling noise.
+
+use orfpred::eval::metrics::score_test_disks;
+use orfpred::eval::prep::{build_matrix, training_labels};
+use orfpred::eval::scorer::RfScorer;
+use orfpred::eval::split::DiskSplit;
+use orfpred::eval::streaming::{run_streaming, StreamingConfig};
+use orfpred::smart::attrs::table2_feature_columns;
+use orfpred::smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred::trees::RandomForest;
+use orfpred::util::Xoshiro256pp;
+
+#[test]
+fn streaming_and_materialised_agree_on_the_headline_numbers() {
+    let mut fleet = FleetConfig::sta(ScalePreset::Tiny, 77);
+    fleet.n_good = 200;
+    fleet.n_failed = 45;
+    fleet.duration_days = 420;
+
+    let mut cfg = StreamingConfig::new(table2_feature_columns(), 5);
+    cfg.target_far = 0.05;
+    cfg.forest.n_trees = 15;
+    cfg.orf.n_trees = 15;
+    cfg.orf.n_tests = 100;
+    cfg.orf.min_parent_size = 50.0;
+    cfg.orf.warmup_age = 10;
+    let streamed = run_streaming(&fleet, &cfg);
+
+    // Materialised path with the same split RNG (both draw the stratified
+    // split as the first use of seed 5).
+    let ds = FleetSim::collect(&fleet);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let split = DiskSplit::stratified(&ds, 0.7, &mut rng);
+    let labels = training_labels(&ds, &split.is_train, ds.duration_days, 7);
+    let tm = build_matrix(&ds, &labels, &table2_feature_columns(), Some(3.0), &mut rng)
+        .expect("trainable");
+    let rf = RandomForest::fit(&tm.x, &tm.y, &cfg.forest, 9);
+    let scored = score_test_disks(
+        &ds,
+        &split.test,
+        &RfScorer {
+            model: rf,
+            scaler: tm.scaler,
+        },
+        7,
+    );
+    let op = scored.tune_for_far(cfg.target_far);
+
+    // Same disks under test.
+    assert_eq!(
+        streamed.n_test_failed + streamed.n_test_good,
+        scored.counts().0 + scored.counts().1,
+        "both paths must evaluate the same test population"
+    );
+    // Headline numbers within sampling noise of each other.
+    let d_fdr = (streamed.rf.fdr - op.fdr * 100.0).abs();
+    assert!(
+        d_fdr <= 20.0,
+        "RF FDR diverged: streaming {:.1} vs materialised {:.1}",
+        streamed.rf.fdr,
+        op.fdr * 100.0
+    );
+    let d_auc = (streamed.rf.auc - scored.auc()).abs();
+    assert!(
+        d_auc <= 0.1,
+        "RF AUC diverged: streaming {:.3} vs materialised {:.3}",
+        streamed.rf.auc,
+        scored.auc()
+    );
+    // Label accounting: streaming positives equal the materialised count.
+    let n_pos = labels.iter().filter(|l| l.positive).count();
+    assert_eq!(streamed.n_train_pos, n_pos, "positive sample accounting");
+}

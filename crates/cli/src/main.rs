@@ -8,6 +8,8 @@
 //! orfpred inspect  --csv fleet.csv
 //! orfpred drift    --csv fleet.csv [--top N]
 //! orfpred assess   --csv fleet.csv [--seed N]
+//! orfpred serve    [--shards N] [--listen ADDR] [--checkpoint PATH]
+//!                  [--threshold T] [--window W] [--seed N]
 //! ```
 //!
 //! * `simulate` writes a Backblaze-format CSV from the fleet simulator —
@@ -25,7 +27,10 @@
 //!   first and last month — the early warning that an offline model is
 //!   aging;
 //! * `assess` trains a multi-level health assessor and triages every disk's
-//!   latest snapshot into act-now / schedule / healthy bands.
+//!   latest snapshot into act-now / schedule / healthy bands;
+//! * `serve` runs the sharded online serving engine on stdin/stdout (and
+//!   optionally a TCP listener) — the same daemon as the `orfpredd`
+//!   binary; see `README.md` ("Serving") for the line protocol.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -119,6 +124,7 @@ fn main() -> ExitCode {
         "inspect" => inspect(&argv[1..]),
         "drift" => drift(&argv[1..]),
         "assess" => assess(&argv[1..]),
+        "serve" => serve(&argv[1..]),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
@@ -298,6 +304,40 @@ fn assess(argv: &[String]) -> Result<(), String> {
     for d in critical.iter().take(50) {
         println!("  S{d:08}  migrate immediately");
     }
+    Ok(())
+}
+
+fn serve(argv: &[String]) -> Result<(), String> {
+    use orfpred_core::OnlinePredictorConfig;
+    use orfpred_serve::{DaemonConfig, ServeConfig};
+
+    let args = Args::parse(argv, &[])?;
+    let mut predictor = OnlinePredictorConfig::new(
+        orfpred_smart::attrs::table2_feature_columns(),
+        args.parse_num("seed", 42u64)?,
+    );
+    predictor.alarm_threshold = args.parse_num("threshold", predictor.alarm_threshold)?;
+    predictor.window_days = args.parse_num("window", predictor.window_days)?;
+    predictor.orf.n_trees = args.parse_num("trees", predictor.orf.n_trees)?;
+    let mut serve = ServeConfig::new(predictor);
+    serve.n_shards = args.parse_num("shards", serve.n_shards)?;
+    serve.queue_capacity = args.parse_num("queue-capacity", serve.queue_capacity)?;
+    serve.snapshot_every = args.parse_num("snapshot-every", serve.snapshot_every)?;
+    if serve.n_shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let cfg = DaemonConfig {
+        serve,
+        listen: args.get("listen").map(str::to_string),
+        checkpoint_path: args.get("checkpoint").map(std::path::PathBuf::from),
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let finished = orfpred_serve::daemon::run(&cfg, stdin.lock(), stdout.lock())?;
+    eprintln!(
+        "serve: clean shutdown, {} alarms in stream",
+        finished.alarms.len()
+    );
     Ok(())
 }
 

@@ -1,8 +1,14 @@
 //! Self-contained on-disk model format: the scaler and forest bundled into
 //! one JSON document, so a model file scores raw Backblaze rows with no
 //! side-channel configuration.
+//!
+//! The `Online` variant is versioned and shares its JSON shape with the
+//! serving daemon's checkpoint format (`orfpred_serve::Checkpoint`): a
+//! daemon checkpoint loads here for offline scoring, and a trained model
+//! file boots a daemon. v1 files (scaler + forest only) predate the
+//! serving fields, which are therefore all optional.
 
-use orfpred_core::{OnlineRandomForest, OrfConfig};
+use orfpred_core::{OnlineLabeller, OnlineRandomForest, OrfConfig};
 use orfpred_eval::prep::{build_matrix, stream_orf, training_labels};
 use orfpred_smart::attrs::table2_feature_columns;
 use orfpred_smart::record::Dataset;
@@ -12,6 +18,8 @@ use orfpred_util::Xoshiro256pp;
 use serde::{Deserialize, Serialize};
 
 /// A trained model plus the preprocessing it expects.
+// One SavedModel exists per process; the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Serialize, Deserialize)]
 pub enum SavedModel {
     /// Offline Random Forest + offline scaler.
@@ -19,10 +27,22 @@ pub enum SavedModel {
         scaler: MinMaxScaler,
         forest: RandomForest,
     },
-    /// Online Random Forest + the streaming scaler state it ended with.
+    /// Online Random Forest + the streaming scaler state it ended with,
+    /// plus (v2, optional) the serving state needed to resume a daemon.
     Online {
         scaler: OnlineMinMax,
         forest: OnlineRandomForest,
+        /// Schema version; `None` on v1 files.
+        version: Option<u32>,
+        /// Per-disk labelling queues (Algorithm 2 state); `None` on v1
+        /// files and models trained offline from a finished CSV.
+        labeller: Option<OnlineLabeller>,
+        /// Alarm operating point the serving run used.
+        alarm_threshold: Option<f32>,
+        /// Alarms raised before the checkpoint.
+        alarms_raised: Option<u64>,
+        /// Next global sequence number of the serving stream.
+        next_seq: Option<u64>,
     },
 }
 
@@ -55,14 +75,22 @@ impl SavedModel {
             &OrfConfig::default(),
             seed,
         );
-        Ok(SavedModel::Online { scaler, forest })
+        Ok(SavedModel::Online {
+            scaler,
+            forest,
+            version: Some(orfpred_serve::CHECKPOINT_VERSION),
+            labeller: None,
+            alarm_threshold: None,
+            alarms_raised: None,
+            next_seq: None,
+        })
     }
 
     /// Risk score of a raw 48-column snapshot.
     pub fn score(&self, features: &[f32]) -> f32 {
         match self {
             SavedModel::Offline { scaler, forest } => forest.score(&scaler.transform(features)),
-            SavedModel::Online { scaler, forest } => forest.score(&scaler.transform(features)),
+            SavedModel::Online { scaler, forest, .. } => forest.score(&scaler.transform(features)),
         }
     }
 
@@ -125,6 +153,69 @@ mod tests {
             let s = model.score(&rec.features);
             assert!((0.0..=1.0).contains(&s));
         }
+    }
+
+    #[test]
+    fn v1_online_model_files_still_load() {
+        let ds = dataset();
+        let model = SavedModel::train_online(&ds, 2).unwrap();
+        let SavedModel::Online { scaler, forest, .. } = model else {
+            panic!("train_online yields Online");
+        };
+        // A v1 file as written before the serving fields existed.
+        let v1 = format!(
+            "{{\"Online\":{{\"scaler\":{},\"forest\":{}}}}}",
+            serde_json::to_string(&scaler).unwrap(),
+            serde_json::to_string(&forest).unwrap()
+        );
+        let dir = std::env::temp_dir().join("orfpred_cli_test_v1.json");
+        std::fs::write(&dir, &v1).unwrap();
+        let loaded = SavedModel::load(dir.to_str().unwrap()).unwrap();
+        let SavedModel::Online {
+            version,
+            labeller,
+            alarm_threshold,
+            alarms_raised,
+            next_seq,
+            scaler: s2,
+            forest: f2,
+        } = loaded
+        else {
+            panic!("v1 file is an Online model");
+        };
+        assert_eq!(version, None);
+        assert!(labeller.is_none() && alarm_threshold.is_none());
+        assert!(alarms_raised.is_none() && next_seq.is_none());
+        assert_eq!(
+            serde_json::to_string(&s2).unwrap(),
+            serde_json::to_string(&scaler).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&f2).unwrap(),
+            serde_json::to_string(&forest).unwrap()
+        );
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn model_files_and_serve_checkpoints_are_interchangeable() {
+        let ds = dataset();
+        let model = SavedModel::train_online(&ds, 2).unwrap();
+        let dir = std::env::temp_dir().join("orfpred_cli_test_interop.json");
+        let path = dir.to_str().unwrap();
+        model.save(path).unwrap();
+
+        // A trained model file loads as a daemon checkpoint…
+        let ck = orfpred_serve::Checkpoint::load(&dir).unwrap();
+        ck.save_atomic(&dir).unwrap();
+        // …and the daemon's atomically-written checkpoint loads back as a
+        // SavedModel that scores identically.
+        let back = SavedModel::load(path).unwrap();
+        assert_eq!(back.kind(), "online random forest");
+        for rec in ds.records.iter().take(50) {
+            assert_eq!(model.score(&rec.features), back.score(&rec.features));
+        }
+        std::fs::remove_file(&dir).ok();
     }
 
     #[test]

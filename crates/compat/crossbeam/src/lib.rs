@@ -1,0 +1,49 @@
+//! Offline stand-in for `crossbeam`: the `channel` module this workspace
+//! uses, implemented over `std::sync::mpsc`.
+//!
+//! `bounded(cap)` maps to `sync_channel(cap)`, so senders block when the
+//! queue is full — the backpressure semantics the serving engine relies on.
+
+/// Multi-producer channels with blocking bounded variants.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sender half of a bounded channel (blocks on full queue).
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+
+    /// Create an unbounded channel (non-blocking sends). The sender type
+    /// differs from [`Sender`], as in real crossbeam code that mixes both.
+    pub fn unbounded<T>() -> (std::sync::mpsc::Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_round_trip() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.try_send(3).is_err(), "capacity 2 must reject a third");
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn unbounded_channel_round_trip() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().sum::<i32>(), 4950);
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for `rayon`: the API surface this workspace uses,
+//! executed sequentially on the calling thread.
+//!
+//! The workspace's parallel sections are all data-parallel map/for-each
+//! loops whose results are order-independent or re-collected in order, so
+//! sequential execution is observably identical (and deterministic).
+
+/// `use rayon::prelude::*;` — the adapter traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator, ParallelSlice};
+}
+
+/// "Parallel" conversion: hands back the ordinary sequential iterator.
+pub trait IntoParallelIterator {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Convert into the (sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutable-reference flavour (`collection.par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Iterate over mutable references, sequentially.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+/// Slice adapters (`slice.par_iter()` / `slice.par_iter_mut()`).
+pub trait ParallelSlice<T> {
+    /// Iterate over shared references, sequentially.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+impl<T> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+/// Builder for a [`ThreadPool`]; thread-count hints are accepted and ignored.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepted for API compatibility; execution stays sequential.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    /// Build the (no-op) pool. Never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {})
+    }
+}
+
+/// A no-op pool: `install` simply runs the closure on the current thread.
+pub struct ThreadPool {}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool (i.e. right here).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in the offline stand-in)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(v.par_iter().sum::<i32>(), 10);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -132,6 +132,34 @@ impl OnlineLabeller {
     pub fn window(&self) -> usize {
         self.window
     }
+
+    /// Merge another labeller's queues into this one.
+    ///
+    /// Used by the serving engine to reassemble one global labeller from
+    /// per-shard partitions at checkpoint time. The two labellers must have
+    /// the same window and must track disjoint disk sets (each disk lives on
+    /// exactly one shard), which `absorb` asserts.
+    pub fn absorb(&mut self, other: OnlineLabeller) {
+        assert_eq!(self.window, other.window, "labeller windows must agree");
+        for (disk_id, queue) in other.queues {
+            let prev = self.queues.insert(disk_id, queue);
+            assert!(prev.is_none(), "disk {disk_id} queued on two labellers");
+        }
+    }
+
+    /// Split into `n` labellers, routing each disk's queue with `route`
+    /// (which must return a shard index `< n`).
+    ///
+    /// The inverse of [`OnlineLabeller::absorb`]: a restored checkpoint's
+    /// global labeller is re-partitioned across the serving shards, which may
+    /// be a different count than when the checkpoint was taken.
+    pub fn split_by(self, n: usize, route: impl Fn(u32) -> usize) -> Vec<OnlineLabeller> {
+        let mut parts: Vec<OnlineLabeller> = (0..n).map(|_| Self::new(self.window)).collect();
+        for (disk_id, queue) in self.queues {
+            parts[route(disk_id)].queues.insert(disk_id, queue);
+        }
+        parts
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +273,48 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_is_rejected() {
         OnlineLabeller::new(0);
+    }
+
+    #[test]
+    fn split_then_absorb_round_trips() {
+        let mut l = OnlineLabeller::new(3);
+        for disk in 0..10u32 {
+            for day in 0..(disk as u16 % 4) {
+                l.observe_sample(disk, day, &feat(f32::from(day)));
+            }
+        }
+        let pending = l.n_pending();
+        let n_disks = l.n_disks();
+        let parts = l.split_by(4, |d| (d as usize) % 4);
+        assert_eq!(
+            parts.iter().map(OnlineLabeller::n_pending).sum::<usize>(),
+            pending
+        );
+        let mut merged = OnlineLabeller::new(3);
+        for p in parts {
+            merged.absorb(p);
+        }
+        assert_eq!(merged.n_pending(), pending);
+        assert_eq!(merged.n_disks(), n_disks);
+        // Behaviour equivalence: the merged labeller releases the same
+        // sample a never-split one with disk 3's history (days 0..3) would.
+        let mut fresh = OnlineLabeller::new(3);
+        for day in 0..3u16 {
+            fresh.observe_sample(3, day, &feat(f32::from(day)));
+        }
+        assert_eq!(
+            merged.observe_sample(3, 9, &feat(9.0)),
+            fresh.observe_sample(3, 9, &feat(9.0)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two labellers")]
+    fn absorb_rejects_overlapping_disks() {
+        let mut a = OnlineLabeller::new(2);
+        a.observe_sample(1, 0, &feat(0.0));
+        let mut b = OnlineLabeller::new(2);
+        b.observe_sample(1, 0, &feat(1.0));
+        a.absorb(b);
     }
 }

@@ -1,0 +1,157 @@
+//! `orfpredd` — the ORF serving daemon.
+//!
+//! Reads line-delimited JSON protocol events from stdin, writes alarms and
+//! replies to stdout, optionally serves the same protocol on a TCP port,
+//! and checkpoints atomically. See the crate docs and `README.md`
+//! ("Serving") for the protocol.
+//!
+//! ```text
+//! orfpredd [--shards N] [--listen ADDR] [--checkpoint PATH]
+//!          [--threshold T] [--window W] [--seed S] [--trees K]
+//!          [--queue-capacity Q] [--snapshot-every M]
+//! ```
+
+use orfpred_core::OnlinePredictorConfig;
+use orfpred_serve::{daemon, DaemonConfig, ServeConfig};
+use orfpred_smart::attrs::table2_feature_columns;
+use std::io::Write;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+orfpredd — sharded online disk-failure-prediction daemon
+
+USAGE:
+    orfpredd [OPTIONS]
+
+OPTIONS:
+    --shards N           labelling shard threads (default 4)
+    --listen ADDR        also serve the protocol on this TCP address
+    --checkpoint PATH    restore from PATH if it exists; checkpoint to it
+                         on shutdown and on path-less checkpoint requests
+    --threshold T        alarm threshold (default 0.5)
+    --window W           labelling window W in days (default 7)
+    --seed S             forest RNG seed (default 42)
+    --trees K            number of trees (default from OrfConfig)
+    --queue-capacity Q   per-shard bounded queue capacity (default 1024)
+    --snapshot-every M   publish a scoring snapshot every M samples
+                         (default 256)
+    -h, --help           print this help
+";
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value"))
+}
+
+fn build_config(mut argv: impl Iterator<Item = String>) -> Result<DaemonConfig, String> {
+    let mut predictor = OnlinePredictorConfig::new(table2_feature_columns(), 42);
+    let mut serve = ServeConfig::new(predictor.clone());
+    let mut listen = None;
+    let mut checkpoint_path = None;
+
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--shards" => serve.n_shards = parse("--shards", argv.next())?,
+            "--listen" => listen = Some(argv.next().ok_or("--listen needs a value")?),
+            "--checkpoint" => {
+                checkpoint_path = Some(PathBuf::from(
+                    argv.next().ok_or("--checkpoint needs a value")?,
+                ));
+            }
+            "--threshold" => predictor.alarm_threshold = parse("--threshold", argv.next())?,
+            "--window" => predictor.window_days = parse("--window", argv.next())?,
+            "--seed" => predictor.seed = parse("--seed", argv.next())?,
+            "--trees" => predictor.orf.n_trees = parse("--trees", argv.next())?,
+            "--queue-capacity" => {
+                serve.queue_capacity = parse("--queue-capacity", argv.next())?;
+            }
+            "--snapshot-every" => {
+                serve.snapshot_every = parse("--snapshot-every", argv.next())?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    if serve.n_shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    serve.predictor = predictor;
+    Ok(DaemonConfig {
+        serve,
+        listen,
+        checkpoint_path,
+    })
+}
+
+fn main() {
+    let cfg = match build_config(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("orfpredd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match daemon::run(&cfg, stdin.lock(), stdout.lock()) {
+        Ok(finished) => {
+            let stats = format!(
+                "orfpredd: clean shutdown, {} alarms in stream",
+                finished.alarms.len()
+            );
+            let _ = writeln!(std::io::stderr(), "{stats}");
+        }
+        Err(e) => {
+            eprintln!("orfpredd: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn defaults_and_overrides_parse() {
+        let cfg = build_config(args(&[])).unwrap();
+        assert_eq!(cfg.serve.n_shards, 4);
+        assert!(cfg.listen.is_none());
+
+        let cfg = build_config(args(&[
+            "--shards",
+            "8",
+            "--threshold",
+            "0.7",
+            "--checkpoint",
+            "/tmp/ck.json",
+            "--listen",
+            "127.0.0.1:7077",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.serve.n_shards, 8);
+        assert_eq!(cfg.serve.predictor.alarm_threshold, 0.7);
+        assert_eq!(cfg.listen.as_deref(), Some("127.0.0.1:7077"));
+        assert!(cfg.checkpoint_path.is_some());
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(build_config(args(&["--shards"])).is_err());
+        assert!(build_config(args(&["--shards", "zero"])).is_err());
+        assert!(build_config(args(&["--shards", "0"])).is_err());
+        assert!(build_config(args(&["--frobnicate"])).is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! The `orfpredd` daemon loop: line-delimited JSON over stdin/stdout plus
+//! an optional TCP listener serving the same protocol.
+//!
+//! * stdin (or whatever `BufRead` is passed in) carries the primary event
+//!   stream; alarms and replies are written to the paired output, one JSON
+//!   object per line;
+//! * TCP connections each get the full protocol too — typically used for
+//!   ad-hoc `score` / `stats` probes against a daemon that is busy
+//!   ingesting; alarms triggered by TCP-ingested samples still flow to the
+//!   primary output;
+//! * `sample` / `failure` events are not acknowledged individually (the
+//!   stream is high-rate; backpressure is exerted by blocking reads);
+//! * on `shutdown` or end-of-input the engine drains, remaining alarms are
+//!   flushed, and — when a default checkpoint path is configured — the
+//!   final state is checkpointed atomically.
+
+use crate::checkpoint::Checkpoint;
+use crate::engine::{Engine, Finished, ServeConfig};
+use crate::protocol::{features_48, Request, Response};
+use orfpred_smart::gen::FleetEvent;
+use orfpred_smart::record::DiskDay;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Daemon configuration: the engine plus its I/O endpoints.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Engine configuration.
+    pub serve: ServeConfig,
+    /// Optional TCP listen address (e.g. `127.0.0.1:7077`).
+    pub listen: Option<String>,
+    /// Default checkpoint file: restored from at startup when it exists,
+    /// written at shutdown and by path-less `checkpoint` requests.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+/// Build the engine, restoring from the configured checkpoint if present.
+fn start_engine(cfg: &DaemonConfig) -> Result<Engine, String> {
+    match &cfg.checkpoint_path {
+        Some(path) if path.exists() => {
+            let ck = Checkpoint::load(path)?;
+            Ok(Engine::restore(&cfg.serve, ck))
+        }
+        _ => Ok(Engine::new(&cfg.serve)),
+    }
+}
+
+/// Serve one request against the engine. Returns the direct replies
+/// (alarms are drained separately by the caller that owns the output).
+fn handle(engine: &Engine, req: Request, default_ckpt: Option<&PathBuf>) -> Vec<Response> {
+    match req {
+        Request::Sample {
+            disk_id,
+            day,
+            features,
+        } => {
+            let rec = DiskDay {
+                disk_id,
+                day,
+                features: features_48(&features),
+            };
+            match engine.ingest(FleetEvent::Sample(rec)) {
+                Ok(()) => Vec::new(),
+                Err(e) => vec![Response::Error {
+                    message: e.to_string(),
+                }],
+            }
+        }
+        Request::Failure { disk_id, day } => {
+            match engine.ingest(FleetEvent::Failure { disk_id, day }) {
+                Ok(()) => Vec::new(),
+                Err(e) => vec![Response::Error {
+                    message: e.to_string(),
+                }],
+            }
+        }
+        Request::Score { features } => vec![Response::Score {
+            score: engine.score(&features_48(&features)),
+        }],
+        Request::Stats => vec![Response::Stats(engine.stats())],
+        Request::Checkpoint { path } => {
+            let target = path.map(PathBuf::from).or_else(|| default_ckpt.cloned());
+            match target {
+                None => vec![Response::Error {
+                    message: "no checkpoint path given and no default configured".into(),
+                }],
+                Some(p) => match engine.checkpoint(&p) {
+                    Ok(()) => vec![Response::Ok {
+                        what: format!("checkpoint {}", p.display()),
+                    }],
+                    Err(e) => vec![Response::Error { message: e }],
+                },
+            }
+        }
+        Request::Shutdown => vec![Response::Ok {
+            what: "shutdown".into(),
+        }],
+    }
+}
+
+fn write_responses(out: &mut impl Write, responses: &[Response]) -> Result<(), String> {
+    for r in responses {
+        writeln!(out, "{}", r.to_line()).map_err(|e| format!("write output: {e}"))?;
+    }
+    Ok(())
+}
+
+fn drain_alarms(engine: &Engine, out: &mut impl Write) -> Result<(), String> {
+    for alarm in engine.take_alarms() {
+        writeln!(out, "{}", Response::Alarm(alarm).to_line())
+            .map_err(|e| format!("write output: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Run the daemon until `shutdown` or end of input. Returns the finished
+/// engine state (alarms in stream order plus the final checkpoint).
+pub fn run(
+    cfg: &DaemonConfig,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<Finished, String> {
+    let engine = Arc::new(start_engine(cfg)?);
+
+    if let Some(addr) = &cfg.listen {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let engine = Arc::clone(&engine);
+        let default_ckpt = cfg.checkpoint_path.clone();
+        std::thread::Builder::new()
+            .name("orfpredd-accept".into())
+            .spawn(move || accept_loop(&listener, &engine, default_ckpt.as_ref()))
+            .map_err(|e| format!("spawn acceptor: {e}"))?;
+    }
+
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read input: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut shutdown = false;
+        let responses = match Request::parse(&line) {
+            Ok(req) => {
+                shutdown = matches!(req, Request::Shutdown);
+                handle(&engine, req, cfg.checkpoint_path.as_ref())
+            }
+            Err(message) => vec![Response::Error { message }],
+        };
+        drain_alarms(&engine, &mut output)?;
+        write_responses(&mut output, &responses)?;
+        output.flush().map_err(|e| format!("flush output: {e}"))?;
+        if shutdown {
+            break;
+        }
+    }
+
+    engine.flush();
+    drain_alarms(&engine, &mut output)?;
+    output.flush().map_err(|e| format!("flush output: {e}"))?;
+    let finished = engine.finish().map_err(|e| format!("shutdown: {e}"))?;
+    if let Some(path) = &cfg.checkpoint_path {
+        finished.checkpoint.save_atomic(path)?;
+    }
+    Ok(finished)
+}
+
+/// Accept TCP connections and serve each on its own thread. Connection
+/// threads outlive `run` only until their peer hangs up; after engine
+/// shutdown their requests fail with protocol errors.
+fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, default_ckpt: Option<&PathBuf>) {
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { return };
+        let engine = Arc::clone(engine);
+        let default_ckpt = default_ckpt.cloned();
+        let _ = std::thread::Builder::new()
+            .name("orfpredd-conn".into())
+            .spawn(move || {
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let mut writer = stream;
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let responses = match Request::parse(&line) {
+                        Ok(Request::Shutdown) => vec![Response::Error {
+                            message: "shutdown is only accepted on the primary input".into(),
+                        }],
+                        Ok(req) => handle(&engine, req, default_ckpt.as_ref()),
+                        Err(message) => vec![Response::Error { message }],
+                    };
+                    if write_responses(&mut writer, &responses).is_err() || writer.flush().is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_core::OnlinePredictorConfig;
+    use std::io::Cursor;
+
+    fn daemon_cfg() -> DaemonConfig {
+        let mut p = OnlinePredictorConfig::new(vec![0, 1], 5);
+        p.orf.n_trees = 3;
+        p.orf.warmup_age = 0;
+        p.orf.min_parent_size = 10.0;
+        p.orf.lambda_neg = 0.5;
+        let mut serve = ServeConfig::new(p);
+        serve.n_shards = 2;
+        DaemonConfig {
+            serve,
+            listen: None,
+            checkpoint_path: None,
+        }
+    }
+
+    fn run_script(cfg: &DaemonConfig, script: &str) -> (Finished, Vec<String>) {
+        let mut out = Vec::new();
+        let fin = run(cfg, Cursor::new(script.to_string()), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (fin, text.lines().map(str::to_string).collect())
+    }
+
+    #[test]
+    fn script_drives_the_full_protocol() {
+        let dir = std::env::temp_dir().join("orfpred_daemon_test_ckpt.json");
+        let mut script = String::new();
+        for day in 0..20 {
+            script.push_str(&format!(
+                "{{\"type\":\"sample\",\"disk_id\":1,\"day\":{day},\"features\":[{day},1.0]}}\n"
+            ));
+        }
+        script.push_str("{\"type\":\"failure\",\"disk_id\":1,\"day\":20}\n");
+        script.push_str("{\"type\":\"score\",\"features\":[5.0,1.0]}\n");
+        script.push_str("{\"type\":\"stats\"}\n");
+        script.push_str(&format!(
+            "{{\"type\":\"checkpoint\",\"path\":\"{}\"}}\n",
+            dir.display()
+        ));
+        script.push_str("{\"type\":\"shutdown\"}\n");
+
+        let (fin, lines) = run_script(&daemon_cfg(), &script);
+        assert!(lines.iter().any(|l| l.contains("\"type\":\"score\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"stats\"") && l.contains("\"samples_ingested\":20")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"ok\"") && l.contains("checkpoint")));
+        assert!(lines
+            .last()
+            .is_some_and(|l| l.contains("\"what\":\"shutdown\"")));
+        assert!(dir.exists(), "checkpoint file written");
+        let Checkpoint::Online { labeller, .. } = Checkpoint::load(&dir).unwrap();
+        assert_eq!(
+            labeller.unwrap().n_pending(),
+            0,
+            "failure flushed the queue before the checkpoint"
+        );
+        let Checkpoint::Online { forest, .. } = fin.checkpoint;
+        assert!(forest.samples_seen() > 0);
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_do_not_kill_the_daemon() {
+        let script = "garbage\n{\"type\":\"nope\"}\n{\"type\":\"stats\"}\n";
+        let (_fin, lines) = run_script(&daemon_cfg(), script);
+        let errors = lines
+            .iter()
+            .filter(|l| l.contains("\"type\":\"error\""))
+            .count();
+        assert_eq!(errors, 2);
+        assert!(lines.iter().any(|l| l.contains("\"type\":\"stats\"")));
+    }
+
+    #[test]
+    fn restart_from_default_checkpoint_resumes() {
+        let path = std::env::temp_dir().join("orfpred_daemon_restart_test.json");
+        std::fs::remove_file(&path).ok();
+        let mut cfg = daemon_cfg();
+        cfg.checkpoint_path = Some(path.clone());
+
+        let mut first = String::new();
+        for day in 0..10 {
+            first.push_str(&format!(
+                "{{\"type\":\"sample\",\"disk_id\":2,\"day\":{day},\"features\":[1.0,{day}]}}\n"
+            ));
+        }
+        let (_f, _) = run_script(&cfg, &first); // EOF shutdown writes the default checkpoint
+        assert!(path.exists());
+
+        // Second run restores: the disk's queue still holds the last 7 days.
+        let (fin, _) = run_script(&cfg, "{\"type\":\"stats\"}\n{\"type\":\"shutdown\"}\n");
+        let Checkpoint::Online {
+            labeller, next_seq, ..
+        } = fin.checkpoint;
+        assert_eq!(labeller.unwrap().n_pending(), 7);
+        assert!(next_seq.unwrap() > 10, "sequence numbers continued");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tcp_probes_answer_score_and_stats() {
+        use std::io::{BufRead as _, Write as _};
+        let mut cfg = daemon_cfg();
+        cfg.listen = Some("127.0.0.1:0".into());
+        // Bind ourselves to learn a free port, then hand the address over.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        cfg.listen = Some(addr.clone());
+
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel(1);
+        let (input_tx, input_rx) = std::sync::mpsc::sync_channel::<String>(16);
+        let handle = std::thread::spawn(move || {
+            // A reader that blocks on a channel, so the daemon stays alive
+            // until the test sends shutdown.
+            struct ChanRead(std::sync::mpsc::Receiver<String>, Vec<u8>);
+            impl std::io::Read for ChanRead {
+                fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                    while self.1.is_empty() {
+                        match self.0.recv() {
+                            Ok(s) => self.1.extend_from_slice(s.as_bytes()),
+                            Err(_) => return Ok(0),
+                        }
+                    }
+                    let n = buf.len().min(self.1.len());
+                    buf[..n].copy_from_slice(&self.1[..n]);
+                    self.1.drain(..n);
+                    std::io::Result::Ok(n)
+                }
+            }
+            let r = run(
+                &cfg,
+                BufReader::new(ChanRead(input_rx, Vec::new())),
+                Vec::new(),
+            );
+            done_tx.send(r.is_ok()).ok();
+        });
+
+        // Wait for the listener, then probe over TCP.
+        let mut conn = None;
+        for _ in 0..100 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(c) => {
+                    conn = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut conn = conn.expect("daemon listener came up");
+        writeln!(conn, "{{\"type\":\"score\",\"features\":[0.0,0.0]}}").unwrap();
+        writeln!(conn, "{{\"type\":\"stats\"}}").unwrap();
+        writeln!(conn, "{{\"type\":\"shutdown\"}}").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"type\":\"score\""), "got: {line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"type\":\"stats\""), "got: {line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("primary input"),
+            "TCP shutdown must be refused: {line}"
+        );
+        drop(reader);
+
+        input_tx.send("{\"type\":\"shutdown\"}\n".into()).unwrap();
+        drop(input_tx);
+        assert!(done_rx.recv().unwrap(), "daemon exited cleanly");
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,890 @@
+//! The sharded serving engine.
+//!
+//! ```text
+//!                      ┌────────── shard 0 (labeller part) ──────┐
+//!  ingest ── seq ──┬──▶│ queue │ Algorithm 2 labelling           │──┐
+//!  (stamps global  │   └─────────────────────────────────────────┘  │   ┌─────────────┐
+//!   sequence nums) │   ┌────────── shard 1 ──────────────────────┐  ├──▶│ model writer│──▶ alarms
+//!                  ├──▶│   ...                                   │──┤   │ (reorders by│──▶ checkpoints
+//!                  │   └─────────────────────────────────────────┘  │   │  seq; owns  │──▶ snapshot ─▶ score/stats
+//!                  └──▶ ...                                         │   │  ORF+scaler)│
+//!                                                                   └──▶└─────────────┘
+//! ```
+//!
+//! Disks are partitioned over shards by a hash of `disk_id`; each shard
+//! owns its slice of the per-disk labelling queues (Algorithm 2 state) and
+//! turns raw events into labelled training samples. Labelled events flow
+//! over bounded channels into the single **model writer**, which owns the
+//! ORF and the streaming scaler.
+//!
+//! # Determinism
+//!
+//! The ingest path stamps every event with a global, contiguous sequence
+//! number, and the writer applies events in exactly that order (a small
+//! reorder buffer absorbs cross-shard skew; its size is bounded by the
+//! channel capacities, which also provide backpressure). Because labelling
+//! is a pure per-disk function and per-disk order is preserved (a disk maps
+//! to one shard; channels are FIFO), the writer sees, for every event, the
+//! same released training samples a single-threaded [`OnlinePredictor`]
+//! replay would produce — and applies scaler updates, forest updates, and
+//! scoring in the identical order. The alarm stream is therefore identical
+//! for **any** shard count.
+//!
+//! # Checkpoints
+//!
+//! A checkpoint request takes one sequence number and is broadcast to all
+//! shards; each shard forwards its labelling-queue snapshot at that point
+//! in its stream. When the writer has applied everything before the
+//! checkpoint's sequence number and holds all shard snapshots, the merged
+//! state is written atomically. A restored engine resumes byte-identically:
+//! feeding the same remaining events yields the same alarms and the same
+//! final checkpoint bytes.
+//!
+//! [`OnlinePredictor`]: orfpred_core::OnlinePredictor
+
+use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+use crate::stats::{ServeStats, StatsReport};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use orfpred_core::{
+    Alarm, OnlineLabeller, OnlinePredictorConfig, OnlineRandomForest, ReleasedSample,
+};
+use orfpred_smart::gen::FleetEvent;
+use orfpred_smart::record::DiskDay;
+use orfpred_smart::scale::OnlineMinMax;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BinaryHeap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Route a disk to its shard. Stable across restarts (and used to
+/// re-partition restored labelling queues), uniform via splitmix64.
+pub fn shard_of(disk_id: u32, n_shards: usize) -> usize {
+    let mut s = u64::from(disk_id) ^ 0x6f72_6670_7265_6421;
+    (orfpred_util::rng::splitmix64(&mut s) % n_shards as u64) as usize
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The Algorithm 2 pipeline to run (hyper-parameters, window, alarm
+    /// threshold, feature columns, seed).
+    pub predictor: OnlinePredictorConfig,
+    /// Number of labelling shards (threads). Alarms are identical for any
+    /// value; more shards increase ingest throughput.
+    pub n_shards: usize,
+    /// Bounded capacity of each shard's input queue; a full queue blocks
+    /// `ingest` (backpressure).
+    pub queue_capacity: usize,
+    /// Publish a fresh scoring snapshot every this many applied samples.
+    pub snapshot_every: u64,
+}
+
+impl ServeConfig {
+    /// Defaults: 4 shards, 1024-event queues, snapshot every 256 samples.
+    pub fn new(predictor: OnlinePredictorConfig) -> Self {
+        Self {
+            predictor,
+            n_shards: 4,
+            queue_capacity: 1024,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// Immutable published model state; scoring reads never contend with the
+/// writer (they clone an `Arc` out of the slot and work on frozen state).
+pub struct ModelSnapshot {
+    /// Streaming scaler state at publication time.
+    pub scaler: OnlineMinMax,
+    /// Forest state at publication time.
+    pub forest: OnlineRandomForest,
+    /// Alarm operating point.
+    pub alarm_threshold: f32,
+}
+
+impl ModelSnapshot {
+    /// Score a raw 48-column snapshot against this frozen model.
+    pub fn score(&self, features: &[f32]) -> f32 {
+        let mut scaled = vec![0.0f32; self.scaler.n_outputs()];
+        self.scaler.transform_into(features, &mut scaled);
+        self.forest.score(&scaled)
+    }
+}
+
+/// Why an engine call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine has been shut down (or its writer died).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShuttingDown => f.write_str("serving engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Everything a finished engine hands back.
+pub struct Finished {
+    /// Every alarm raised over the engine's lifetime (in stream order).
+    pub alarms: Vec<Alarm>,
+    /// Final state, identical to what a checkpoint at shutdown would hold.
+    pub checkpoint: Checkpoint,
+}
+
+/// Ingest-side message to a shard. The event is boxed so barrier messages
+/// don't pay for the 48-feature sample payload in the channel.
+enum ShardMsg {
+    /// One stream event, stamped with its global sequence number.
+    Event(u64, Box<FleetEvent>),
+    /// Checkpoint barrier: forward a labeller snapshot to the writer.
+    Checkpoint(u64),
+    /// Final barrier: hand the labeller to the writer and exit.
+    Shutdown(u64),
+}
+
+/// Shard-side message to the model writer.
+enum WriterMsg {
+    Sample {
+        seq: u64,
+        rec: Box<DiskDay>,
+        released: Option<ReleasedSample>,
+    },
+    Failure {
+        seq: u64,
+        flushed: Vec<ReleasedSample>,
+    },
+    Marker {
+        seq: u64,
+        labeller: OnlineLabeller,
+        shutdown: bool,
+    },
+}
+
+impl WriterMsg {
+    fn seq(&self) -> u64 {
+        match self {
+            WriterMsg::Sample { seq, .. }
+            | WriterMsg::Failure { seq, .. }
+            | WriterMsg::Marker { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Min-heap adapter: BinaryHeap is a max-heap, so order by reversed seq.
+struct BySeq(WriterMsg);
+
+impl PartialEq for BySeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq() == other.0.seq()
+    }
+}
+impl Eq for BySeq {}
+impl PartialOrd for BySeq {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BySeq {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.seq().cmp(&self.0.seq())
+    }
+}
+
+/// A pending `checkpoint` call: target path plus the caller's wakeup.
+struct CheckpointRequest {
+    path: PathBuf,
+    done: std::sync::mpsc::SyncSender<Result<(), String>>,
+}
+
+/// Mutable ingest-side state, serialized by one mutex so sequence stamping
+/// and channel sends stay atomic (per-disk FIFO order is what the
+/// determinism argument rests on).
+struct IngestState {
+    next_seq: u64,
+    txs: Option<Vec<Sender<ShardMsg>>>,
+}
+
+/// The sharded serving engine. All methods take `&self`; the engine is
+/// meant to be shared (e.g. in an `Arc`) between an ingest loop and any
+/// number of scoring/stats readers.
+pub struct Engine {
+    ingest: Mutex<IngestState>,
+    stats: Arc<ServeStats>,
+    snapshot: Arc<RwLock<Arc<ModelSnapshot>>>,
+    fresh_alarms: Arc<Mutex<Vec<Alarm>>>,
+    checkpoints: Arc<Mutex<VecDeque<CheckpointRequest>>>,
+    shard_handles: Mutex<Vec<JoinHandle<()>>>,
+    writer_handle: Mutex<Option<JoinHandle<WriterFinal>>>,
+    n_shards: usize,
+}
+
+/// State the writer thread returns at shutdown.
+struct WriterFinal {
+    scaler: OnlineMinMax,
+    forest: OnlineRandomForest,
+    labeller: OnlineLabeller,
+    alarm_threshold: f32,
+    alarms: Vec<Alarm>,
+    alarms_raised: u64,
+    next_seq: u64,
+}
+
+impl Engine {
+    /// Start a fresh engine.
+    pub fn new(cfg: &ServeConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Start an engine from a checkpoint (also accepts v1 `SavedModel`
+    /// files holding only scaler + forest; serving state then starts
+    /// empty). The shard count may differ from the checkpointing run —
+    /// queues are re-partitioned.
+    pub fn restore(cfg: &ServeConfig, checkpoint: Checkpoint) -> Self {
+        Self::build(cfg, Some(checkpoint))
+    }
+
+    fn build(cfg: &ServeConfig, from: Option<Checkpoint>) -> Self {
+        assert!(cfg.n_shards > 0, "need at least one shard");
+        assert!(cfg.queue_capacity > 0, "need a positive queue capacity");
+        let p = &cfg.predictor;
+        let (scaler, forest, labeller, threshold, alarms_raised, start_seq) = match from {
+            None => (
+                OnlineMinMax::new_log1p(&p.feature_cols),
+                OnlineRandomForest::new(p.feature_cols.len(), p.orf.clone(), p.seed),
+                OnlineLabeller::new(p.window_days),
+                p.alarm_threshold,
+                0,
+                0,
+            ),
+            Some(Checkpoint::Online {
+                scaler,
+                forest,
+                labeller,
+                alarm_threshold,
+                alarms_raised,
+                next_seq,
+                version: _,
+            }) => (
+                scaler,
+                forest,
+                labeller.unwrap_or_else(|| OnlineLabeller::new(p.window_days)),
+                alarm_threshold.unwrap_or(p.alarm_threshold),
+                alarms_raised.unwrap_or(0),
+                next_seq.unwrap_or(0),
+            ),
+        };
+
+        let n = cfg.n_shards;
+        let stats = Arc::new(ServeStats::new(n));
+        stats.events_issued.store(start_seq, Ordering::Relaxed);
+        stats.events_applied.store(start_seq, Ordering::Relaxed);
+        let snapshot = Arc::new(RwLock::new(Arc::new(ModelSnapshot {
+            scaler: scaler.clone(),
+            forest: forest.clone(),
+            alarm_threshold: threshold,
+        })));
+        let fresh_alarms = Arc::new(Mutex::new(Vec::new()));
+        let checkpoints: Arc<Mutex<VecDeque<CheckpointRequest>>> =
+            Arc::new(Mutex::new(VecDeque::new()));
+
+        // Writer channel: big enough that every in-flight shard event plus
+        // one marker per shard fits, which also bounds the reorder buffer.
+        let (wtx, wrx) = bounded::<WriterMsg>(n * cfg.queue_capacity + n);
+
+        let mut txs = Vec::with_capacity(n);
+        let mut shard_handles = Vec::with_capacity(n);
+        let mut parts = labeller.split_by(n, |d| shard_of(d, n));
+        for (idx, part) in parts.drain(..).enumerate() {
+            let (tx, rx) = bounded::<ShardMsg>(cfg.queue_capacity);
+            txs.push(tx);
+            let wtx = wtx.clone();
+            let stats = Arc::clone(&stats);
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("orfpred-shard-{idx}"))
+                    .spawn(move || shard_loop(idx, rx, wtx, part, &stats))
+                    .expect("spawn shard thread"),
+            );
+        }
+        drop(wtx);
+
+        let writer = WriterThread {
+            rx: wrx,
+            scaler,
+            forest,
+            alarm_threshold: threshold,
+            next_seq: start_seq,
+            alarms_raised,
+            n_shards: n,
+            snapshot_every: cfg.snapshot_every.max(1),
+            stats: Arc::clone(&stats),
+            snapshot: Arc::clone(&snapshot),
+            fresh_alarms: Arc::clone(&fresh_alarms),
+            checkpoints: Arc::clone(&checkpoints),
+        };
+        let writer_handle = std::thread::Builder::new()
+            .name("orfpred-writer".into())
+            .spawn(move || writer.run())
+            .expect("spawn writer thread");
+
+        Self {
+            ingest: Mutex::new(IngestState {
+                next_seq: start_seq,
+                txs: Some(txs),
+            }),
+            stats,
+            snapshot,
+            fresh_alarms,
+            checkpoints,
+            shard_handles: Mutex::new(shard_handles),
+            writer_handle: Mutex::new(Some(writer_handle)),
+            n_shards: n,
+        }
+    }
+
+    /// Number of labelling shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Feed one stream event. Blocks when the target shard's queue is full
+    /// (backpressure) and returns an error after shutdown.
+    pub fn ingest(&self, event: FleetEvent) -> Result<(), ServeError> {
+        let mut st = self.ingest.lock();
+        let seq = st.next_seq;
+        let (shard, is_sample) = match &event {
+            FleetEvent::Sample(rec) => (shard_of(rec.disk_id, self.n_shards), true),
+            FleetEvent::Failure { disk_id, .. } => (shard_of(*disk_id, self.n_shards), false),
+        };
+        let txs = st.txs.as_ref().ok_or(ServeError::ShuttingDown)?;
+        self.stats.shard_depths[shard].fetch_add(1, Ordering::Relaxed);
+        if txs[shard]
+            .send(ShardMsg::Event(seq, Box::new(event)))
+            .is_err()
+        {
+            self.stats.shard_depths[shard].fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        st.next_seq += 1;
+        self.stats
+            .events_issued
+            .store(st.next_seq, Ordering::Relaxed);
+        if is_sample {
+            self.stats.samples_ingested.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.failures_ingested.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Score a raw 48-column snapshot against the latest published model
+    /// snapshot. Lock-free with respect to the writer; never blocks ingest.
+    pub fn score(&self, features: &[f32]) -> f32 {
+        let snap = Arc::clone(&self.snapshot.read());
+        let t0 = Instant::now();
+        let score = snap.score(features);
+        self.stats.score_latency.record(t0.elapsed());
+        score
+    }
+
+    /// The latest published model snapshot.
+    pub fn model_snapshot(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> StatsReport {
+        self.stats.report()
+    }
+
+    /// Drain alarms raised since the last call (in stream order).
+    pub fn take_alarms(&self) -> Vec<Alarm> {
+        std::mem::take(&mut *self.fresh_alarms.lock())
+    }
+
+    /// Block until every event ingested before this call has been applied
+    /// by the model writer (and is visible in alarms / the next snapshot).
+    pub fn flush(&self) {
+        let target = self.ingest.lock().next_seq;
+        while self.stats.events_applied.load(Ordering::Acquire) < target {
+            if self.writer_handle.lock().is_none() {
+                return; // already finished
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+
+    /// Write an atomic checkpoint of the full serving state to `path`.
+    /// Blocks until the file is durably in place; events ingested after
+    /// this call are not included.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), String> {
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel(1);
+        {
+            let mut st = self.ingest.lock();
+            let txs = st.txs.as_ref().ok_or("engine is shutting down")?;
+            let seq = st.next_seq;
+            self.checkpoints.lock().push_back(CheckpointRequest {
+                path: path.to_path_buf(),
+                done: done_tx,
+            });
+            for tx in txs {
+                tx.send(ShardMsg::Checkpoint(seq))
+                    .map_err(|_| "a shard exited before the checkpoint".to_string())?;
+            }
+            st.next_seq += 1;
+            self.stats
+                .events_issued
+                .store(st.next_seq, Ordering::Relaxed);
+        }
+        done_rx
+            .recv()
+            .map_err(|_| "the writer exited before completing the checkpoint".to_string())?
+    }
+
+    /// Shut down: barrier all shards, join every thread, and return the
+    /// collected alarms plus the final state (the same state `checkpoint`
+    /// would have written). Subsequent calls return `ShuttingDown`.
+    pub fn finish(&self) -> Result<Finished, ServeError> {
+        {
+            let mut st = self.ingest.lock();
+            let txs = st.txs.take().ok_or(ServeError::ShuttingDown)?;
+            let seq = st.next_seq;
+            for tx in &txs {
+                // A shard that already died will be noticed at join time.
+                let _ = tx.send(ShardMsg::Shutdown(seq));
+            }
+            st.next_seq += 1;
+            self.stats
+                .events_issued
+                .store(st.next_seq, Ordering::Relaxed);
+            // txs drop here: shard channels close once drained.
+        }
+        for h in self.shard_handles.lock().drain(..) {
+            h.join().expect("shard thread panicked");
+        }
+        let writer = self
+            .writer_handle
+            .lock()
+            .take()
+            .ok_or(ServeError::ShuttingDown)?;
+        let fin = writer.join().expect("writer thread panicked");
+        Ok(Finished {
+            alarms: fin.alarms,
+            checkpoint: Checkpoint::Online {
+                scaler: fin.scaler,
+                forest: fin.forest,
+                version: Some(CHECKPOINT_VERSION),
+                labeller: Some(fin.labeller),
+                alarm_threshold: Some(fin.alarm_threshold),
+                alarms_raised: Some(fin.alarms_raised),
+                next_seq: Some(fin.next_seq),
+            },
+        })
+    }
+}
+
+/// Shard thread body: apply Algorithm 2 labelling for this shard's disks
+/// and forward every event (with any released training samples attached)
+/// to the model writer.
+fn shard_loop(
+    idx: usize,
+    rx: Receiver<ShardMsg>,
+    wtx: Sender<WriterMsg>,
+    mut labeller: OnlineLabeller,
+    stats: &ServeStats,
+) {
+    while let Ok(msg) = rx.recv() {
+        let out = match msg {
+            ShardMsg::Event(seq, event) => {
+                stats.shard_depths[idx].fetch_sub(1, Ordering::Relaxed);
+                match *event {
+                    FleetEvent::Sample(rec) => {
+                        let released = labeller.observe_sample(rec.disk_id, rec.day, &rec.features);
+                        WriterMsg::Sample {
+                            seq,
+                            rec: Box::new(rec),
+                            released,
+                        }
+                    }
+                    FleetEvent::Failure { disk_id, .. } => WriterMsg::Failure {
+                        seq,
+                        flushed: labeller.observe_failure(disk_id),
+                    },
+                }
+            }
+            ShardMsg::Checkpoint(seq) => WriterMsg::Marker {
+                seq,
+                labeller: labeller.clone(),
+                shutdown: false,
+            },
+            ShardMsg::Shutdown(seq) => {
+                let _ = wtx.send(WriterMsg::Marker {
+                    seq,
+                    labeller,
+                    shutdown: true,
+                });
+                return;
+            }
+        };
+        if wtx.send(out).is_err() {
+            return; // writer is gone; nothing left to do
+        }
+    }
+}
+
+/// The model writer: single owner of the ORF and scaler, applying events
+/// in global sequence order.
+struct WriterThread {
+    rx: Receiver<WriterMsg>,
+    scaler: OnlineMinMax,
+    forest: OnlineRandomForest,
+    alarm_threshold: f32,
+    next_seq: u64,
+    alarms_raised: u64,
+    n_shards: usize,
+    snapshot_every: u64,
+    stats: Arc<ServeStats>,
+    snapshot: Arc<RwLock<Arc<ModelSnapshot>>>,
+    fresh_alarms: Arc<Mutex<Vec<Alarm>>>,
+    checkpoints: Arc<Mutex<VecDeque<CheckpointRequest>>>,
+}
+
+impl WriterThread {
+    fn run(mut self) -> WriterFinal {
+        let mut heap: BinaryHeap<BySeq> = BinaryHeap::new();
+        let mut scratch = vec![0.0f32; self.scaler.n_outputs()];
+        let mut alarms: Vec<Alarm> = Vec::new();
+        let mut applied_samples: u64 = 0;
+        let mut final_labeller: Option<OnlineLabeller> = None;
+
+        'main: loop {
+            // Pull until the next contiguous sequence number is buffered.
+            while heap.peek().map(|m| m.0.seq()) != Some(self.next_seq) {
+                match self.rx.recv() {
+                    Ok(m) => heap.push(BySeq(m)),
+                    Err(_) => break 'main, // all shards gone
+                }
+            }
+            match heap.pop().expect("peeked").0 {
+                WriterMsg::Sample { rec, released, .. } => {
+                    // Exactly OnlinePredictor::observe_sample's order:
+                    // widen scaler → train on released → score fresh row.
+                    self.scaler.update(&rec.features);
+                    if let Some(rel) = released {
+                        self.scaler.transform_into(&rel.features, &mut scratch);
+                        self.forest.update(&scratch, rel.positive);
+                    }
+                    let t0 = Instant::now();
+                    self.scaler.transform_into(&rec.features, &mut scratch);
+                    let score = self.forest.score(&scratch);
+                    self.stats.score_latency.record(t0.elapsed());
+                    if score >= self.alarm_threshold {
+                        self.alarms_raised += 1;
+                        self.stats.alarms_raised.fetch_add(1, Ordering::Relaxed);
+                        let alarm = Alarm {
+                            disk_id: rec.disk_id,
+                            day: rec.day,
+                            score,
+                        };
+                        alarms.push(alarm);
+                        self.fresh_alarms.lock().push(alarm);
+                    }
+                    applied_samples += 1;
+                    if applied_samples.is_multiple_of(self.snapshot_every) {
+                        self.publish();
+                    }
+                }
+                WriterMsg::Failure { flushed, .. } => {
+                    for rel in flushed {
+                        self.scaler.transform_into(&rel.features, &mut scratch);
+                        self.forest.update(&scratch, true);
+                    }
+                }
+                WriterMsg::Marker {
+                    seq,
+                    labeller,
+                    shutdown,
+                } => {
+                    let merged = self.collect_markers(&mut heap, seq, labeller);
+                    if shutdown {
+                        self.advance();
+                        final_labeller = Some(merged);
+                        break 'main;
+                    }
+                    self.handle_checkpoint(merged);
+                }
+            }
+            self.advance();
+        }
+
+        self.publish();
+        WriterFinal {
+            scaler: self.scaler,
+            forest: self.forest,
+            labeller: final_labeller.unwrap_or_default(),
+            alarm_threshold: self.alarm_threshold,
+            alarms,
+            alarms_raised: self.alarms_raised,
+            next_seq: self.next_seq,
+        }
+    }
+
+    /// One barrier message per shard arrives with the same sequence number;
+    /// gather them all and merge the labelling-queue partitions.
+    fn collect_markers(
+        &mut self,
+        heap: &mut BinaryHeap<BySeq>,
+        seq: u64,
+        first: OnlineLabeller,
+    ) -> OnlineLabeller {
+        let mut merged = first;
+        let mut have = 1;
+        while have < self.n_shards {
+            if heap.peek().map(|m| m.0.seq()) == Some(seq) {
+                match heap.pop().expect("peeked").0 {
+                    WriterMsg::Marker { labeller, .. } => {
+                        merged.absorb(labeller);
+                        have += 1;
+                    }
+                    other => unreachable!("non-marker at barrier seq {}", other.seq()),
+                }
+            } else {
+                match self.rx.recv() {
+                    Ok(m) => heap.push(BySeq(m)),
+                    Err(_) => break, // shards died mid-barrier; best effort
+                }
+            }
+        }
+        merged
+    }
+
+    fn handle_checkpoint(&mut self, labeller: OnlineLabeller) {
+        let Some(req) = self.checkpoints.lock().pop_front() else {
+            return; // request vanished (caller gave up); drop silently
+        };
+        let ck = Checkpoint::Online {
+            scaler: self.scaler.clone(),
+            forest: self.forest.clone(),
+            version: Some(CHECKPOINT_VERSION),
+            labeller: Some(labeller),
+            alarm_threshold: Some(self.alarm_threshold),
+            alarms_raised: Some(self.alarms_raised),
+            next_seq: Some(self.next_seq + 1),
+        };
+        let result = ck.save_atomic(&req.path);
+        self.publish();
+        let _ = req.done.send(result);
+    }
+
+    /// Mark the current sequence number applied and move to the next.
+    fn advance(&mut self) {
+        self.next_seq += 1;
+        self.stats
+            .events_applied
+            .store(self.next_seq, Ordering::Release);
+    }
+
+    /// Publish a fresh immutable snapshot for the lock-free scoring path
+    /// and mirror the writer-owned counters into the shared stats.
+    fn publish(&self) {
+        *self.snapshot.write() = Arc::new(ModelSnapshot {
+            scaler: self.scaler.clone(),
+            forest: self.forest.clone(),
+            alarm_threshold: self.alarm_threshold,
+        });
+        self.stats
+            .forest_samples_seen
+            .store(self.forest.samples_seen(), Ordering::Relaxed);
+        self.stats
+            .trees_replaced
+            .store(self.forest.trees_replaced(), Ordering::Relaxed);
+        self.stats
+            .snapshots_published
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_smart::attrs::N_FEATURES;
+
+    fn cfg(n_shards: usize) -> ServeConfig {
+        let mut p = OnlinePredictorConfig::new(vec![0, 1, 2], 9);
+        p.orf.n_trees = 5;
+        p.orf.n_tests = 10;
+        p.orf.min_parent_size = 10.0;
+        p.orf.min_gain = 0.0;
+        p.orf.lambda_neg = 0.5;
+        p.orf.warmup_age = 0;
+        let mut c = ServeConfig::new(p);
+        c.n_shards = n_shards;
+        c.snapshot_every = 16;
+        c
+    }
+
+    fn rec(disk_id: u32, day: u16, v: f32) -> DiskDay {
+        let mut features = [0.0f32; N_FEATURES];
+        features[0] = v;
+        features[1] = v * 0.5;
+        features[2] = v * 2.0;
+        DiskDay {
+            disk_id,
+            day,
+            features,
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for n in [1usize, 2, 4, 7] {
+            for disk in 0..200u32 {
+                let s = shard_of(disk, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(disk, n), "routing must be deterministic");
+            }
+        }
+        // Non-degenerate spread over 4 shards.
+        let mut counts = [0usize; 4];
+        for disk in 0..1000u32 {
+            counts[shard_of(disk, 4)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 100),
+            "skewed routing: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn ingest_flush_and_counters() {
+        let engine = Engine::new(&cfg(2));
+        for day in 0..30u16 {
+            for disk in 0..10u32 {
+                engine
+                    .ingest(FleetEvent::Sample(rec(
+                        disk,
+                        day,
+                        if disk == 0 { 30.0 } else { 0.0 },
+                    )))
+                    .unwrap();
+            }
+        }
+        engine
+            .ingest(FleetEvent::Failure {
+                disk_id: 0,
+                day: 30,
+            })
+            .unwrap();
+        engine.flush();
+        let s = engine.stats();
+        assert_eq!(s.samples_ingested, 300);
+        assert_eq!(s.failures_ingested, 1);
+        assert_eq!(s.events_applied, s.events_issued);
+        assert!(
+            s.forest_samples_seen > 0,
+            "labelled samples reached the forest"
+        );
+        assert!(s.snapshots_published >= 1);
+        let fin = engine.finish().unwrap();
+        assert!(engine.finish().is_err(), "double finish must fail");
+        let Checkpoint::Online { labeller, .. } = fin.checkpoint;
+        assert!(labeller.unwrap().n_pending() > 0, "survivors stay queued");
+    }
+
+    #[test]
+    fn score_and_snapshot_survive_shutdown() {
+        let engine = Engine::new(&cfg(3));
+        for day in 0..40u16 {
+            for disk in 0..8u32 {
+                engine
+                    .ingest(FleetEvent::Sample(rec(disk, day, 0.0)))
+                    .unwrap();
+            }
+        }
+        engine.flush();
+        let s = engine.score(&rec(99, 0, 0.0).features);
+        assert!((0.0..=1.0).contains(&s));
+        let snap = engine.model_snapshot();
+        engine.finish().unwrap();
+        // Frozen snapshots keep working after shutdown.
+        assert_eq!(snap.score(&rec(99, 0, 0.0).features), s);
+        assert!(engine
+            .ingest(FleetEvent::Failure { disk_id: 1, day: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn take_alarms_drains_in_stream_order() {
+        let c = {
+            let mut c = cfg(2);
+            c.predictor.alarm_threshold = 0.0; // everything alarms
+            c
+        };
+        let engine = Engine::new(&c);
+        for day in 0..10u16 {
+            engine.ingest(FleetEvent::Sample(rec(1, day, 1.0))).unwrap();
+        }
+        engine.flush();
+        let drained = engine.take_alarms();
+        assert_eq!(drained.len(), 10);
+        assert!(drained.windows(2).all(|w| w[0].day < w[1].day));
+        assert!(engine.take_alarms().is_empty(), "drained exactly once");
+        let fin = engine.finish().unwrap();
+        assert_eq!(fin.alarms.len(), 10, "finish still returns the full list");
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_identically() {
+        let c = cfg(2);
+        let path = std::env::temp_dir().join("orfpred_engine_ckpt_test.json");
+
+        // Uninterrupted reference run.
+        let reference = Engine::new(&c);
+        for day in 0..30u16 {
+            for disk in 0..6u32 {
+                reference
+                    .ingest(FleetEvent::Sample(rec(disk, day, f32::from(day % 5))))
+                    .unwrap();
+            }
+        }
+        // Take the same checkpoint barrier so sequence numbers line up.
+        reference.checkpoint(&path).unwrap();
+        for day in 30..50u16 {
+            for disk in 0..6u32 {
+                reference
+                    .ingest(FleetEvent::Sample(rec(disk, day, f32::from(day % 5))))
+                    .unwrap();
+            }
+        }
+        let ref_fin = reference.finish().unwrap();
+
+        // Restore from the mid-stream checkpoint (different shard count)
+        // and replay only the tail.
+        let mut c3 = c.clone();
+        c3.n_shards = 3;
+        let resumed = Engine::restore(&c3, Checkpoint::load(&path).unwrap());
+        for day in 30..50u16 {
+            for disk in 0..6u32 {
+                resumed
+                    .ingest(FleetEvent::Sample(rec(disk, day, f32::from(day % 5))))
+                    .unwrap();
+            }
+        }
+        let res_fin = resumed.finish().unwrap();
+
+        // The final states must be byte-identical.
+        assert_eq!(
+            serde_json::to_string(&ref_fin.checkpoint).unwrap(),
+            serde_json::to_string(&res_fin.checkpoint).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

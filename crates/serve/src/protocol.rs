@@ -1,0 +1,336 @@
+//! Line-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object per line with a `type`
+//! tag. Requests:
+//!
+//! ```text
+//! {"type":"sample","disk_id":17,"day":212,"features":[...48 floats...]}
+//! {"type":"failure","disk_id":17,"day":213}
+//! {"type":"score","features":[...48 floats...]}
+//! {"type":"stats"}
+//! {"type":"checkpoint","path":"/var/lib/orfpred/model.json"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! Responses: `{"type":"alarm",...}` (emitted asynchronously as the model
+//! writer applies samples), `{"type":"score","score":s}`,
+//! `{"type":"stats",...counters...}`, `{"type":"ok","what":...}`, and
+//! `{"type":"error","message":...}`.
+//!
+//! `type` is a Rust keyword, so these types use hand-written `Value`-tree
+//! conversions rather than the derive.
+
+use crate::stats::StatsReport;
+use orfpred_core::Alarm;
+use orfpred_smart::attrs::N_FEATURES;
+use serde::{Serialize, Value};
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// A daily SMART snapshot to ingest.
+    Sample {
+        /// Reporting disk.
+        disk_id: u32,
+        /// Observation day.
+        day: u16,
+        /// Raw feature row; padded/truncated to the 48-column layout.
+        features: Vec<f32>,
+    },
+    /// The disk stopped responding.
+    Failure {
+        /// Failed disk.
+        disk_id: u32,
+        /// Day of failure.
+        day: u16,
+    },
+    /// Score a feature row against the latest model snapshot (read-only).
+    Score {
+        /// Raw feature row.
+        features: Vec<f32>,
+    },
+    /// Fetch live counters.
+    Stats,
+    /// Write an atomic checkpoint. Without `path` the daemon uses its
+    /// configured default.
+    Checkpoint {
+        /// Target file, if overriding the daemon default.
+        path: Option<String>,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Copy an arbitrary-length row into the fixed 48-column layout (short
+/// rows are zero-padded, long ones truncated).
+pub fn features_48(row: &[f32]) -> [f32; N_FEATURES] {
+    let mut out = [0.0f32; N_FEATURES];
+    let n = row.len().min(N_FEATURES);
+    out[..n].copy_from_slice(&row[..n]);
+    out
+}
+
+fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn num_u64(v: Option<&Value>, what: &str) -> Result<u64, String> {
+    match v {
+        Some(Value::Int(i)) => u64::try_from(*i).map_err(|_| format!("`{what}` out of range")),
+        _ => Err(format!("`{what}` must be a non-negative integer")),
+    }
+}
+
+fn floats(v: Option<&Value>, what: &str) -> Result<Vec<f32>, String> {
+    let Some(Value::Arr(items)) = v else {
+        return Err(format!("`{what}` must be an array of numbers"));
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Value::Int(i) => Ok(*i as f32),
+            Value::Float(f) => Ok(*f as f32),
+            Value::Null => Ok(f32::NAN),
+            _ => Err(format!("`{what}` must contain only numbers")),
+        })
+        .collect()
+}
+
+impl Request {
+    /// Parse one protocol line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = serde_json::value_from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let Value::Obj(fields) = &v else {
+            return Err("request must be a JSON object".into());
+        };
+        let Some(Value::Str(tag)) = field(fields, "type") else {
+            return Err("request needs a string `type` field".into());
+        };
+        match tag.as_str() {
+            "sample" => Ok(Request::Sample {
+                disk_id: num_u64(field(fields, "disk_id"), "disk_id")? as u32,
+                day: num_u64(field(fields, "day"), "day")? as u16,
+                features: floats(field(fields, "features"), "features")?,
+            }),
+            "failure" => Ok(Request::Failure {
+                disk_id: num_u64(field(fields, "disk_id"), "disk_id")? as u32,
+                day: num_u64(field(fields, "day"), "day")? as u16,
+            }),
+            "score" => Ok(Request::Score {
+                features: floats(field(fields, "features"), "features")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "checkpoint" => Ok(Request::Checkpoint {
+                path: match field(fields, "path") {
+                    Some(Value::Str(s)) => Some(s.clone()),
+                    None | Some(Value::Null) => None,
+                    _ => return Err("`path` must be a string".into()),
+                },
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+
+    /// Render as a protocol line (no trailing newline); handy for clients
+    /// and tests.
+    pub fn to_line(&self) -> String {
+        let obj = match self {
+            Request::Sample {
+                disk_id,
+                day,
+                features,
+            } => vec![
+                ("type".into(), Value::Str("sample".into())),
+                ("disk_id".into(), Value::Int(i128::from(*disk_id))),
+                ("day".into(), Value::Int(i128::from(*day))),
+                ("features".into(), features.ser()),
+            ],
+            Request::Failure { disk_id, day } => vec![
+                ("type".into(), Value::Str("failure".into())),
+                ("disk_id".into(), Value::Int(i128::from(*disk_id))),
+                ("day".into(), Value::Int(i128::from(*day))),
+            ],
+            Request::Score { features } => vec![
+                ("type".into(), Value::Str("score".into())),
+                ("features".into(), features.ser()),
+            ],
+            Request::Stats => vec![("type".into(), Value::Str("stats".into()))],
+            Request::Checkpoint { path } => {
+                let mut f = vec![("type".into(), Value::Str("checkpoint".into()))];
+                if let Some(p) = path {
+                    f.push(("path".into(), Value::Str(p.clone())));
+                }
+                f
+            }
+            Request::Shutdown => vec![("type".into(), Value::Str("shutdown".into()))],
+        };
+        serde_json::value_to_string(&Value::Obj(obj))
+    }
+}
+
+/// One response line.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// An at-risk alarm (emitted asynchronously while samples apply).
+    Alarm(Alarm),
+    /// Answer to a `score` request.
+    Score {
+        /// Ensemble vote of the latest snapshot.
+        score: f32,
+    },
+    /// Answer to a `stats` request.
+    Stats(StatsReport),
+    /// Generic acknowledgement (`checkpoint`, `shutdown`; `sample` and
+    /// `failure` are not acked individually — alarms are the feedback).
+    Ok {
+        /// What was acknowledged.
+        what: String,
+    },
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Render as a protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let obj = match self {
+            Response::Alarm(a) => vec![
+                ("type".into(), Value::Str("alarm".into())),
+                ("disk_id".into(), Value::Int(i128::from(a.disk_id))),
+                ("day".into(), Value::Int(i128::from(a.day))),
+                ("score".into(), a.score.ser()),
+            ],
+            Response::Score { score } => vec![
+                ("type".into(), Value::Str("score".into())),
+                ("score".into(), score.ser()),
+            ],
+            Response::Stats(report) => {
+                let mut f = vec![("type".into(), Value::Str("stats".into()))];
+                match report.ser() {
+                    Value::Obj(rest) => f.extend(rest),
+                    _ => unreachable!("StatsReport serializes to an object"),
+                }
+                f
+            }
+            Response::Ok { what } => vec![
+                ("type".into(), Value::Str("ok".into())),
+                ("what".into(), Value::Str(what.clone())),
+            ],
+            Response::Error { message } => vec![
+                ("type".into(), Value::Str("error".into())),
+                ("message".into(), Value::Str(message.clone())),
+            ],
+        };
+        serde_json::value_to_string(&Value::Obj(obj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let reqs = [
+            Request::Sample {
+                disk_id: 3,
+                day: 17,
+                features: vec![0.0, 1.5, -2.25],
+            },
+            Request::Failure {
+                disk_id: 3,
+                day: 18,
+            },
+            Request::Score {
+                features: vec![1.0; 48],
+            },
+            Request::Stats,
+            Request::Checkpoint { path: None },
+            Request::Checkpoint {
+                path: Some("/tmp/x.json".into()),
+            },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unknown_and_malformed_inputs_error() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("[1,2]").is_err());
+        assert!(Request::parse("{\"type\":\"frobnicate\"}").is_err());
+        assert!(
+            Request::parse("{\"type\":\"sample\",\"disk_id\":-1,\"day\":0,\"features\":[]}")
+                .is_err()
+        );
+        assert!(Request::parse("{\"type\":\"sample\",\"disk_id\":1,\"day\":0}").is_err());
+    }
+
+    #[test]
+    fn integer_features_are_accepted() {
+        let r = Request::parse("{\"type\":\"score\",\"features\":[1,2.5,3]}").unwrap();
+        assert_eq!(
+            r,
+            Request::Score {
+                features: vec![1.0, 2.5, 3.0]
+            }
+        );
+    }
+
+    #[test]
+    fn features_pad_and_truncate() {
+        let padded = features_48(&[1.0, 2.0]);
+        assert_eq!(padded[0], 1.0);
+        assert_eq!(padded[1], 2.0);
+        assert!(padded[2..].iter().all(|&v| v == 0.0));
+        let truncated = features_48(&vec![7.0; 100]);
+        assert!(truncated.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn responses_are_valid_single_line_json() {
+        let rs = [
+            Response::Alarm(Alarm {
+                disk_id: 9,
+                day: 4,
+                score: 0.75,
+            }),
+            Response::Score { score: 0.5 },
+            Response::Ok {
+                what: "sample".into(),
+            },
+            Response::Error {
+                message: "nope".into(),
+            },
+        ];
+        for r in rs {
+            let line = r.to_line();
+            assert!(!line.contains('\n'));
+            let v = serde_json::value_from_str(&line).unwrap();
+            let Value::Obj(fields) = v else {
+                panic!("object")
+            };
+            assert!(field(&fields, "type").is_some());
+        }
+    }
+
+    #[test]
+    fn alarm_response_shape_is_stable() {
+        let line = Response::Alarm(Alarm {
+            disk_id: 1,
+            day: 2,
+            score: 0.5,
+        })
+        .to_line();
+        assert_eq!(
+            line,
+            "{\"type\":\"alarm\",\"disk_id\":1,\"day\":2,\"score\":0.5}"
+        );
+    }
+}

@@ -17,25 +17,7 @@ pub struct DiskDay {
     /// Days since the start of the observation window.
     pub day: u16,
     /// Unscaled candidate feature values.
-    #[serde(with = "feature_array")]
     pub features: [f32; N_FEATURES],
-}
-
-/// serde adapter for `[f32; N_FEATURES]` (serde only derives arrays ≤ 32).
-mod feature_array {
-    use super::N_FEATURES;
-    use serde::de::Error;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[f32; N_FEATURES], s: S) -> Result<S::Ok, S::Error> {
-        s.collect_seq(v.iter())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[f32; N_FEATURES], D::Error> {
-        let v: Vec<f32> = Vec::deserialize(d)?;
-        v.try_into()
-            .map_err(|v: Vec<f32>| D::Error::invalid_length(v.len(), &"48 feature values"))
-    }
 }
 
 /// Per-disk metadata: observation bounds and final status.

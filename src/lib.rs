@@ -15,6 +15,8 @@
 //! * [`core`] — the ORF itself plus the automatic online labeller,
 //! * [`eval`] — FDR/FAR metrics, operating points, monthly & long-term
 //!   evaluation harnesses,
+//! * [`serve`] — sharded online serving engine (`orfpredd` daemon) with
+//!   checkpoint/restore and live metrics,
 //! * [`util`] — deterministic RNG streams, distributions, streaming stats.
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@
 
 pub use orfpred_core as core;
 pub use orfpred_eval as eval;
+pub use orfpred_serve as serve;
 pub use orfpred_smart as smart;
 pub use orfpred_svm as svm;
 pub use orfpred_trees as trees;

@@ -1,5 +1,9 @@
-//! Cross-crate property tests (proptest): invariants that must hold for
+//! Cross-crate randomized property tests: invariants that must hold for
 //! arbitrary inputs, not just the simulated fleets.
+//!
+//! Driven by the workspace's own deterministic [`Xoshiro256pp`] generator
+//! rather than a property-testing framework (the build is hermetic), so
+//! every case is reproducible from the fixed seeds below.
 
 use orfpred::core::{OnlineLabeller, OnlineRandomForest, OrfConfig};
 use orfpred::eval::prep::truncate_dataset;
@@ -9,60 +13,81 @@ use orfpred::smart::select::rank_sum_test;
 use orfpred::trees::gini::{split_gain, ClassCounts};
 use orfpred::trees::{CartConfig, DecisionTree};
 use orfpred::util::{Matrix, Xoshiro256pp};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn gini_bounds_and_gain_nonnegative(
-        ln in 0.0f64..1e4, lp in 0.0f64..1e4,
-        rn in 0.0f64..1e4, rp in 0.0f64..1e4,
-    ) {
-        let l = ClassCounts { neg: ln, pos: lp };
-        let r = ClassCounts { neg: rn, pos: rp };
-        let parent = l.merged(&r);
-        prop_assert!((0.0..=0.5 + 1e-12).contains(&parent.gini()));
-        let g = split_gain(&l, &r);
-        prop_assert!(g >= 0.0);
-        prop_assert!(g <= parent.gini() + 1e-12, "gain can never exceed parent impurity");
+/// Run `body` over `cases` deterministic random cases.
+fn for_cases(cases: u64, mut body: impl FnMut(&mut Xoshiro256pp)) {
+    for case in 0..cases {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x9E37_79B9 ^ case);
+        body(&mut rng);
     }
+}
 
-    #[test]
-    fn scaler_outputs_unit_interval_for_any_data(
-        rows in prop::collection::vec(prop::collection::vec(-1e6f32..1e6, 4), 1..40),
-        probe in prop::collection::vec(-1e7f32..1e7, 4),
-    ) {
+#[test]
+fn gini_bounds_and_gain_nonnegative() {
+    for_cases(256, |rng| {
+        let l = ClassCounts {
+            neg: rng.range_f64(0.0, 1e4),
+            pos: rng.range_f64(0.0, 1e4),
+        };
+        let r = ClassCounts {
+            neg: rng.range_f64(0.0, 1e4),
+            pos: rng.range_f64(0.0, 1e4),
+        };
+        let parent = l.merged(&r);
+        assert!((0.0..=0.5 + 1e-12).contains(&parent.gini()));
+        let g = split_gain(&l, &r);
+        assert!(g >= 0.0);
+        assert!(
+            g <= parent.gini() + 1e-12,
+            "gain can never exceed parent impurity"
+        );
+    });
+}
+
+#[test]
+fn scaler_outputs_unit_interval_for_any_data() {
+    for_cases(64, |rng| {
+        let n_rows = 1 + rng.index(39);
+        let rows: Vec<Vec<f32>> = (0..n_rows)
+            .map(|_| (0..4).map(|_| rng.range_f32(-1e6, 1e6)).collect())
+            .collect();
+        let probe: Vec<f32> = (0..4).map(|_| rng.range_f32(-1e7, 1e7)).collect();
         let cols = [0usize, 1, 2, 3];
         let offline = MinMaxScaler::fit_log1p(rows.iter().map(|r| r.as_slice()), &cols);
         for v in offline.transform(&probe) {
-            prop_assert!((0.0..=1.0).contains(&v), "offline out of range: {v}");
+            assert!((0.0..=1.0).contains(&v), "offline out of range: {v}");
         }
         let mut online = OnlineMinMax::new_log1p(&cols);
         for r in &rows {
             online.update(r);
         }
         for v in online.transform(&probe) {
-            prop_assert!((0.0..=1.0).contains(&v), "online out of range: {v}");
+            assert!((0.0..=1.0).contains(&v), "online out of range: {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn rank_sum_p_value_is_a_probability(
-        xs in prop::collection::vec(-100.0f32..100.0, 0..80),
-        ys in prop::collection::vec(-100.0f32..100.0, 0..80),
-    ) {
+#[test]
+fn rank_sum_p_value_is_a_probability() {
+    for_cases(128, |rng| {
+        let xs: Vec<f32> = (0..rng.index(80))
+            .map(|_| rng.range_f32(-100.0, 100.0))
+            .collect();
+        let ys: Vec<f32> = (0..rng.index(80))
+            .map(|_| rng.range_f32(-100.0, 100.0))
+            .collect();
         let t = rank_sum_test(&xs, &ys);
-        prop_assert!((0.0..=1.0).contains(&t.p), "p = {}", t.p);
-        prop_assert!(t.z.is_finite());
-    }
+        assert!((0.0..=1.0).contains(&t.p), "p = {}", t.p);
+        assert!(t.z.is_finite());
+    });
+}
 
-    #[test]
-    fn cart_training_accuracy_is_high_on_separable_labels(
-        seed in 0u64..1000,
-        n in 20usize..150,
-    ) {
+#[test]
+fn cart_training_accuracy_is_high_on_separable_labels() {
+    for_cases(48, |rng| {
         // Labels are a pure threshold function of feature 0 — a tree must
         // fit it (near-)perfectly.
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let n = 20 + rng.index(130);
         let mut x = Matrix::new(2);
         let mut y = Vec::new();
         for _ in 0..n {
@@ -70,16 +95,19 @@ proptest! {
             x.push_row(&[a, rng.next_f32()]);
             y.push(a > 0.5);
         }
-        let tree = DecisionTree::fit(&x, &y, &CartConfig::default(), &mut rng);
-        let errors = (0..n).filter(|&i| tree.predict(x.row(i), 0.5) != y[i]).count();
-        prop_assert_eq!(errors, 0, "tree failed to separate a threshold function");
-    }
+        let tree = DecisionTree::fit(&x, &y, &CartConfig::default(), rng);
+        let errors = (0..n)
+            .filter(|&i| tree.predict(x.row(i), 0.5) != y[i])
+            .count();
+        assert_eq!(errors, 0, "tree failed to separate a threshold function");
+    });
+}
 
-    #[test]
-    fn forest_scores_stay_in_unit_interval_under_any_stream(
-        seed in 0u64..500,
-        labels in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+#[test]
+fn forest_scores_stay_in_unit_interval_under_any_stream() {
+    for_cases(24, |rng| {
+        let seed = rng.next_u64() % 500;
+        let n_labels = 1 + rng.index(199);
         let cfg = OrfConfig {
             n_trees: 5,
             n_tests: 10,
@@ -90,24 +118,26 @@ proptest! {
             ..OrfConfig::default()
         };
         let mut f = OnlineRandomForest::new(2, cfg, seed);
-        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xABCD);
-        for &positive in &labels {
-            f.update(&[rng.next_f32(), rng.next_f32()], positive);
+        let mut stream = Xoshiro256pp::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..n_labels {
+            let positive = rng.bernoulli(0.5);
+            f.update(&[stream.next_f32(), stream.next_f32()], positive);
         }
         for _ in 0..20 {
-            let s = f.score(&[rng.next_f32(), rng.next_f32()]);
-            prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+            let s = f.score(&[stream.next_f32(), stream.next_f32()]);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn labeller_conservation(
-        window in 1usize..10,
-        n_samples in 0u16..60,
-        fails in any::<bool>(),
-    ) {
+#[test]
+fn labeller_conservation() {
+    for_cases(128, |rng| {
         // Every pushed sample is either released exactly once (negative on
         // age-out, positive on failure) or still pending at the end.
+        let window = 1 + rng.index(9);
+        let n_samples = rng.index(60) as u16;
+        let fails = rng.bernoulli(0.5);
         let mut l = OnlineLabeller::new(window);
         let mut released = 0usize;
         for day in 0..n_samples {
@@ -117,34 +147,38 @@ proptest! {
         }
         let flushed = if fails { l.observe_failure(1).len() } else { 0 };
         let pending = l.n_pending();
-        prop_assert_eq!(
+        assert_eq!(
             released + flushed + if fails { 0 } else { pending },
             n_samples as usize,
             "conservation violated"
         );
         if fails {
-            prop_assert_eq!(pending, 0);
-            prop_assert!(flushed <= window);
+            assert_eq!(pending, 0);
+            assert!(flushed <= window);
         } else {
-            prop_assert!(pending <= window);
+            assert!(pending <= window);
         }
-    }
+    });
+}
 
-    #[test]
-    fn civil_date_round_trips_for_any_day(offset in 0i64..200_000) {
+#[test]
+fn civil_date_round_trips_for_any_day() {
+    for_cases(512, |rng| {
         // Days 1970..~2517 round-trip through the civil-date conversion.
+        let offset = rng.next_below(200_000) as i64;
         let (y, m, d) = civil_from_days(offset);
-        prop_assert_eq!(days_from_civil(y, m, d), offset);
-        prop_assert!((1..=12).contains(&m));
-        prop_assert!((1..=31).contains(&d));
-    }
+        assert_eq!(days_from_civil(y, m, d), offset);
+        assert!((1..=12).contains(&m));
+        assert!((1..=31).contains(&d));
+    });
+}
 
-    #[test]
-    fn poisson_bagging_respects_zero_lambda(
-        seed in 0u64..100,
-        n in 1usize..100,
-    ) {
+#[test]
+fn poisson_bagging_respects_zero_lambda() {
+    for_cases(32, |rng| {
         // λn = 0 ⇒ negatives never update a tree; the forest stays empty.
+        let seed = rng.next_u64() % 100;
+        let n = 1 + rng.index(99);
         let cfg = OrfConfig {
             n_trees: 3,
             n_tests: 5,
@@ -157,33 +191,31 @@ proptest! {
             f.update(&[i as f32 / n as f32], false);
         }
         let ages: u64 = f.tree_stats().iter().map(|(a, _, _)| a).sum();
-        prop_assert_eq!(ages, 0, "no negative may enter a tree at λn = 0");
-    }
+        assert_eq!(ages, 0, "no negative may enter a tree at λn = 0");
+    });
 }
 
-proptest! {
+#[test]
+fn truncation_never_invents_failures() {
     // Fleet generation per case is relatively costly; fewer cases suffice.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn truncation_never_invents_failures(cutoff in 0u16..400, seed in 0u64..50) {
-        let mut cfg = orfpred::smart::gen::FleetConfig::sta(
-            orfpred::smart::gen::ScalePreset::Tiny,
-            seed,
-        );
+    for_cases(12, |rng| {
+        let cutoff = rng.index(400) as u16;
+        let seed = rng.next_u64() % 50;
+        let mut cfg =
+            orfpred::smart::gen::FleetConfig::sta(orfpred::smart::gen::ScalePreset::Tiny, seed);
         cfg.n_good = 20;
         cfg.n_failed = 5;
         cfg.duration_days = 300;
         let ds = orfpred::smart::gen::FleetSim::collect(&cfg);
         let cut = truncate_dataset(&ds, cutoff);
-        prop_assert!(cut.validate().is_ok());
-        prop_assert!(cut.n_failed() <= ds.n_failed());
+        assert!(cut.validate().is_ok());
+        assert!(cut.n_failed() <= ds.n_failed());
         // Every failure in the truncated view exists in the original, at
         // the same day.
         for d in cut.disks.iter().filter(|d| d.failed) {
             let orig = &ds.disks[d.disk_id as usize];
-            prop_assert!(orig.failed && orig.last_day == d.last_day);
-            prop_assert!(d.last_day <= cutoff);
+            assert!(orig.failed && orig.last_day == d.last_day);
+            assert!(d.last_day <= cutoff);
         }
-    }
+    });
 }

@@ -125,6 +125,10 @@ fn main() -> ExitCode {
         "drift" => drift(&argv[1..]),
         "assess" => assess(&argv[1..]),
         "serve" => serve(&argv[1..]),
+        // Hidden: replay a testkit fault scenario by seed (the reproduction
+        // command the fault suites print on failure). Not in the usage
+        // line on purpose — it is a debugging door, not an operator tool.
+        "faultsim" => faultsim(&argv[1..]),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
@@ -338,6 +342,39 @@ fn serve(argv: &[String]) -> Result<(), String> {
         "serve: clean shutdown, {} alarms in stream",
         finished.alarms.len()
     );
+    Ok(())
+}
+
+/// `orfpred faultsim --seed N [--size Z] [--cases K]`: run the seeded
+/// fault-injection scenario(s) and verify the differential oracle — the
+/// exact derivation `tests/fault_sim.rs` uses, so a seed printed by a
+/// failing property test reproduces here byte for byte.
+fn faultsim(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let seed: u64 = args.parse_num("seed", 1)?;
+    let size: u32 = args.parse_num("size", 80)?;
+    let cases: u64 = args.parse_num("cases", 1)?;
+    for k in 0..cases.max(1) {
+        let s = seed + k;
+        let report = orfpred_testkit::run_scenario(s, size)
+            .map_err(|e| format!("faultsim seed {s} size {size}: ORACLE VIOLATION: {e}"))?;
+        println!(
+            "faultsim seed {s} size {size}: OK — {} actions ({} events), {} alarms, \
+             {} recoveries, {} checkpoint failures, {} checkpoints",
+            report.n_actions,
+            report.n_events,
+            report.alarms,
+            report.recoveries,
+            report.checkpoint_failures,
+            report.checkpoints_taken
+        );
+        for fault in &report.faults_fired {
+            println!("  fault fired: {fault}");
+        }
+        for fault in &report.faults_planned {
+            println!("  planned: {fault}");
+        }
+    }
     Ok(())
 }
 

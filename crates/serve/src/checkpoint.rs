@@ -8,16 +8,78 @@
 //! --online` (scaler + forest only) restores into a daemon with empty
 //! labelling queues, and a daemon checkpoint loads anywhere a `SavedModel`
 //! does. The extra fields are optional for exactly that reason.
+//!
+//! Loading is defensive: a truncated, torn, or structurally inconsistent
+//! file yields a typed [`CheckpointError`] with a message naming the file
+//! and the defect — never a panic deep inside a deserializer or, worse, an
+//! engine that starts on nonsense state (`tests/fault_checkpoint.rs`
+//! exercises the torn-write path end to end).
 
+use crate::fault::{CheckpointFault, FaultInjector, NoFaults};
 use orfpred_core::{OnlineLabeller, OnlineRandomForest};
 use orfpred_smart::scale::OnlineMinMax;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Current checkpoint schema version ([`Checkpoint::Online`]'s `version`
 /// field). v1 files predate the field and deserialize as `None`.
 pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read or written (missing, permissions,
+    /// full disk, failed fsync/rename).
+    Io {
+        /// File the operation targeted.
+        path: PathBuf,
+        /// Operating-system error text.
+        detail: String,
+    },
+    /// The file exists but does not hold a usable checkpoint: truncated by
+    /// a torn write, garbage bytes, or a JSON document whose pieces are
+    /// mutually inconsistent (see [`Checkpoint::validate`]).
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What exactly is wrong with it.
+        detail: String,
+    },
+    /// An injected fault aborted the save mid-write (testkit only). The
+    /// on-disk state is whatever the fault left behind — the previous file
+    /// for [`CheckpointFault::CrashBeforeRename`], a truncated file for
+    /// [`CheckpointFault::TornWrite`].
+    Injected {
+        /// File the aborted save targeted.
+        path: PathBuf,
+        /// The fault that fired.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, detail } => {
+                write!(f, "checkpoint I/O error on {}: {detail}", path.display())
+            }
+            CheckpointError::Corrupt { path, detail } => write!(
+                f,
+                "checkpoint {} is truncated or corrupt: {detail} \
+                 (delete it or restore an older checkpoint to proceed)",
+                path.display()
+            ),
+            CheckpointError::Injected { path, detail } => write!(
+                f,
+                "injected checkpoint fault on {}: {detail}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// A serving checkpoint; the single variant keeps the external tag that
 /// makes the file a valid `SavedModel` document.
@@ -47,27 +109,122 @@ impl Checkpoint {
     /// Serialize and atomically replace `path`: write to a sibling
     /// temporary file, fsync it, then rename over the target, so `path`
     /// always holds either the previous or the new checkpoint in full.
-    pub fn save_atomic(&self, path: &Path) -> Result<(), String> {
+    pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.save_atomic_faulted(path, &NoFaults)
+    }
+
+    /// [`Checkpoint::save_atomic`] with an injection point: the injector
+    /// may abort the save mid-write to simulate a crash or a torn file
+    /// (the fault semantics are documented on [`CheckpointFault`]).
+    pub fn save_atomic_faulted(
+        &self,
+        path: &Path,
+        injector: &dyn FaultInjector,
+    ) -> Result<(), CheckpointError> {
+        let io = |p: &Path, e: std::io::Error| CheckpointError::Io {
+            path: p.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let bytes = serde_json::to_vec(self).map_err(|e| CheckpointError::Io {
+            path: path.to_path_buf(),
+            detail: format!("serialize checkpoint: {e}"),
+        })?;
         let tmp = path.with_extension("tmp");
-        let mut file =
-            std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
-        let bytes = serde_json::to_vec(self).map_err(|e| format!("serialize checkpoint: {e}"))?;
-        file.write_all(&bytes)
-            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        file.sync_all()
-            .map_err(|e| format!("fsync {}: {e}", tmp.display()))?;
+        match injector.checkpoint_fault(path) {
+            CheckpointFault::None => {}
+            CheckpointFault::CrashBeforeRename => {
+                // The crash window the rename protects against: tmp fully
+                // written and synced, target untouched.
+                std::fs::write(&tmp, &bytes).map_err(|e| io(&tmp, e))?;
+                return Err(CheckpointError::Injected {
+                    path: path.to_path_buf(),
+                    detail: "crash before rename (tmp written, target untouched)".into(),
+                });
+            }
+            CheckpointFault::TornWrite { keep } => {
+                // A filesystem without the atomic guarantee: a prefix of
+                // the new bytes lands directly in the target.
+                let keep = keep.min(bytes.len());
+                std::fs::write(path, &bytes[..keep]).map_err(|e| io(path, e))?;
+                return Err(CheckpointError::Injected {
+                    path: path.to_path_buf(),
+                    detail: format!("torn write ({keep} of {} bytes)", bytes.len()),
+                });
+            }
+        }
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io(&tmp, e))?;
+        file.write_all(&bytes).map_err(|e| io(&tmp, e))?;
+        file.sync_all().map_err(|e| io(&tmp, e))?;
         drop(file);
-        std::fs::rename(&tmp, path)
-            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| io(path, e))?;
         Ok(())
     }
 
     /// Load a checkpoint (or v1 `SavedModel::Online`) from `path`.
-    pub fn load(path: &Path) -> Result<Self, String> {
-        let file =
-            std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
-        serde_json::from_reader(std::io::BufReader::new(file))
-            .map_err(|e| format!("parse checkpoint {}: {e}", path.display()))
+    ///
+    /// A missing/unreadable file is [`CheckpointError::Io`]; anything that
+    /// parses wrong or fails [`Checkpoint::validate`] is
+    /// [`CheckpointError::Corrupt`] — callers can distinguish "no
+    /// checkpoint yet" from "the checkpoint is damaged, fall back".
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        let ck: Checkpoint =
+            serde_json::from_slice(&bytes).map_err(|e| CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            })?;
+        ck.validate().map_err(|detail| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        })?;
+        Ok(ck)
+    }
+
+    /// Structural consistency checks on a parsed checkpoint: pieces that
+    /// deserialize fine individually but cannot have come from one engine
+    /// are rejected here, before they can panic deep inside scoring or
+    /// restore (scaler/forest width mismatch, a zero labelling window, a
+    /// version from the future).
+    pub fn validate(&self) -> Result<(), String> {
+        let Checkpoint::Online {
+            scaler,
+            forest,
+            version,
+            labeller,
+            alarm_threshold,
+            ..
+        } = self;
+        if let Some(v) = version {
+            if *v > CHECKPOINT_VERSION {
+                return Err(format!(
+                    "version {v} is newer than this binary's {CHECKPOINT_VERSION}"
+                ));
+            }
+        }
+        if scaler.n_outputs() == 0 {
+            return Err("scaler has zero output columns".into());
+        }
+        if scaler.n_outputs() != forest.n_features() {
+            return Err(format!(
+                "scaler produces {} features but the forest expects {}",
+                scaler.n_outputs(),
+                forest.n_features()
+            ));
+        }
+        if let Some(l) = labeller {
+            if l.window() == 0 {
+                return Err("labeller window is zero (queues could never release)".into());
+            }
+        }
+        if let Some(t) = alarm_threshold {
+            if !t.is_finite() {
+                return Err(format!("alarm threshold {t} is not finite"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -132,6 +289,7 @@ mod tests {
             serde_json::to_string(&forest).unwrap()
         );
         let loaded: Checkpoint = serde_json::from_str(&v1).unwrap();
+        loaded.validate().unwrap();
         let Checkpoint::Online {
             version,
             labeller,
@@ -143,5 +301,72 @@ mod tests {
         assert!(labeller.is_none());
         assert!(alarm_threshold.is_none());
         assert!(next_seq.is_none());
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corrupt() {
+        let path = std::env::temp_dir().join("orfpred_serve_ckpt_does_not_exist.json");
+        match Checkpoint::load(&path) {
+            Err(CheckpointError::Io { .. }) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_corrupt_error() {
+        let path = std::env::temp_dir().join("orfpred_serve_ckpt_trunc_test.json");
+        let ck = tiny();
+        ck.save_atomic(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for frac in [0, full.len() / 3, full.len() - 1] {
+            std::fs::write(&path, &full[..frac]).unwrap();
+            match Checkpoint::load(&path) {
+                Err(CheckpointError::Corrupt { detail, .. }) => {
+                    assert!(!detail.is_empty());
+                }
+                other => panic!("truncation to {frac} bytes: expected Corrupt, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_document_is_rejected_by_validate() {
+        // Scaler for 2 columns, forest expecting 5: parses, must not load.
+        let Checkpoint::Online { scaler, .. } = tiny();
+        let forest = OnlineRandomForest::new(5, OrfConfig::default(), 7);
+        let bad = Checkpoint::Online {
+            scaler,
+            forest,
+            version: Some(CHECKPOINT_VERSION),
+            labeller: None,
+            alarm_threshold: Some(0.5),
+            alarms_raised: None,
+            next_seq: None,
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("forest expects"), "got: {err}");
+        let path = std::env::temp_dir().join("orfpred_serve_ckpt_inconsistent_test.json");
+        std::fs::write(&path, serde_json::to_vec(&bad).unwrap()).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let Checkpoint::Online { scaler, forest, .. } = tiny();
+        let bad = Checkpoint::Online {
+            scaler,
+            forest,
+            version: Some(CHECKPOINT_VERSION + 1),
+            labeller: None,
+            alarm_threshold: None,
+            alarms_raised: None,
+            next_seq: None,
+        };
+        assert!(bad.validate().unwrap_err().contains("newer"));
     }
 }

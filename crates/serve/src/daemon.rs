@@ -37,10 +37,14 @@ pub struct DaemonConfig {
 }
 
 /// Build the engine, restoring from the configured checkpoint if present.
+///
+/// A damaged checkpoint (torn write, truncation, inconsistent state) is a
+/// hard startup error with the typed `CheckpointError` message — silently
+/// starting fresh would discard the operator's serving state.
 fn start_engine(cfg: &DaemonConfig) -> Result<Engine, String> {
     match &cfg.checkpoint_path {
         Some(path) if path.exists() => {
-            let ck = Checkpoint::load(path)?;
+            let ck = Checkpoint::load(path).map_err(|e| e.to_string())?;
             Ok(Engine::restore(&cfg.serve, ck))
         }
         _ => Ok(Engine::new(&cfg.serve)),
@@ -134,8 +138,14 @@ pub fn run(
             .map_err(|e| format!("spawn acceptor: {e}"))?;
     }
 
-    for line in input.lines() {
-        let line = line.map_err(|e| format!("read input: {e}"))?;
+    for (line_idx, line) in (0_u64..).zip(input.lines()) {
+        let mut line = line.map_err(|e| format!("read input: {e}"))?;
+        // Fault point: the testkit corrupts chosen input lines here to
+        // prove garbage on the wire yields error responses, not state
+        // damage (tests/fault_protocol.rs).
+        if let Some(mangled) = cfg.serve.injector.mangle_line(line_idx, &line) {
+            line = mangled;
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -160,7 +170,10 @@ pub fn run(
     output.flush().map_err(|e| format!("flush output: {e}"))?;
     let finished = engine.finish().map_err(|e| format!("shutdown: {e}"))?;
     if let Some(path) = &cfg.checkpoint_path {
-        finished.checkpoint.save_atomic(path)?;
+        finished
+            .checkpoint
+            .save_atomic(path)
+            .map_err(|e| e.to_string())?;
     }
     Ok(finished)
 }

@@ -43,6 +43,7 @@
 //! [`OnlinePredictor`]: orfpred_core::OnlinePredictor
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+use crate::fault::{FaultInjector, NoFaults};
 use crate::stats::{ServeStats, StatsReport};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use orfpred_core::{
@@ -80,16 +81,22 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Publish a fresh scoring snapshot every this many applied samples.
     pub snapshot_every: u64,
+    /// Fault-injection points ([`NoFaults`] in production). Consulted by
+    /// the shard loops (kill / delayed delivery) and the checkpoint
+    /// writer; the testkit installs seeded fault plans here.
+    pub injector: Arc<dyn FaultInjector>,
 }
 
 impl ServeConfig {
-    /// Defaults: 4 shards, 1024-event queues, snapshot every 256 samples.
+    /// Defaults: 4 shards, 1024-event queues, snapshot every 256 samples,
+    /// no fault injection.
     pub fn new(predictor: OnlinePredictorConfig) -> Self {
         Self {
             predictor,
             n_shards: 4,
             queue_capacity: 1024,
             snapshot_every: 256,
+            injector: Arc::new(NoFaults),
         }
     }
 }
@@ -119,12 +126,18 @@ impl ModelSnapshot {
 pub enum ServeError {
     /// The engine has been shut down (or its writer died).
     ShuttingDown,
+    /// A worker thread panicked; the engine's state is unrecoverable and
+    /// the caller should restore from the last checkpoint.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::ShuttingDown => f.write_str("serving engine is shutting down"),
+            ServeError::WorkerPanicked => {
+                f.write_str("a serving engine thread panicked; restore from the last checkpoint")
+            }
         }
     }
 }
@@ -307,10 +320,11 @@ impl Engine {
             txs.push(tx);
             let wtx = wtx.clone();
             let stats = Arc::clone(&stats);
+            let injector = Arc::clone(&cfg.injector);
             shard_handles.push(
                 std::thread::Builder::new()
                     .name(format!("orfpred-shard-{idx}"))
-                    .spawn(move || shard_loop(idx, rx, wtx, part, &stats))
+                    .spawn(move || shard_loop(idx, rx, wtx, part, &stats, &*injector))
                     .expect("spawn shard thread"),
             );
         }
@@ -329,6 +343,7 @@ impl Engine {
             snapshot: Arc::clone(&snapshot),
             fresh_alarms: Arc::clone(&fresh_alarms),
             checkpoints: Arc::clone(&checkpoints),
+            injector: Arc::clone(&cfg.injector),
         };
         let writer_handle = std::thread::Builder::new()
             .name("orfpred-writer".into())
@@ -467,15 +482,19 @@ impl Engine {
                 .store(st.next_seq, Ordering::Relaxed);
             // txs drop here: shard channels close once drained.
         }
+        let mut panicked = false;
         for h in self.shard_handles.lock().drain(..) {
-            h.join().expect("shard thread panicked");
+            panicked |= h.join().is_err();
         }
         let writer = self
             .writer_handle
             .lock()
             .take()
             .ok_or(ServeError::ShuttingDown)?;
-        let fin = writer.join().expect("writer thread panicked");
+        let fin = writer.join().map_err(|_| ServeError::WorkerPanicked)?;
+        if panicked {
+            return Err(ServeError::WorkerPanicked);
+        }
         Ok(Finished {
             alarms: fin.alarms,
             checkpoint: Checkpoint::Online {
@@ -494,18 +513,37 @@ impl Engine {
 /// Shard thread body: apply Algorithm 2 labelling for this shard's disks
 /// and forward every event (with any released training samples attached)
 /// to the model writer.
+///
+/// The injector hooks live here: `kill_shard` makes the thread die on the
+/// spot (labelling queues and queued events lost, exactly like a crashed
+/// thread), and `delay_to_writer` holds a labelled message back until
+/// later messages have been forwarded — injected delivery reordering the
+/// writer's sequence-number reorder buffer must absorb. Held messages are
+/// flushed before any barrier so checkpoints and shutdown never wait on an
+/// injected delay.
 fn shard_loop(
     idx: usize,
     rx: Receiver<ShardMsg>,
     wtx: Sender<WriterMsg>,
     mut labeller: OnlineLabeller,
     stats: &ServeStats,
+    injector: &dyn FaultInjector,
 ) {
+    // Injected-delay holdback: (messages still to let pass first, message).
+    let mut held: Vec<(usize, WriterMsg)> = Vec::new();
     while let Ok(msg) = rx.recv() {
-        let out = match msg {
+        match msg {
             ShardMsg::Event(seq, event) => {
                 stats.shard_depths[idx].fetch_sub(1, Ordering::Relaxed);
-                match *event {
+                if injector.kill_shard(idx, seq) {
+                    // Simulated shard crash: abandon the labelling queues,
+                    // the held messages, and the channel, as a real dead
+                    // thread would. The engine reports ShuttingDown on the
+                    // next ingest routed here; recovery is restore-from-
+                    // checkpoint (tests/fault_shard.rs).
+                    return;
+                }
+                let out = match *event {
                     FleetEvent::Sample(rec) => {
                         let released = labeller.observe_sample(rec.disk_id, rec.day, &rec.features);
                         WriterMsg::Sample {
@@ -518,14 +556,49 @@ fn shard_loop(
                         seq,
                         flushed: labeller.observe_failure(disk_id),
                     },
+                };
+                let delay = injector.delay_to_writer(idx, seq);
+                if delay > 0 {
+                    held.push((delay, out));
+                } else if wtx.send(out).is_err() {
+                    return; // writer is gone; nothing left to do
+                }
+                // One more message has gone past (or joined the holdback):
+                // tick every held entry and release the expired ones.
+                let mut i = 0;
+                while i < held.len() {
+                    held[i].0 -= 1;
+                    if held[i].0 == 0 {
+                        let (_, m) = held.remove(i);
+                        if wtx.send(m).is_err() {
+                            return;
+                        }
+                    } else {
+                        i += 1;
+                    }
                 }
             }
-            ShardMsg::Checkpoint(seq) => WriterMsg::Marker {
-                seq,
-                labeller: labeller.clone(),
-                shutdown: false,
-            },
+            ShardMsg::Checkpoint(seq) => {
+                for (_, m) in held.drain(..) {
+                    if wtx.send(m).is_err() {
+                        return;
+                    }
+                }
+                let marker = WriterMsg::Marker {
+                    seq,
+                    labeller: labeller.clone(),
+                    shutdown: false,
+                };
+                if wtx.send(marker).is_err() {
+                    return;
+                }
+            }
             ShardMsg::Shutdown(seq) => {
+                for (_, m) in held.drain(..) {
+                    if wtx.send(m).is_err() {
+                        return;
+                    }
+                }
                 let _ = wtx.send(WriterMsg::Marker {
                     seq,
                     labeller,
@@ -533,9 +606,6 @@ fn shard_loop(
                 });
                 return;
             }
-        };
-        if wtx.send(out).is_err() {
-            return; // writer is gone; nothing left to do
         }
     }
 }
@@ -555,6 +625,7 @@ struct WriterThread {
     snapshot: Arc<RwLock<Arc<ModelSnapshot>>>,
     fresh_alarms: Arc<Mutex<Vec<Alarm>>>,
     checkpoints: Arc<Mutex<VecDeque<CheckpointRequest>>>,
+    injector: Arc<dyn FaultInjector>,
 }
 
 impl WriterThread {
@@ -679,7 +750,9 @@ impl WriterThread {
             alarms_raised: Some(self.alarms_raised),
             next_seq: Some(self.next_seq + 1),
         };
-        let result = ck.save_atomic(&req.path);
+        let result = ck
+            .save_atomic_faulted(&req.path, &*self.injector)
+            .map_err(|e| e.to_string());
         self.publish();
         let _ = req.done.send(result);
     }

@@ -29,11 +29,13 @@
 pub mod checkpoint;
 pub mod daemon;
 pub mod engine;
+pub mod fault;
 pub mod protocol;
 pub mod stats;
 
-pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use daemon::{run, DaemonConfig};
 pub use engine::{shard_of, Engine, Finished, ModelSnapshot, ServeConfig, ServeError};
+pub use fault::{CheckpointFault, FaultInjector, NoFaults};
 pub use protocol::{features_48, Request, Response};
 pub use stats::{LatencyHistogram, ServeStats, StatsReport};

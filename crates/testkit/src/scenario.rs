@@ -1,0 +1,193 @@
+//! Seed-derived end-to-end fault scenarios: one `(seed, size)` pair fully
+//! determines a simulated fleet, a pipeline configuration, a checkpoint
+//! cadence, a multi-fault schedule, and a shard-count rotation — then the
+//! faulted run is checked bit-for-bit against the serial golden trace.
+//!
+//! This is the randomized core of `tests/fault_sim.rs` and the whole of
+//! the hidden `orfpred faultsim` subcommand: a failing seed printed by the
+//! property runner replays here, outside the test harness, with the exact
+//! same derivation.
+
+use crate::driver::{
+    actions_with_checkpoints, checkpoint_path, compare_alarms, compare_final_state, run_faulted,
+    serial_reference, Action, DriverConfig,
+};
+use crate::plan::FaultPlan;
+use orfpred_core::OnlinePredictorConfig;
+use orfpred_serve::CheckpointFault;
+use orfpred_smart::attrs::table2_feature_columns;
+use orfpred_smart::gen::{FleetConfig, FleetEvent, FleetSim, ScalePreset};
+use orfpred_util::Xoshiro256pp;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Everything a scenario run reports back (the `faultsim` subcommand
+/// prints these; `tests/fault_sim.rs` asserts over them in aggregate).
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Total driven actions (events + checkpoint requests).
+    pub n_actions: usize,
+    /// Stream events among them.
+    pub n_events: usize,
+    /// Alarms in the (serial-equal) committed stream.
+    pub alarms: usize,
+    /// Crash recoveries the driver went through.
+    pub recoveries: u32,
+    /// Checkpoint saves aborted by injected faults.
+    pub checkpoint_failures: u32,
+    /// Checkpoint saves that succeeded (including replays).
+    pub checkpoints_taken: u32,
+    /// Human-readable description of every fault that fired, in order.
+    pub faults_fired: Vec<String>,
+    /// The schedule as planned (faults that never fired stay listed here —
+    /// e.g. a kill on a sequence number the fleet never reached).
+    pub faults_planned: Vec<String>,
+}
+
+/// Scratch directory for one scenario run; includes the pid so parallel
+/// test binaries replaying the same seed cannot collide.
+fn scenario_workdir(seed: u64, size: u32) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "orfpred_faultsim_{seed:016x}_{size}_{}",
+        std::process::id()
+    ))
+}
+
+/// Run the scenario for `(seed, size)` and verify the differential oracle:
+/// the faulted, sharded, crash-recovered run must produce the identical
+/// alarm stream and final model state as the serial replay. `Err` carries
+/// the first divergence (or a driver failure); shaped for
+/// [`crate::prop::check_shrinking`].
+pub fn run_scenario(seed: u64, size: u32) -> Result<ScenarioReport, String> {
+    let size = size.clamp(1, 300);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x0074_6573_746b_6974); // "testkit"
+
+    // --- fleet: scaled by `size`, always long enough to place failures
+    // (a failing disk needs >= 50 observed days).
+    let mut fleet = FleetConfig::sta(ScalePreset::Tiny, seed);
+    fleet.duration_days = (60 + size).min(170) as u16;
+    fleet.n_good = 10 + (size as usize / 5).min(22);
+    fleet.n_failed = 3 + rng.index(4);
+    let events: Vec<FleetEvent> = FleetSim::new(&fleet).collect();
+
+    // --- pipeline: small forest, occasionally edge-case labelling windows
+    // (W = 1 exercises the queue-length-1 paths end to end).
+    let mut predictor =
+        OnlinePredictorConfig::new(table2_feature_columns(), seed.wrapping_mul(7919) ^ 3);
+    predictor.orf.n_trees = 4 + rng.index(5);
+    predictor.orf.min_parent_size = 30.0;
+    predictor.orf.warmup_age = rng.index(12) as u64;
+    predictor.orf.lambda_neg = rng.range_f64(0.1, 0.5);
+    predictor.alarm_threshold = 0.5;
+    predictor.window_days = match rng.index(8) {
+        0 => 1,
+        1 => 2,
+        _ => 7,
+    };
+
+    // --- checkpoint cadence and the resulting action tape.
+    let every = (events.len() / (3 + rng.index(4))).max(25);
+    let n_events = events.len();
+    let actions = actions_with_checkpoints(events, every);
+    let n_actions = actions.len();
+    let checkpoint_idxs: Vec<usize> = actions
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| matches!(a, Action::Checkpoint))
+        .map(|(i, _)| i)
+        .collect();
+    // First action index at or after `i` that is an event (kills must
+    // target events; barriers never consult the kill hook).
+    let event_at_or_after = |i: usize| -> usize {
+        let mut j = i % n_actions;
+        while matches!(actions[j], Action::Checkpoint) {
+            j = (j + 1) % n_actions;
+        }
+        j
+    };
+
+    // --- fault schedule: 1–3 faults drawn from the full menu.
+    let workdir = scenario_workdir(seed, size);
+    let plan = Arc::new(FaultPlan::new());
+    let mut crash_after = Vec::new();
+    let mut planned = Vec::new();
+    for _ in 0..1 + rng.index(3) {
+        match rng.index(5) {
+            0 => {
+                // Shard kill + a forced crash soon after, guaranteeing the
+                // driver notices even if no later event routes there.
+                let s = event_at_or_after(rng.index(n_actions));
+                let c = (s + 1 + rng.index(40)).min(n_actions - 1);
+                plan.kill_at(s as u64);
+                crash_after.push(c);
+                planned.push(format!("kill at seq {s}, crash after action {c}"));
+            }
+            1 => {
+                // A burst of delivery delays: out-of-order arrival at the
+                // writer far beyond natural scheduling skew.
+                let start = rng.index(n_actions);
+                let burst = 3 + rng.index(8);
+                for k in 0..burst {
+                    let s = (start + k) % n_actions;
+                    if matches!(actions[s], Action::Event(_)) {
+                        plan.delay_at(s as u64, 1 + rng.index(5));
+                    }
+                }
+                planned.push(format!("delay burst of {burst} starting near seq {start}"));
+            }
+            2 => {
+                let i = checkpoint_idxs[rng.index(checkpoint_idxs.len())];
+                let keep = rng.index(400);
+                plan.fail_checkpoint(
+                    &checkpoint_path(&workdir, i),
+                    CheckpointFault::TornWrite { keep },
+                );
+                planned.push(format!("torn write ({keep} bytes) on checkpoint {i}"));
+            }
+            3 => {
+                let i = checkpoint_idxs[rng.index(checkpoint_idxs.len())];
+                plan.fail_checkpoint(
+                    &checkpoint_path(&workdir, i),
+                    CheckpointFault::CrashBeforeRename,
+                );
+                planned.push(format!("crash before rename on checkpoint {i}"));
+            }
+            _ => {
+                let c = rng.index(n_actions);
+                crash_after.push(c);
+                planned.push(format!("process crash after action {c}"));
+            }
+        }
+    }
+
+    // --- shard rotation: every incarnation may re-partition differently.
+    let shard_cycle: Vec<usize> = (0..4).map(|_| 1 + rng.index(4)).collect();
+
+    let (serial_alarms, serial_predictor) = serial_reference(&predictor, &actions);
+    let driver_cfg = DriverConfig {
+        predictor,
+        shard_cycle,
+        plan: Arc::clone(&plan),
+        crash_after,
+        corrupt_saved: Vec::new(),
+        workdir: workdir.clone(),
+        max_recoveries: 48,
+    };
+    let outcome = run_faulted(&driver_cfg, &actions);
+    std::fs::remove_dir_all(&workdir).ok();
+    let outcome = outcome?;
+
+    compare_alarms(&serial_alarms, &outcome.alarms)?;
+    compare_final_state(&serial_predictor, &outcome.final_checkpoint)?;
+
+    Ok(ScenarioReport {
+        n_actions,
+        n_events,
+        alarms: outcome.alarms.len(),
+        recoveries: outcome.recoveries,
+        checkpoint_failures: outcome.checkpoint_failures,
+        checkpoints_taken: outcome.checkpoints_taken,
+        faults_fired: plan.fired(),
+        faults_planned: planned,
+    })
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# CI entry point: release build, tier-1 tests, then the deterministic
+# fault-injection suites with a pinned seed set (override with
+# TESTKIT_SEEDS=1,2,3 scripts/ci.sh — see README "Testing & fault
+# injection" and DESIGN.md §9).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Pinned default so CI runs are reproducible; any failure prints an
+# `orfpred faultsim --seed <n> --size <z>` repro line.
+TESTKIT_SEEDS="${TESTKIT_SEEDS:-11,12,13,14,15,16}"
+export TESTKIT_SEEDS
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tier-1: full test suite =="
+cargo test -q
+
+echo "== fault suites (TESTKIT_SEEDS=$TESTKIT_SEEDS) =="
+cargo test -q \
+    --test fault_checkpoint \
+    --test fault_shard \
+    --test fault_reorder \
+    --test fault_protocol \
+    --test fault_labeller \
+    --test fault_sim
+
+echo "ci: all green"

@@ -1,0 +1,211 @@
+//! Labelling edge cases from Algorithm 2: failures with nothing queued,
+//! duplicate failure events, and queue-length-1 windows — checked directly
+//! on `OnlineLabeller`, end to end through the sharded engine against the
+//! serial golden trace, and property-style against an independent
+//! queue-of-`VecDeque`s reference model.
+
+use orfpred::core::{OnlineLabeller, OnlinePredictorConfig, ReleasedSample};
+use orfpred::smart::attrs::table2_feature_columns;
+use orfpred::smart::gen::{FleetConfig, FleetEvent, FleetSim, ScalePreset};
+use orfpred::util::Xoshiro256pp;
+use orfpred_testkit::{
+    actions_with_checkpoints, check_shrinking, compare_alarms, compare_final_state, run_faulted,
+    serial_reference, DriverConfig,
+};
+use std::collections::{HashMap, VecDeque};
+
+#[test]
+fn failure_with_an_empty_queue_releases_nothing() {
+    let mut l = OnlineLabeller::new(7);
+    // Never-seen disk: Algorithm 2's failure branch walks an empty queue.
+    assert!(l.observe_failure(42).is_empty());
+    assert_eq!(l.n_disks(), 0);
+
+    // A disk whose queue was already flushed behaves the same way.
+    for day in 0..3u16 {
+        l.observe_sample(1, day, &[1.0]);
+    }
+    assert_eq!(l.observe_failure(1).len(), 3);
+    assert!(l.observe_failure(1).is_empty(), "queue already flushed");
+
+    // And the labeller still works normally afterwards.
+    assert!(l.observe_sample(1, 10, &[2.0]).is_none());
+    assert_eq!(l.n_pending(), 1);
+}
+
+#[test]
+fn duplicate_failure_events_release_each_sample_exactly_once() {
+    let mut l = OnlineLabeller::new(4);
+    for day in 0..4u16 {
+        l.observe_sample(8, day, &[f32::from(day)]);
+    }
+    let first = l.observe_failure(8);
+    assert_eq!(first.len(), 4);
+    assert!(first.iter().all(|s| s.positive));
+    // The duplicate failure event must be a no-op, not a double release.
+    assert!(l.observe_failure(8).is_empty());
+    assert!(l.observe_failure(8).is_empty());
+}
+
+#[test]
+fn a_window_of_one_still_labels_every_sample_exactly_once() {
+    let mut l = OnlineLabeller::new(1);
+    // Queue length 1: every sample after the first immediately ages out
+    // its predecessor as a negative.
+    assert!(l.observe_sample(5, 0, &[0.5]).is_none());
+    for day in 1..6u16 {
+        let out = l.observe_sample(5, day, &[0.5]).expect("ages out");
+        assert_eq!(out.day, day - 1);
+        assert!(!out.positive);
+    }
+    // Exactly one sample (the newest) is flushed positive at failure.
+    let flushed = l.observe_failure(5);
+    assert_eq!(flushed.len(), 1);
+    assert_eq!(flushed[0].day, 5);
+    assert!(flushed[0].positive);
+}
+
+/// The same edge cases through the whole pipeline: a stream carrying
+/// duplicate failures and failures for never-sampled disks must leave the
+/// sharded engine bit-identical to the serial replay.
+#[test]
+fn hostile_failure_patterns_keep_the_sharded_engine_bit_exact() {
+    let mut fleet = FleetConfig::sta(ScalePreset::Tiny, 77);
+    fleet.n_good = 20;
+    fleet.n_failed = 5;
+    fleet.duration_days = 90;
+    let mut events: Vec<FleetEvent> = FleetSim::new(&fleet).collect();
+
+    // Duplicate every failure event in place and sprinkle failures for
+    // disks that never reported a sample (empty-queue branch).
+    let mut hostile = Vec::with_capacity(events.len() + 16);
+    for ev in events.drain(..) {
+        let dup = if let FleetEvent::Failure { disk_id, day } = ev {
+            Some(FleetEvent::Failure { disk_id, day })
+        } else {
+            None
+        };
+        hostile.push(ev);
+        hostile.extend(dup);
+    }
+    for k in 0..4u32 {
+        let day = 20 + k as u16 * 15;
+        hostile.insert(
+            (hostile.len() / 4) * k as usize,
+            FleetEvent::Failure {
+                disk_id: 900_000 + k,
+                day,
+            },
+        );
+    }
+
+    let mut predictor = OnlinePredictorConfig::new(table2_feature_columns(), 13);
+    predictor.orf.n_trees = 6;
+    predictor.orf.min_parent_size = 30.0;
+    predictor.orf.warmup_age = 8;
+    predictor.orf.lambda_neg = 0.25;
+    predictor.alarm_threshold = 0.5;
+
+    let actions = actions_with_checkpoints(hostile, 500);
+    let dir = std::env::temp_dir().join(format!("orfpred_fault_labeller_{}", std::process::id()));
+    let mut cfg = DriverConfig::new(predictor, dir.clone());
+    cfg.shard_cycle = vec![3];
+
+    let (serial, predictor_state) = serial_reference(&cfg.predictor, &actions);
+    let out = run_faulted(&cfg, &actions).expect("driver completes");
+    std::fs::remove_dir_all(&dir).ok();
+
+    compare_alarms(&serial, &out.alarms).unwrap();
+    compare_final_state(&predictor_state, &out.final_checkpoint).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Property test: OnlineLabeller versus an independent reference model.
+
+/// Straight-from-the-paper reference: per-disk `VecDeque`s with the release
+/// rules written out longhand, sharing no code with `OnlineLabeller`.
+#[derive(Default)]
+struct ReferenceLabeller {
+    window: usize,
+    queues: HashMap<u32, VecDeque<(u16, Vec<f32>)>>,
+}
+
+impl ReferenceLabeller {
+    fn sample(&mut self, disk: u32, day: u16, f: &[f32]) -> Option<(u32, u16, Vec<f32>, bool)> {
+        let q = self.queues.entry(disk).or_default();
+        let out = if q.len() == self.window {
+            let (d, feats) = q.pop_front().unwrap();
+            Some((disk, d, feats, false))
+        } else {
+            None
+        };
+        q.push_back((day, f.to_vec()));
+        out
+    }
+
+    fn failure(&mut self, disk: u32) -> Vec<(u32, u16, Vec<f32>, bool)> {
+        self.queues
+            .remove(&disk)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(d, f)| (disk, d, f, true))
+            .collect()
+    }
+}
+
+fn as_tuple(s: &ReleasedSample) -> (u32, u16, Vec<f32>, bool) {
+    (s.disk_id, s.day, s.features.to_vec(), s.positive)
+}
+
+fn labeller_matches_reference(seed: u64, size: u32) -> Result<(), String> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x006c_6162_656c);
+    let window = 1 + rng.index(4); // windows 1–4: smallest queues included
+    let mut real = OnlineLabeller::new(window);
+    let mut reference = ReferenceLabeller {
+        window,
+        queues: HashMap::new(),
+    };
+
+    for step in 0..size {
+        let disk = rng.index(6) as u32;
+        let day = step as u16;
+        if rng.bernoulli(0.15) {
+            // Failures hit live and dead/unknown disks alike.
+            let got: Vec<_> = real.observe_failure(disk).iter().map(as_tuple).collect();
+            let want = reference.failure(disk);
+            if got != want {
+                return Err(format!(
+                    "step {step}: failure of disk {disk} released {got:?}, reference says {want:?}"
+                ));
+            }
+        } else {
+            let f = vec![rng.range_f64(-1.0, 1.0) as f32, day as f32];
+            let got = real.observe_sample(disk, day, &f).map(|s| as_tuple(&s));
+            let want = reference.sample(disk, day, &f);
+            if got != want {
+                return Err(format!(
+                    "step {step}: sample for disk {disk} released {got:?}, reference says {want:?}"
+                ));
+            }
+        }
+    }
+
+    let pending: usize = reference.queues.values().map(VecDeque::len).sum();
+    if real.n_pending() != pending {
+        return Err(format!(
+            "pending mismatch: labeller {} vs reference {pending}",
+            real.n_pending()
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn labeller_agrees_with_the_reference_model_on_seeded_op_streams() {
+    check_shrinking(
+        "labeller vs reference model",
+        &orfpred_testkit::seeds_from_env(&orfpred_testkit::default_seeds(400, 12)),
+        250,
+        labeller_matches_reference,
+    );
+}

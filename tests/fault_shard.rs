@@ -1,0 +1,117 @@
+//! Shard-thread death: a kill drops one shard's labelling queues and every
+//! event still in its channel, exactly like a crashed thread. Recovery is
+//! restore-from-checkpoint (possibly onto a different shard count) plus
+//! replay — and the committed alarm stream must still be bit-identical to
+//! the serial golden trace.
+
+use orfpred::core::OnlinePredictorConfig;
+use orfpred::smart::attrs::table2_feature_columns;
+use orfpred::smart::gen::{FleetConfig, FleetEvent, FleetSim, ScalePreset};
+use orfpred_testkit::{
+    actions_with_checkpoints, compare_alarms, compare_final_state, run_faulted, serial_reference,
+    Action, DriverConfig,
+};
+use std::path::PathBuf;
+
+fn fleet_events(seed: u64) -> Vec<FleetEvent> {
+    let mut cfg = FleetConfig::sta(ScalePreset::Tiny, seed);
+    cfg.n_good = 28;
+    cfg.n_failed = 6;
+    cfg.duration_days = 100;
+    FleetSim::new(&cfg).collect()
+}
+
+fn predictor_cfg() -> OnlinePredictorConfig {
+    let mut cfg = OnlinePredictorConfig::new(table2_feature_columns(), 9);
+    cfg.orf.n_trees = 8;
+    cfg.orf.min_parent_size = 30.0;
+    cfg.orf.warmup_age = 10;
+    cfg.orf.lambda_neg = 0.2;
+    cfg.alarm_threshold = 0.5;
+    cfg
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("orfpred_fault_shard_{tag}_{}", std::process::id()))
+}
+
+/// The `k`-th event action index at or after `from`.
+fn event_idx(actions: &[Action], from: usize) -> usize {
+    (from..actions.len())
+        .find(|&i| matches!(actions[i], Action::Event(_)))
+        .expect("an event action exists")
+}
+
+fn run_kill_case(
+    tag: &str,
+    seed: u64,
+    shard_cycle: Vec<usize>,
+    pick_faults: impl Fn(&[Action], &mut DriverConfig),
+) -> (u32, usize) {
+    let actions = actions_with_checkpoints(fleet_events(seed), 650);
+    let dir = workdir(tag);
+    let mut cfg = DriverConfig::new(predictor_cfg(), dir.clone());
+    cfg.shard_cycle = shard_cycle;
+    pick_faults(&actions, &mut cfg);
+
+    let (serial, predictor) = serial_reference(&cfg.predictor, &actions);
+    let out = run_faulted(&cfg, &actions).expect("driver completes");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(cfg.plan.all_consumed(), "every scheduled kill fired");
+    compare_alarms(&serial, &out.alarms).unwrap();
+    compare_final_state(&predictor, &out.final_checkpoint).unwrap();
+    (out.recoveries, serial.len())
+}
+
+#[test]
+fn killed_shard_restores_from_checkpoint_bit_exactly() {
+    let (recoveries, serial_alarms) = run_kill_case("one", 2201, vec![4, 2], |actions, cfg| {
+        // Kill mid-stream, past the first checkpoint, and force the crash
+        // to be noticed shortly after.
+        let s = event_idx(actions, 900);
+        cfg.plan.kill_at(s as u64);
+        cfg.crash_after = vec![(s + 30).min(actions.len() - 1)];
+    });
+    assert!(recoveries >= 1, "the kill must force a recovery");
+    assert!(serial_alarms > 0, "stream must be non-trivial");
+}
+
+#[test]
+fn kill_before_any_checkpoint_replays_from_scratch() {
+    let (recoveries, _) = run_kill_case("scratch", 2202, vec![3, 1], |actions, cfg| {
+        // No checkpoint exists yet when this kill is noticed: the only
+        // possible recovery is a cold restart replaying from action 0.
+        let s = event_idx(actions, 10);
+        cfg.plan.kill_at(s as u64);
+        cfg.crash_after = vec![s + 5];
+    });
+    assert!(recoveries >= 1);
+}
+
+#[test]
+fn two_kills_with_different_shard_counts_per_incarnation() {
+    let (recoveries, _) = run_kill_case("double", 2203, vec![4, 1, 3], |actions, cfg| {
+        let s1 = event_idx(actions, 700);
+        let s2 = event_idx(actions, 1500);
+        cfg.plan.kill_at(s1 as u64);
+        cfg.plan.kill_at(s2 as u64);
+        cfg.crash_after = vec![s1 + 20, s2 + 20];
+    });
+    assert!(recoveries >= 2, "each kill forces its own recovery");
+}
+
+#[test]
+fn kill_on_the_final_event_is_caught_by_the_shutdown_quiesce() {
+    // No crash_after and no later ingest can notice this kill: the
+    // driver's pre-shutdown quiesce must detect the dead shard itself and
+    // recover rather than finishing with a partial state.
+    let (recoveries, _) = run_kill_case("tail", 2204, vec![2, 4], |actions, cfg| {
+        let last_event = (0..actions.len())
+            .rev()
+            .find(|&i| matches!(actions[i], Action::Event(_)))
+            .unwrap();
+        cfg.plan.kill_at(last_event as u64);
+    });
+    assert!(recoveries >= 1, "quiesce must notice the dead shard");
+}

@@ -1,0 +1,94 @@
+//! Scoring-path micro-benchmarks: the live ORF tree walk (pointer-chasing
+//! through slot pools and enum nodes) versus the frozen struct-of-arrays
+//! kernel, single-row and batch — the measurement behind the frozen layer's
+//! ≥2x single-row claim (`BENCH_score.json` records the trajectory).
+//!
+//! The forest is paper-scale: 30 trees warmed on 8k samples of a thinned
+//! disk stream, exactly like `orf.rs`'s prediction bench.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orfpred_core::{OnlineRandomForest, OrfConfig};
+use orfpred_util::{Matrix, Xoshiro256pp};
+use std::hint::black_box;
+
+const N_FEATURES: usize = 8;
+const N_PROBES: usize = 1_000;
+
+fn stream(n: usize, seed: u64) -> Vec<([f32; N_FEATURES], bool)> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut x = [0.0f32; N_FEATURES];
+            for v in &mut x {
+                *v = rng.next_f32();
+            }
+            let pos = rng.bernoulli(0.03) && x[0] > 0.4;
+            (x, pos)
+        })
+        .collect()
+}
+
+fn warmed_forest() -> OnlineRandomForest {
+    let cfg = OrfConfig {
+        n_trees: 30,
+        n_tests: 200,
+        min_parent_size: 100.0,
+        min_gain: 0.01,
+        lambda_neg: 0.05,
+        ..OrfConfig::default()
+    };
+    let mut f = OnlineRandomForest::new(N_FEATURES, cfg, 7);
+    for (x, y) in stream(8_000, 1) {
+        f.update(&x, y);
+    }
+    f
+}
+
+fn bench_score(c: &mut Criterion) {
+    let forest = warmed_forest();
+    let frozen = forest.freeze();
+    let probes = stream(N_PROBES, 4);
+    let mut batch = Matrix::with_capacity(N_FEATURES, probes.len());
+    for (x, _) in &probes {
+        batch.push_row(x);
+    }
+
+    let mut group = c.benchmark_group("score");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+
+    // The pre-refactor hot path: walk every live tree's enum nodes.
+    group.bench_function("live_walk_1k_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (x, _) in &probes {
+                acc += forest.score(black_box(x));
+            }
+            acc
+        });
+    });
+
+    // Frozen kernel, one row at a time — same call shape as the live walk.
+    group.bench_function("frozen_single_1k_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (x, _) in &probes {
+                acc += frozen.score(black_box(x));
+            }
+            acc
+        });
+    });
+
+    // Frozen kernel over a Matrix — the eval/serve batch path.
+    group.bench_function("frozen_batch_1k_rows", |b| {
+        b.iter(|| frozen.score_batch(black_box(&batch)).len());
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_score
+);
+criterion_main!(benches);

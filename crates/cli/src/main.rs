@@ -6,6 +6,7 @@
 //! orfpred score    --csv fleet.csv --model model.json [--tau T] [--top K]
 //! orfpred eval     --csv fleet.csv --model model.json [--target-far F]
 //! orfpred inspect  --csv fleet.csv
+//! orfpred model    inspect --model model.json [--top K]
 //! orfpred drift    --csv fleet.csv [--top N]
 //! orfpred assess   --csv fleet.csv [--seed N]
 //! orfpred serve    [--shards N] [--listen ADDR] [--checkpoint PATH]
@@ -23,6 +24,9 @@
 //! * `eval` computes per-disk FDR/FAR at a FAR-pinned operating point plus
 //!   AUC on a held-out 30 % disk split;
 //! * `inspect` prints dataset statistics;
+//! * `model inspect` compiles a saved model to the frozen scoring layout
+//!   and prints its anatomy: node counts, depth histogram, memory
+//!   footprint, and the top-k feature importances;
 //! * `drift` measures healthy-population distribution shift between the
 //!   first and last month — the early warning that an offline model is
 //!   aging;
@@ -111,7 +115,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: orfpred <simulate|train|score|eval|inspect|drift|assess> [options]\n\
+            "usage: orfpred <simulate|train|score|eval|inspect|model|drift|assess> [options]\n\
              run `orfpred <command> --help` conventions: see crate docs"
         );
         return ExitCode::from(2);
@@ -122,6 +126,7 @@ fn main() -> ExitCode {
         "score" => score(&argv[1..]),
         "eval" => evaluate(&argv[1..]),
         "inspect" => inspect(&argv[1..]),
+        "model" => model_cmd(&argv[1..]),
         "drift" => drift(&argv[1..]),
         "assess" => assess(&argv[1..]),
         "serve" => serve(&argv[1..]),
@@ -190,18 +195,24 @@ fn score(argv: &[String]) -> Result<(), String> {
     let top: usize = args.parse_num("top", 20)?;
 
     // Per-disk max score over the most recent week of samples — "who is at
-    // risk right now".
+    // risk right now". The saved model is compiled once into the frozen
+    // layout and each disk's recent rows go through the batch kernel.
+    let frozen = saved.freeze();
     let by_disk = ds.records_by_disk();
     let mut risks: Vec<(f32, u32)> = ds
         .disks
         .iter()
         .map(|d| {
             let recent = d.last_day.saturating_sub(7);
-            let best = by_disk[d.disk_id as usize]
+            let rows: Vec<&[f32]> = by_disk[d.disk_id as usize]
                 .iter()
                 .map(|&pos| &ds.records[pos])
                 .filter(|r| r.day >= recent)
-                .map(|r| saved.score(&r.features))
+                .map(|r| r.features.as_slice())
+                .collect();
+            let best = frozen
+                .score_rows(&rows)
+                .into_iter()
                 .fold(f32::NEG_INFINITY, f32::max);
             (best, d.disk_id)
         })
@@ -230,10 +241,11 @@ fn evaluate(argv: &[String]) -> Result<(), String> {
 
     let mut rng = orfpred_util::Xoshiro256pp::seed_from_u64(seed);
     let split = orfpred_eval::split::DiskSplit::stratified(&ds, 0.7, &mut rng);
+    let frozen = saved.freeze();
     let scored = orfpred_eval::metrics::scored_disks_with(
         &ds,
         &split.test,
-        &|_, rec| saved.score(&rec.features),
+        &|_, rec| frozen.score(&rec.features),
         7,
         0,
         ds.duration_days.saturating_add(1),
@@ -373,6 +385,86 @@ fn faultsim(argv: &[String]) -> Result<(), String> {
         }
         for fault in &report.faults_planned {
             println!("  planned: {fault}");
+        }
+    }
+    Ok(())
+}
+
+fn model_cmd(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("inspect") => model_inspect(&argv[1..]),
+        Some(other) => Err(format!("unknown model action '{other}' (inspect)")),
+        None => Err("usage: orfpred model inspect --model model.json [--top K]".into()),
+    }
+}
+
+/// `orfpred model inspect --model model.json [--top K]`: compile the saved
+/// model to the frozen layout and print its anatomy.
+fn model_inspect(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let saved = SavedModel::load(args.require("model")?)?;
+    let top: usize = args.parse_num("top", 10)?;
+    // Footprint of the live representation before compiling: the ORF
+    // carries its per-leaf candidate-test pools (the dominant cost the
+    // frozen layout sheds); the offline RF has none.
+    let live_pool_bytes = match &saved {
+        SavedModel::Online { forest, .. } => Some(forest.test_pool_bytes()),
+        SavedModel::Offline { .. } => None,
+    };
+    let frozen = saved.freeze();
+    let f = frozen.forest();
+
+    println!("{}", frozen.kind());
+    println!(
+        "trees: {}   nodes: {}   leaves: {}   features: {}",
+        f.n_trees(),
+        f.n_nodes(),
+        f.n_leaves(),
+        f.n_features()
+    );
+    let counts = f.tree_node_counts();
+    let (min, max) = (
+        counts.iter().min().copied().unwrap_or(0),
+        counts.iter().max().copied().unwrap_or(0),
+    );
+    println!(
+        "nodes per tree: min {min} / mean {:.0} / max {max}",
+        f.n_nodes() as f64 / f.n_trees() as f64
+    );
+    println!("max depth: {}", f.max_depth());
+    println!("depth histogram (leaves at each depth):");
+    let hist = f.depth_histogram();
+    let widest = hist.iter().copied().max().unwrap_or(1).max(1);
+    for (d, &n) in hist.iter().enumerate() {
+        let bar = "#".repeat(((n * 40).div_ceil(widest)) as usize);
+        println!("  {d:>3} | {n:>8} {bar}");
+    }
+    match live_pool_bytes {
+        Some(pool) => println!(
+            "frozen footprint: {} bytes ({} per tree); live candidate-test pools were {} bytes",
+            f.memory_bytes(),
+            f.memory_bytes() / f.n_trees(),
+            pool
+        ),
+        None => println!(
+            "frozen footprint: {} bytes ({} per tree)",
+            f.memory_bytes(),
+            f.memory_bytes() / f.n_trees()
+        ),
+    }
+    let ranked = f.top_importances(top);
+    if !ranked.is_empty() {
+        println!("top {} feature importances:", ranked.len());
+        // Models in this repo train on the Table 2 column selection, so a
+        // matching width lets us name each feature; otherwise print indices.
+        let cols = orfpred_smart::attrs::table2_feature_columns();
+        for (idx, w) in ranked {
+            let name = if f.n_features() == cols.len() {
+                orfpred_smart::attrs::feature_name(cols[idx])
+            } else {
+                format!("feature_{idx}")
+            };
+            println!("  {name:>22}  {:.4}", w);
         }
     }
     Ok(())

@@ -13,8 +13,8 @@ use orfpred_eval::prep::{build_matrix, stream_orf, training_labels};
 use orfpred_smart::attrs::table2_feature_columns;
 use orfpred_smart::record::Dataset;
 use orfpred_smart::scale::{MinMaxScaler, OnlineMinMax};
-use orfpred_trees::{ForestConfig, RandomForest};
-use orfpred_util::Xoshiro256pp;
+use orfpred_trees::{ForestConfig, FrozenForest, RandomForest};
+use orfpred_util::{Matrix, Xoshiro256pp};
 use serde::{Deserialize, Serialize};
 
 /// A trained model plus the preprocessing it expects.
@@ -86,7 +86,10 @@ impl SavedModel {
         })
     }
 
-    /// Risk score of a raw 48-column snapshot.
+    /// Risk score of a raw 48-column snapshot via the live tree walk — the
+    /// reference the frozen path is asserted bit-identical against. Every
+    /// operational scoring path goes through [`Self::freeze`] instead.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn score(&self, features: &[f32]) -> f32 {
         match self {
             SavedModel::Offline { scaler, forest } => forest.score(&scaler.transform(features)),
@@ -114,6 +117,83 @@ impl SavedModel {
         let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
         serde_json::from_reader(std::io::BufReader::new(file))
             .map_err(|e| format!("parse model {path}: {e}"))
+    }
+
+    /// Compile into the flat scoring representation; scores bit-identical
+    /// to [`Self::score`] at the freeze point.
+    pub fn freeze(&self) -> FrozenModel {
+        match self {
+            SavedModel::Offline { scaler, forest } => FrozenModel::Offline {
+                scaler: scaler.clone(),
+                forest: forest.freeze(),
+            },
+            SavedModel::Online { scaler, forest, .. } => FrozenModel::Online {
+                scaler: scaler.clone(),
+                forest: forest.freeze(),
+            },
+        }
+    }
+}
+
+/// A [`SavedModel`] compiled for scoring: the flat frozen forest plus the
+/// matching preprocessing. This is what every CLI scoring path runs.
+pub enum FrozenModel {
+    /// Frozen offline RF + offline scaler.
+    Offline {
+        /// Scaler fitted on the training rows.
+        scaler: MinMaxScaler,
+        /// Compiled forest.
+        forest: FrozenForest,
+    },
+    /// Frozen ORF (mature pool at freeze time) + streaming scaler state.
+    Online {
+        /// Streaming scaler at the freeze point.
+        scaler: OnlineMinMax,
+        /// Compiled forest.
+        forest: FrozenForest,
+    },
+}
+
+impl FrozenModel {
+    /// Risk score of a raw 48-column snapshot.
+    pub fn score(&self, features: &[f32]) -> f32 {
+        match self {
+            FrozenModel::Offline { scaler, forest } => forest.score(&scaler.transform(features)),
+            FrozenModel::Online { scaler, forest } => forest.score(&scaler.transform(features)),
+        }
+    }
+
+    /// Batch-score raw rows: scale once, then run the frozen batch kernel.
+    pub fn score_rows(&self, rows: &[&[f32]]) -> Vec<f32> {
+        let mut scaled = Matrix::with_capacity(self.forest().n_features(), rows.len());
+        match self {
+            FrozenModel::Offline { scaler, .. } => {
+                for r in rows {
+                    scaled.push_row(&scaler.transform(r));
+                }
+            }
+            FrozenModel::Online { scaler, .. } => {
+                for r in rows {
+                    scaled.push_row(&scaler.transform(r));
+                }
+            }
+        }
+        self.forest().score_batch(&scaled)
+    }
+
+    /// The compiled forest (inspection / batch paths).
+    pub fn forest(&self) -> &FrozenForest {
+        match self {
+            FrozenModel::Offline { forest, .. } | FrozenModel::Online { forest, .. } => forest,
+        }
+    }
+
+    /// Human-readable kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FrozenModel::Offline { .. } => "offline random forest (frozen)",
+            FrozenModel::Online { .. } => "online random forest (frozen)",
+        }
     }
 }
 
@@ -216,6 +296,33 @@ mod tests {
             assert_eq!(model.score(&rec.features), back.score(&rec.features));
         }
         std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn frozen_model_matches_saved_model_bitwise() {
+        let ds = dataset();
+        for model in [
+            SavedModel::train_offline(&ds, Some(3.0), 1).unwrap(),
+            SavedModel::train_online(&ds, 2).unwrap(),
+        ] {
+            let frozen = model.freeze();
+            let rows: Vec<&[f32]> = ds
+                .records
+                .iter()
+                .take(100)
+                .map(|r| r.features.as_slice())
+                .collect();
+            let batch = frozen.score_rows(&rows);
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(
+                    frozen.score(r).to_bits(),
+                    model.score(r).to_bits(),
+                    "{} row {i}",
+                    frozen.kind()
+                );
+                assert_eq!(batch[i].to_bits(), model.score(r).to_bits());
+            }
+        }
     }
 
     #[test]

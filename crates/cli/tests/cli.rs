@@ -61,6 +61,25 @@ fn full_workflow_simulate_train_score_eval() {
     );
     assert!(model_path.exists());
 
+    // model inspect
+    let out = bin()
+        .args(["model", "inspect", "--model", &model, "--top", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "model inspect failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("offline random forest (frozen)"), "{text}");
+    assert!(text.contains("depth histogram"), "{text}");
+    assert!(text.contains("frozen footprint"), "{text}");
+    assert!(
+        text.contains("smart_"),
+        "inspect must name features: {text}"
+    );
+
     // score
     let out = bin()
         .args(["score", "--csv", &csv, "--model", &model, "--top", "5"])

@@ -248,6 +248,43 @@ impl OnlineRandomForest {
             .map(|s| (s.age, s.oobe(), s.tree.n_splits()))
             .collect()
     }
+
+    /// Approximate heap footprint of all candidate-test pools, in bytes —
+    /// the growth state a [`freeze`](Self::freeze) discards.
+    pub fn test_pool_bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.tree.test_pool_bytes()).sum()
+    }
+
+    /// Compile the current scoring ensemble into the flat
+    /// [`orfpred_trees::FrozenForest`] representation.
+    ///
+    /// Captures exactly the pool [`Self::score`] would consult *right now*:
+    /// mature trees (`age >= warmup_age`), or every tree while the forest is
+    /// still young — in slot order, so frozen scores are bit-identical to
+    /// live scores at the freeze point. Importances are accumulated over all
+    /// slots, matching [`Self::importances`].
+    pub fn freeze(&self) -> orfpred_trees::FrozenForest {
+        let mut b = orfpred_trees::FrozenBuilder::new(self.n_features);
+        let mature: Vec<&TreeSlot> = self
+            .slots
+            .iter()
+            .filter(|s| s.age >= self.cfg.warmup_age)
+            .collect();
+        if mature.is_empty() {
+            for s in &self.slots {
+                s.tree.freeze_into(&mut b);
+            }
+        } else {
+            for s in mature {
+                s.tree.freeze_into(&mut b);
+            }
+        }
+        let mut acc = vec![0.0; self.n_features];
+        for s in &self.slots {
+            s.tree.add_importances(&mut acc);
+        }
+        b.finish(acc)
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +458,29 @@ mod tests {
         let imp = f.importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9, "normalized");
         assert!(imp[0] > 0.7, "feature 0 carries the signal: {imp:?}");
+    }
+
+    #[test]
+    fn frozen_forest_matches_live_scores_bitwise() {
+        let mut f = OnlineRandomForest::new(2, cfg_fast(), 21);
+        // Young forest: no tree has reached warmup_age, so both live and
+        // frozen scoring must fall back to the full slot set.
+        let young = f.freeze();
+        assert_eq!(young.n_trees(), 12);
+        feed_separable(&mut f, 2_000, 22);
+        let frozen = f.freeze();
+        assert_eq!(frozen.importances(), &f.importances()[..]);
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        for _ in 0..200 {
+            let probe = [rng.next_f32(), rng.next_f32()];
+            assert_eq!(
+                frozen.score(&probe).to_bits(),
+                f.score(&probe).to_bits(),
+                "probe {probe:?}"
+            );
+        }
+        assert!(f.test_pool_bytes() > 0);
+        assert!(frozen.memory_bytes() < f.test_pool_bytes());
     }
 
     #[test]

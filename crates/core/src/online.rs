@@ -185,6 +185,13 @@ impl OnlinePredictor {
     pub fn alarms_raised(&self) -> u64 {
         self.alarms_raised
     }
+
+    /// Freeze the current model state for batch scoring: the compiled
+    /// forest plus a copy of the streaming scaler. Scoring a raw row with
+    /// the pair is bit-identical to [`Self::score_row`] at the freeze point.
+    pub fn freeze(&self) -> (orfpred_trees::FrozenForest, OnlineMinMax) {
+        (self.forest.freeze(), self.scaler.clone())
+    }
 }
 
 #[cfg(test)]

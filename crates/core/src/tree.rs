@@ -297,6 +297,39 @@ impl OnlineTree {
             })
             .sum()
     }
+
+    /// Re-emit this tree into a frozen-forest builder, dropping the
+    /// candidate-test pools: each leaf freezes to the exact value
+    /// [`Self::score`] would return there (`pos_fraction() as f32`).
+    pub(crate) fn freeze_into(&self, b: &mut orfpred_trees::FrozenBuilder) {
+        use orfpred_trees::SourceNode;
+        b.add_tree(0, &mut |i| match &self.nodes[i as usize] {
+            Node::Leaf { counts, .. } => SourceNode::Leaf {
+                value: counts.pos_fraction() as f32,
+            },
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => SourceNode::Split {
+                feature: *feature,
+                threshold: *threshold,
+                left: *left,
+                right: *right,
+            },
+        });
+    }
+
+    /// Compile this tree into the flat scoring representation (a one-tree
+    /// [`orfpred_trees::FrozenForest`]); bit-identical to [`Self::score`].
+    pub fn freeze(&self) -> orfpred_trees::FrozenForest {
+        let mut b = orfpred_trees::FrozenBuilder::new(self.n_features);
+        self.freeze_into(&mut b);
+        let mut imp = vec![0.0; self.n_features];
+        self.add_importances(&mut imp);
+        b.finish(imp)
+    }
 }
 
 #[cfg(test)]

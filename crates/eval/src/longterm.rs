@@ -19,7 +19,7 @@
 use crate::metrics::{monthly_outcome_with, scored_disks_censored, MonthlyOutcome};
 use crate::prep::{build_matrix, training_labels, training_labels_range};
 use crate::report::{Figure, Series};
-use crate::scorer::{RfScorer, Scorer};
+use crate::scorer::{FrozenScorer, Scorer};
 use crate::split::DiskSplit;
 use orfpred_core::{OnlinePredictor, OnlinePredictorConfig, OrfConfig};
 use orfpred_smart::record::Dataset;
@@ -190,8 +190,8 @@ pub fn run_longterm(ds: &Dataset, cfg: &LongtermConfig) -> LongtermResult {
     let initial_labels = training_labels(ds, &tune_split.is_train, w0, cfg.window);
     let frozen = build_matrix(ds, &initial_labels, &cfg.cols, cfg.lambda, &mut rng).map(|tm| {
         let model = RandomForest::fit(&tm.x, &tm.y, &cfg.forest, rng.next_u64());
-        RfScorer {
-            model,
+        FrozenScorer {
+            forest: model.freeze(),
             scaler: tm.scaler,
         }
     });
@@ -358,8 +358,8 @@ fn train_and_eval(
         return nan_outcome(month);
     };
     let model = RandomForest::fit(&tm.x, &tm.y, &cfg.forest, rng.next_u64());
-    let scorer = RfScorer {
-        model,
+    let scorer = FrozenScorer {
+        forest: model.freeze(),
         scaler: tm.scaler,
     };
     // Tune on held-out disks over the visible past only (no future leakage,

@@ -12,7 +12,7 @@
 use crate::metrics::score_test_disks;
 use crate::prep::{build_matrix, training_labels};
 use crate::report::{Figure, Series};
-use crate::scorer::{DtScorer, PredictorScorer, RfScorer, SvmScorer};
+use crate::scorer::{FrozenOrfScorer, FrozenScorer, SvmScorer};
 use crate::split::DiskSplit;
 use orfpred_core::{OnlinePredictor, OnlinePredictorConfig, OrfConfig};
 use orfpred_smart::record::Dataset;
@@ -188,12 +188,16 @@ pub fn run_monthly(ds: &Dataset, cfg: &MonthlyConfig) -> MonthlyResult {
             cursor += 1;
         }
 
-        // Evaluate every model on the full test set at FAR ≈ target.
+        // Evaluate every model on the full test set at FAR ≈ target. The
+        // ORF is frozen at the month boundary — batch evaluation scores a
+        // fixed model state, so the flat representation applies.
+        let (orf_frozen, orf_scaler) = predictor.freeze();
         let orf_scored = score_test_disks(
             ds,
             &split.test,
-            &PredictorScorer {
-                predictor: &predictor,
+            &FrozenOrfScorer {
+                forest: orf_frozen,
+                scaler: orf_scaler,
             },
             cfg.window,
         );
@@ -206,8 +210,8 @@ pub fn run_monthly(ds: &Dataset, cfg: &MonthlyConfig) -> MonthlyResult {
             None => (None, None, None),
             Some(tm) => {
                 let rf = RandomForest::fit(&tm.x, &tm.y, &cfg.forest, rng.next_u64());
-                let rf_scorer = RfScorer {
-                    model: rf,
+                let rf_scorer = FrozenScorer {
+                    forest: rf.freeze(),
                     scaler: tm.scaler.clone(),
                 };
                 let rf_scored = score_test_disks(ds, &split.test, &rf_scorer, cfg.window);
@@ -224,8 +228,8 @@ pub fn run_monthly(ds: &Dataset, cfg: &MonthlyConfig) -> MonthlyResult {
                             ..cfg.dt.clone()
                         };
                         let dt = DecisionTree::fit(&tm.x, &tm.y, &dt_cfg, &mut rng);
-                        let dt_scorer = DtScorer {
-                            model: dt,
+                        let dt_scorer = FrozenScorer {
+                            forest: dt.freeze(),
                             scaler: tm.scaler.clone(),
                         };
                         score_test_disks(ds, &split.test, &dt_scorer, cfg.window)

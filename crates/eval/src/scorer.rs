@@ -11,7 +11,8 @@ use orfpred_core::{OnlinePredictor, OnlineRandomForest};
 use orfpred_smart::scale::{MinMaxScaler, OnlineMinMax};
 use orfpred_svm::Svm;
 use orfpred_trees::threshold::ThresholdModel;
-use orfpred_trees::{DecisionTree, RandomForest};
+use orfpred_trees::{DecisionTree, FrozenForest, RandomForest};
+use orfpred_util::Matrix;
 
 /// Anything that can score a raw SMART snapshot.
 pub trait Scorer: Sync {
@@ -87,6 +88,65 @@ impl Scorer for OrfScorer<'_> {
         let mut scaled = vec![0.0f32; self.scaler.n_outputs()];
         self.scaler.transform_into(features, &mut scaled);
         self.forest.score(&scaled)
+    }
+}
+
+/// A frozen forest + the offline scaler it was trained behind — the batch
+/// scoring path every *offline* tree model (DT, RF) funnels through after
+/// `freeze()`. Scores are bit-identical to the live model's.
+pub struct FrozenScorer {
+    /// Compiled forest.
+    pub forest: FrozenForest,
+    /// Scaler fitted on the model's training rows.
+    pub scaler: MinMaxScaler,
+}
+
+impl Scorer for FrozenScorer {
+    fn score_raw(&self, features: &[f32]) -> f32 {
+        self.forest.score(&self.scaler.transform(features))
+    }
+}
+
+impl FrozenScorer {
+    /// Batch-score raw rows: scale once into a [`Matrix`], then run the
+    /// frozen batch kernel. Equivalent to mapping [`Scorer::score_raw`].
+    pub fn score_raw_batch(&self, rows: &[&[f32]]) -> Vec<f32> {
+        let mut scaled = Matrix::with_capacity(self.scaler.n_outputs(), rows.len());
+        for r in rows {
+            scaled.push_row(&self.scaler.transform(r));
+        }
+        self.forest.score_batch(&scaled)
+    }
+}
+
+/// A frozen forest + the *streaming* scaler state it was frozen with — the
+/// batch scoring path for online models (ORF, `OnlinePredictor::freeze`).
+pub struct FrozenOrfScorer {
+    /// Compiled forest (the mature scoring pool at freeze time).
+    pub forest: FrozenForest,
+    /// Streaming scaler at the same point in the stream.
+    pub scaler: OnlineMinMax,
+}
+
+impl Scorer for FrozenOrfScorer {
+    fn score_raw(&self, features: &[f32]) -> f32 {
+        let mut scaled = vec![0.0f32; self.scaler.n_outputs()];
+        self.scaler.transform_into(features, &mut scaled);
+        self.forest.score(&scaled)
+    }
+}
+
+impl FrozenOrfScorer {
+    /// Batch-score raw rows: scale once into a [`Matrix`], then run the
+    /// frozen batch kernel. Equivalent to mapping [`Scorer::score_raw`].
+    pub fn score_raw_batch(&self, rows: &[&[f32]]) -> Vec<f32> {
+        let mut scaled_row = vec![0.0f32; self.scaler.n_outputs()];
+        let mut scaled = Matrix::with_capacity(self.scaler.n_outputs(), rows.len());
+        for r in rows {
+            self.scaler.transform_into(r, &mut scaled_row);
+            scaled.push_row(&scaled_row);
+        }
+        self.forest.score_batch(&scaled)
     }
 }
 
@@ -183,6 +243,43 @@ mod tests {
         safe[3] = 10.0;
         assert!(scorer.score_raw(&risky) > 0.9);
         assert!(scorer.score_raw(&safe) < 0.1);
+    }
+
+    #[test]
+    fn frozen_scorer_matches_live_rf_scorer_bitwise() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut raw_rows: Vec<[f32; N_FEATURES]> = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..300 {
+            let mut row = [0.0f32; N_FEATURES];
+            row[3] = rng.next_f32() * 100.0;
+            row[7] = rng.next_f32() * 10.0;
+            y.push(row[3] > 50.0);
+            raw_rows.push(row);
+        }
+        let scaler = MinMaxScaler::fit(raw_rows.iter().map(|r| r.as_slice()), &[3, 7]);
+        let mut x = Matrix::new(2);
+        for r in &raw_rows {
+            x.push_row(&scaler.transform(r));
+        }
+        let model = orfpred_trees::RandomForest::fit(
+            &x,
+            &y,
+            &orfpred_trees::ForestConfig::default(),
+            rng.next_u64(),
+        );
+        let frozen = FrozenScorer {
+            forest: model.freeze(),
+            scaler: scaler.clone(),
+        };
+        let live = RfScorer { model, scaler };
+        let refs: Vec<&[f32]> = raw_rows.iter().map(|r| r.as_slice()).collect();
+        let batch = frozen.score_raw_batch(&refs);
+        for (i, r) in refs.iter().enumerate() {
+            let f = frozen.score_raw(r);
+            assert_eq!(f.to_bits(), live.score_raw(r).to_bits(), "row {i}");
+            assert_eq!(f.to_bits(), batch[i].to_bits(), "batch row {i}");
+        }
     }
 
     #[test]

@@ -187,6 +187,13 @@ pub fn run_streaming(fleet: &FleetConfig, cfg: &StreamingConfig) -> StreamingRes
     let rf = RandomForest::fit(&x, &y, &cfg.forest, rng.next_u64());
 
     // ---- Pass 2: score the test disks with both final models. ----
+    // Both models are fixed from here on, so they are frozen into the flat
+    // scoring representation and rows are scored in batches: accumulate a
+    // chunk of scaled rows per model, fan the chunk out through the frozen
+    // batch kernel, then fold scores into the per-disk maxima (per-disk max
+    // is order-insensitive, so chunking cannot change the result).
+    let rf_frozen = rf.freeze();
+    let orf_frozen = orf.freeze();
     #[derive(Clone, Copy)]
     struct Maxima {
         rf: f32,
@@ -199,7 +206,23 @@ pub fn run_streaming(fleet: &FleetConfig, cfg: &StreamingConfig) -> StreamingRes
         };
         infos.len()
     ];
+    const CHUNK_ROWS: usize = 4096;
     let mut buf = vec![0.0f32; cfg.cols.len()];
+    let mut rf_chunk = Matrix::with_capacity(cfg.cols.len(), CHUNK_ROWS);
+    let mut orf_chunk = Matrix::with_capacity(cfg.cols.len(), CHUNK_ROWS);
+    let mut chunk_disks: Vec<u32> = Vec::with_capacity(CHUNK_ROWS);
+    let mut flush = |rf_chunk: &mut Matrix, orf_chunk: &mut Matrix, chunk_disks: &mut Vec<u32>| {
+        let rf_scores = rf_frozen.score_batch(rf_chunk);
+        let orf_scores = orf_frozen.score_batch(orf_chunk);
+        for (i, &disk) in chunk_disks.iter().enumerate() {
+            let m = &mut maxima[disk as usize];
+            m.rf = m.rf.max(rf_scores[i]);
+            m.orf = m.orf.max(orf_scores[i]);
+        }
+        *rf_chunk = Matrix::with_capacity(cfg.cols.len(), CHUNK_ROWS);
+        *orf_chunk = Matrix::with_capacity(cfg.cols.len(), CHUNK_ROWS);
+        chunk_disks.clear();
+    };
     for ev in FleetSim::new(fleet) {
         let FleetEvent::Sample(rec) = ev else {
             continue;
@@ -214,12 +237,16 @@ pub fn run_streaming(fleet: &FleetConfig, cfg: &StreamingConfig) -> StreamingRes
         if info.failed != in_window {
             continue;
         }
-        let m = &mut maxima[rec.disk_id as usize];
         scaler.transform_into(&rec.features, &mut buf);
-        m.rf = m.rf.max(rf.score(&buf));
+        rf_chunk.push_row(&buf);
         orf_scaler.transform_into(&rec.features, &mut buf);
-        m.orf = m.orf.max(orf.score(&buf));
+        orf_chunk.push_row(&buf);
+        chunk_disks.push(rec.disk_id);
+        if chunk_disks.len() == CHUNK_ROWS {
+            flush(&mut rf_chunk, &mut orf_chunk, &mut chunk_disks);
+        }
     }
+    flush(&mut rf_chunk, &mut orf_chunk, &mut chunk_disks);
 
     let mut rf_scored = ScoredDisks::default();
     let mut orf_scored = ScoredDisks::default();

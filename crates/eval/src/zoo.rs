@@ -8,7 +8,7 @@
 
 use crate::prep::{build_matrix, stream_orf, training_labels};
 use crate::scorer::{
-    DtScorer, GbdtScorer, MdScorer, NbScorer, OrfScorer, RfScorer, Scorer, SvmScorer,
+    FrozenOrfScorer, FrozenScorer, GbdtScorer, MdScorer, NbScorer, Scorer, SvmScorer,
     ThresholdScorer,
 };
 use crate::split::DiskSplit;
@@ -153,8 +153,8 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
         "Decision tree",
         "Li et al. 2014 (CART)",
         t0.elapsed().as_millis() as u64,
-        &DtScorer {
-            model: dt,
+        &FrozenScorer {
+            forest: dt.freeze(),
             scaler: tm.scaler.clone(),
         },
     );
@@ -203,22 +203,22 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
         "Random forest",
         "Breiman 2001 (paper's offline RF)",
         t0.elapsed().as_millis() as u64,
-        &RfScorer {
-            model: rf,
+        &FrozenScorer {
+            forest: rf.freeze(),
             scaler: tm.scaler.clone(),
         },
     );
 
-    // ORF (chronological replay).
+    // ORF (chronological replay; frozen for the fixed-state evaluation).
     let t0 = std::time::Instant::now();
     let (forest, scaler) = stream_orf(ds, &labels, &cfg.cols, &cfg.orf, cfg.seed ^ 0x0f);
     add(
         "ORF (this paper)",
         "Xiao et al. 2018",
         t0.elapsed().as_millis() as u64,
-        &OrfScorer {
-            forest: &forest,
-            scaler: &scaler,
+        &FrozenOrfScorer {
+            forest: forest.freeze(),
+            scaler,
         },
     );
 

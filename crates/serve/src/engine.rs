@@ -43,6 +43,7 @@
 //! [`OnlinePredictor`]: orfpred_core::OnlinePredictor
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+use crate::epoch::EpochCell;
 use crate::fault::{FaultInjector, NoFaults};
 use crate::stats::{ServeStats, StatsReport};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -52,7 +53,8 @@ use orfpred_core::{
 use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use orfpred_smart::scale::OnlineMinMax;
-use parking_lot::{Mutex, RwLock};
+use orfpred_trees::FrozenForest;
+use parking_lot::Mutex;
 use std::collections::{BinaryHeap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
@@ -102,12 +104,14 @@ impl ServeConfig {
 }
 
 /// Immutable published model state; scoring reads never contend with the
-/// writer (they clone an `Arc` out of the slot and work on frozen state).
+/// writer (they load an `Arc` out of the epoch cell and work on frozen
+/// state).
 pub struct ModelSnapshot {
     /// Streaming scaler state at publication time.
     pub scaler: OnlineMinMax,
-    /// Forest state at publication time.
-    pub forest: OnlineRandomForest,
+    /// The forest at publication time, compiled to the flat scoring
+    /// representation (no candidate-test pools, no growth state).
+    pub forest: FrozenForest,
     /// Alarm operating point.
     pub alarm_threshold: f32,
 }
@@ -231,7 +235,7 @@ struct IngestState {
 pub struct Engine {
     ingest: Mutex<IngestState>,
     stats: Arc<ServeStats>,
-    snapshot: Arc<RwLock<Arc<ModelSnapshot>>>,
+    snapshot: Arc<EpochCell<ModelSnapshot>>,
     fresh_alarms: Arc<Mutex<Vec<Alarm>>>,
     checkpoints: Arc<Mutex<VecDeque<CheckpointRequest>>>,
     shard_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -299,9 +303,9 @@ impl Engine {
         let stats = Arc::new(ServeStats::new(n));
         stats.events_issued.store(start_seq, Ordering::Relaxed);
         stats.events_applied.store(start_seq, Ordering::Relaxed);
-        let snapshot = Arc::new(RwLock::new(Arc::new(ModelSnapshot {
+        let snapshot = Arc::new(EpochCell::new(Arc::new(ModelSnapshot {
             scaler: scaler.clone(),
-            forest: forest.clone(),
+            forest: forest.freeze(),
             alarm_threshold: threshold,
         })));
         let fresh_alarms = Arc::new(Mutex::new(Vec::new()));
@@ -401,9 +405,10 @@ impl Engine {
     }
 
     /// Score a raw 48-column snapshot against the latest published model
-    /// snapshot. Lock-free with respect to the writer; never blocks ingest.
+    /// snapshot. Lock-free with respect to the writer (an epoch-cell load,
+    /// not a lock); never blocks ingest.
     pub fn score(&self, features: &[f32]) -> f32 {
-        let snap = Arc::clone(&self.snapshot.read());
+        let snap = self.snapshot.load();
         let t0 = Instant::now();
         let score = snap.score(features);
         self.stats.score_latency.record(t0.elapsed());
@@ -412,7 +417,7 @@ impl Engine {
 
     /// The latest published model snapshot.
     pub fn model_snapshot(&self) -> Arc<ModelSnapshot> {
-        Arc::clone(&self.snapshot.read())
+        self.snapshot.load()
     }
 
     /// Point-in-time serving counters.
@@ -622,7 +627,7 @@ struct WriterThread {
     n_shards: usize,
     snapshot_every: u64,
     stats: Arc<ServeStats>,
-    snapshot: Arc<RwLock<Arc<ModelSnapshot>>>,
+    snapshot: Arc<EpochCell<ModelSnapshot>>,
     fresh_alarms: Arc<Mutex<Vec<Alarm>>>,
     checkpoints: Arc<Mutex<VecDeque<CheckpointRequest>>>,
     injector: Arc<dyn FaultInjector>,
@@ -765,14 +770,16 @@ impl WriterThread {
             .store(self.next_seq, Ordering::Release);
     }
 
-    /// Publish a fresh immutable snapshot for the lock-free scoring path
-    /// and mirror the writer-owned counters into the shared stats.
+    /// Compile the live forest into its frozen scoring form, publish the
+    /// immutable snapshot through the epoch cell, and mirror the
+    /// writer-owned counters into the shared stats. This is the only
+    /// storer, satisfying [`EpochCell::store`]'s single-writer contract.
     fn publish(&self) {
-        *self.snapshot.write() = Arc::new(ModelSnapshot {
+        self.snapshot.store(Arc::new(ModelSnapshot {
             scaler: self.scaler.clone(),
-            forest: self.forest.clone(),
+            forest: self.forest.freeze(),
             alarm_threshold: self.alarm_threshold,
-        });
+        }));
         self.stats
             .forest_samples_seen
             .store(self.forest.samples_seen(), Ordering::Relaxed);

@@ -1,0 +1,168 @@
+//! Lock-free epoch publication of immutable model snapshots.
+//!
+//! The serving hot path reads the current snapshot on **every** score
+//! request; the model writer replaces it only every `snapshot_every`
+//! applied samples. An [`EpochCell`] makes that read wait-free in the
+//! common case — two atomic ops and an `Arc` clone, no mutex, no
+//! writer-blocks-readers window — while the rare publish flips between two
+//! slots:
+//!
+//! * readers register on a slot (`readers` counter), then re-validate that
+//!   the slot is still the active one before touching its contents; a
+//!   reader that lost the race unregisters and retries;
+//! * the single writer prepares the *inactive* slot — spinning until
+//!   stragglers registered there from a previous epoch have drained —
+//!   writes the new `Arc`, and only then flips the active index.
+//!
+//! The invariant making the `unsafe` sound: a slot is mutated only while it
+//! is inactive **and** has zero registered readers, and a reader
+//! dereferences a slot only after observing it active *while registered* —
+//! at which point the writer cannot start mutating it until the reader
+//! unregisters (the drain loop sees its registration).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+struct Slot<T> {
+    /// Readers currently registered on this slot.
+    readers: AtomicUsize,
+    /// The published value; `None` only for the initially inactive slot.
+    value: UnsafeCell<Option<Arc<T>>>,
+}
+
+/// A double-buffered, lock-free cell holding the current `Arc<T>` epoch.
+///
+/// Any number of concurrent [`load`](Self::load)ers; stores must be
+/// serialized by the caller (the serve engine has exactly one model-writer
+/// thread, which is the only storer).
+pub struct EpochCell<T> {
+    slots: [Slot<T>; 2],
+    /// Index of the slot readers should use.
+    active: AtomicUsize,
+}
+
+// Arc<T> is the only thing crossing threads through the UnsafeCell, and the
+// protocol above keeps mutation exclusive, so the usual Arc bounds apply.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    /// A cell initially publishing `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            slots: [
+                Slot {
+                    readers: AtomicUsize::new(0),
+                    value: UnsafeCell::new(Some(value)),
+                },
+                Slot {
+                    readers: AtomicUsize::new(0),
+                    value: UnsafeCell::new(None),
+                },
+            ],
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// The current epoch's value. Wait-free unless a publish lands between
+    /// registration and validation, in which case the load retries.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let idx = self.active.load(SeqCst);
+            self.slots[idx].readers.fetch_add(1, SeqCst);
+            // Re-validate under registration: if the slot is still active,
+            // the writer cannot be mutating it (it only writes the inactive
+            // slot) nor start to before we unregister (the drain loop sees
+            // our registration, which precedes this load in the SeqCst
+            // order).
+            if self.active.load(SeqCst) == idx {
+                let value = unsafe { (*self.slots[idx].value.get()).clone() };
+                self.slots[idx].readers.fetch_sub(1, SeqCst);
+                if let Some(v) = value {
+                    return v;
+                }
+                // Unreachable in practice (the active slot always holds
+                // Some), but retrying is the safe response.
+            } else {
+                self.slots[idx].readers.fetch_sub(1, SeqCst);
+            }
+        }
+    }
+
+    /// Publish a new epoch. Must not be called concurrently with itself
+    /// (single-writer; the model writer thread owns this).
+    pub fn store(&self, value: Arc<T>) {
+        let next = 1 - self.active.load(SeqCst);
+        // Drain stragglers: readers still registered on the inactive slot
+        // either validated it during a *previous* epoch (and are finishing
+        // an Arc clone — microseconds) or are about to fail validation and
+        // unregister. Either way this terminates quickly; publishes are
+        // rare (every `snapshot_every` samples), loads are constant-time.
+        while self.slots[next].readers.load(SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        unsafe {
+            *self.slots[next].value.get() = Some(value);
+        }
+        self.active.store(next, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn load_returns_initial_and_latest_value() {
+        let cell = EpochCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        cell.store(Arc::new(3));
+        cell.store(Arc::new(4));
+        assert_eq!(*cell.load(), 4);
+    }
+
+    #[test]
+    fn concurrent_loads_never_observe_torn_or_stale_freed_state() {
+        // Readers hammer load() while the writer publishes monotonically
+        // increasing epochs; every observed pair must be internally
+        // consistent and epochs must never go backwards per reader.
+        let cell = Arc::new(EpochCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut observed = 0u64;
+                    loop {
+                        let v = cell.load();
+                        assert_eq!(v.0, v.1, "torn epoch: {v:?}");
+                        assert!(v.0 >= last, "epoch went backwards");
+                        last = v.0;
+                        observed += 1;
+                        // Check stop *after* loading so every reader
+                        // exercises at least one load even if it is first
+                        // scheduled after the writer finished.
+                        if stop.load(SeqCst) {
+                            return observed;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for epoch in 1..=10_000u64 {
+            cell.store(Arc::new((epoch, epoch)));
+        }
+        stop.store(true, SeqCst);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader made no progress");
+        }
+        assert_eq!(cell.load().0, 10_000);
+    }
+}

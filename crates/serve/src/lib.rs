@@ -14,9 +14,11 @@
 //!   applies updates in global sequence order (a reorder buffer undoes
 //!   shard interleaving), and raises alarms exactly as the serial
 //!   [`orfpred_core::OnlinePredictor`] would;
-//! * **Lock-free scoring** — the writer periodically publishes an
-//!   immutable [`ModelSnapshot`] behind an `Arc` swap; `score` requests
-//!   never contend with training;
+//! * **Lock-free scoring** — the writer periodically compiles the live
+//!   forest into a flat [`orfpred_trees::FrozenForest`] and publishes the
+//!   immutable [`ModelSnapshot`] through a lock-free [`epoch::EpochCell`]
+//!   swap; `score` requests never contend with training or with the
+//!   publisher;
 //! * **Atomic checkpoints** — a barrier token flows through every shard
 //!   so the saved labelling queues, scaler, forest and stream position
 //!   form one consistent cut; files are written tmp → fsync → rename and
@@ -29,6 +31,7 @@
 pub mod checkpoint;
 pub mod daemon;
 pub mod engine;
+pub mod epoch;
 pub mod fault;
 pub mod protocol;
 pub mod stats;
@@ -36,6 +39,7 @@ pub mod stats;
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use daemon::{run, DaemonConfig};
 pub use engine::{shard_of, Engine, Finished, ModelSnapshot, ServeConfig, ServeError};
+pub use epoch::EpochCell;
 pub use fault::{CheckpointFault, FaultInjector, NoFaults};
 pub use protocol::{features_48, Request, Response};
 pub use stats::{LatencyHistogram, ServeStats, StatsReport};

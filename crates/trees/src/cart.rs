@@ -331,6 +331,36 @@ impl DecisionTree {
             *a += v;
         }
     }
+
+    /// Re-emit this tree into a frozen-forest builder (one `add_tree` call).
+    pub(crate) fn freeze_into(&self, b: &mut crate::frozen::FrozenBuilder) {
+        use crate::frozen::SourceNode;
+        b.add_tree(0, &mut |i| match self.nodes[i as usize] {
+            Node::Leaf { pos_frac } => SourceNode::Leaf { value: pos_frac },
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => SourceNode::Split {
+                feature: u16::try_from(feature)
+                    .expect("split feature index exceeds the packed u16 layout"),
+                threshold,
+                left,
+                right,
+            },
+        });
+    }
+
+    /// Compile this tree into the flat scoring representation (a one-tree
+    /// [`crate::FrozenForest`]); scores are bit-identical to [`Self::score`].
+    pub fn freeze(&self) -> crate::FrozenForest {
+        let mut b = crate::frozen::FrozenBuilder::new(self.n_features);
+        self.freeze_into(&mut b);
+        let mut imp = vec![0.0; self.n_features];
+        self.add_importances(&mut imp);
+        b.finish(imp)
+    }
 }
 
 #[cfg(test)]
@@ -498,6 +528,27 @@ mod tests {
             .filter(|&i| tree.predict(x.row(i), 0.5) == y[i])
             .count();
         assert!(correct as f64 / y.len() as f64 > 0.95, "correct {correct}");
+    }
+
+    #[test]
+    fn frozen_tree_matches_live_scores_bitwise() {
+        let (x, y) = xor_data();
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let cfg = CartConfig {
+            max_depth: 512,
+            ..CartConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, &cfg, &mut rng);
+        let frozen = tree.freeze();
+        assert_eq!(frozen.n_trees(), 1);
+        assert_eq!(frozen.n_nodes(), tree.n_nodes());
+        for i in 0..x.n_rows() {
+            assert_eq!(
+                frozen.score(x.row(i)).to_bits(),
+                tree.score(x.row(i)).to_bits(),
+                "row {i}"
+            );
+        }
     }
 
     #[test]

@@ -131,6 +131,24 @@ impl RandomForest {
         }
         acc
     }
+
+    /// Compile the forest into the flat [`crate::FrozenForest`] scoring
+    /// representation. Trees are emitted in ensemble order and importances
+    /// captured, so frozen scores and [`FrozenForest::importances`] are
+    /// bit-identical to [`Self::score`] / [`Self::importances`].
+    ///
+    /// [`FrozenForest::importances`]: crate::FrozenForest::importances
+    pub fn freeze(&self) -> crate::FrozenForest {
+        let mut b = crate::frozen::FrozenBuilder::new(self.n_features);
+        for t in &self.trees {
+            t.freeze_into(&mut b);
+        }
+        let mut acc = vec![0.0; self.n_features];
+        for t in &self.trees {
+            t.add_importances(&mut acc);
+        }
+        b.finish(acc)
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +235,24 @@ mod tests {
         let imp = forest.importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[1] > 0.8, "importances {imp:?}");
+    }
+
+    #[test]
+    fn frozen_forest_matches_live_scores_and_importances() {
+        let (x, y) = ring_data(500, 11);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default(), 5);
+        let frozen = forest.freeze();
+        assert_eq!(frozen.n_trees(), forest.n_trees());
+        assert_eq!(frozen.importances(), &forest.importances()[..]);
+        for i in 0..x.n_rows() {
+            assert_eq!(
+                frozen.score(x.row(i)).to_bits(),
+                forest.score(x.row(i)).to_bits(),
+                "row {i}"
+            );
+        }
+        let batch = frozen.score_batch(&x);
+        assert_eq!(batch, forest.score_batch(&x));
     }
 
     #[test]

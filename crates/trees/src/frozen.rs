@@ -1,0 +1,390 @@
+//! The frozen-forest scoring layer: one flat, cache-friendly representation
+//! shared by every scoring consumer (serve snapshots, the eval harnesses,
+//! the CLI).
+//!
+//! Live trees are built for *growth*: arena nodes are enum-tagged, online
+//! leaves drag candidate-test pools of up to `N = 5 000` streaming
+//! statistics, and the online ensemble re-derives its mature-tree pool on
+//! every call. None of that is needed to *score* — the deployable hot path
+//! of Algorithm 2, which touches every arriving SMART snapshot. `freeze()`
+//! compiles any tree model ([`crate::DecisionTree`], [`crate::RandomForest`],
+//! and the online forest in `orfpred-core`) into a [`FrozenForest`]:
+//!
+//! * **struct-of-arrays** — parallel `feature: u16` / `threshold: f32` /
+//!   `skip: u32` arrays, no enum tags, no per-leaf pools;
+//! * **preorder layout** — every tree is re-emitted in preorder, so a
+//!   node's left child is always the next array index and only the right
+//!   child (`skip`) is stored; descending left is a cache-line walk;
+//! * **contiguous per-forest storage** — all trees share one node pool,
+//!   delimited by `tree_starts`;
+//! * **bit-identical scores** — leaf values and the tree summation order
+//!   are captured exactly as the live `score()` computes them, so freezing
+//!   never changes a prediction (enforced by `tests/frozen_equiv.rs`).
+//!
+//! Per-feature importances are preserved at freeze time (normalized, as the
+//! live `importances()` accessors report them) — the paper's
+//! interpretability hook survives compilation.
+
+use orfpred_util::Matrix;
+use rayon::prelude::*;
+
+/// Sentinel in the `feature` array marking a leaf; valid split features are
+/// strictly below it (growers bound `n_features ≤ u16::MAX`).
+const LEAF: u16 = u16::MAX;
+
+/// One resolved node of a source tree, handed to [`FrozenBuilder::add_tree`]
+/// by a model's `freeze()` implementation.
+pub enum SourceNode {
+    /// An internal decision node: `x[feature] <= threshold` routes left.
+    Split {
+        /// Feature index tested.
+        feature: u16,
+        /// Decision threshold.
+        threshold: f32,
+        /// Source-arena index of the left child.
+        left: u32,
+        /// Source-arena index of the right child.
+        right: u32,
+    },
+    /// A leaf with its final score contribution (positive-class fraction).
+    Leaf {
+        /// The value `score()` returns when a row reaches this leaf.
+        value: f32,
+    },
+}
+
+/// Incremental constructor for a [`FrozenForest`]: each source tree is
+/// re-emitted in preorder through a node resolver.
+pub struct FrozenBuilder {
+    feature: Vec<u16>,
+    threshold: Vec<f32>,
+    skip: Vec<u32>,
+    tree_starts: Vec<u32>,
+    n_features: usize,
+}
+
+impl FrozenBuilder {
+    /// Start a forest over `n_features` inputs.
+    pub fn new(n_features: usize) -> Self {
+        assert!(
+            n_features > 0 && n_features <= LEAF as usize,
+            "feature count {n_features} does not fit the packed u16 layout"
+        );
+        Self {
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            skip: Vec::new(),
+            tree_starts: vec![0],
+            n_features,
+        }
+    }
+
+    /// Append one tree, walking it from `root` via `resolve` (which maps a
+    /// source-arena index to its node). Trees are scored in insertion order,
+    /// so callers must add them in the same order the live ensemble sums.
+    pub fn add_tree(&mut self, root: u32, resolve: &mut dyn FnMut(u32) -> SourceNode) {
+        self.emit(root, resolve);
+        self.tree_starts.push(self.feature.len() as u32);
+    }
+
+    fn emit(&mut self, src: u32, resolve: &mut dyn FnMut(u32) -> SourceNode) {
+        match resolve(src) {
+            SourceNode::Leaf { value } => {
+                self.feature.push(LEAF);
+                self.threshold.push(value);
+                self.skip.push(0);
+            }
+            SourceNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                assert!(
+                    (feature as usize) < self.n_features,
+                    "split feature {feature} out of range"
+                );
+                let at = self.feature.len();
+                self.feature.push(feature);
+                self.threshold.push(threshold);
+                self.skip.push(0); // patched once the left subtree is laid out
+                self.emit(left, resolve);
+                self.skip[at] = self.feature.len() as u32;
+                self.emit(right, resolve);
+            }
+        }
+    }
+
+    /// Seal the forest. `importances` are raw per-feature accumulated gains
+    /// (summed over however many trees the caller chose); they are
+    /// normalized here exactly as the live `importances()` accessors do.
+    pub fn finish(self, mut importances: Vec<f64>) -> FrozenForest {
+        assert_eq!(importances.len(), self.n_features);
+        assert!(
+            self.tree_starts.len() > 1,
+            "a frozen forest needs at least one tree"
+        );
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for v in &mut importances {
+                *v /= total;
+            }
+        }
+        FrozenForest {
+            feature: self.feature,
+            threshold: self.threshold,
+            skip: self.skip,
+            tree_starts: self.tree_starts,
+            n_features: self.n_features,
+            importances,
+        }
+    }
+}
+
+/// An immutable, flat forest — the single scoring representation used by
+/// serve snapshots, the eval batch paths, and the CLI.
+///
+/// Build one with `freeze()` on [`crate::DecisionTree`],
+/// [`crate::RandomForest`], or the online tree/forest in `orfpred-core`.
+#[derive(Clone, Debug)]
+pub struct FrozenForest {
+    /// Split feature per node; [`LEAF`] marks a leaf.
+    feature: Vec<u16>,
+    /// Split threshold per internal node; the leaf *value* per leaf.
+    threshold: Vec<f32>,
+    /// Right-child index per internal node (left child is `i + 1`).
+    skip: Vec<u32>,
+    /// Node-pool offsets: tree `t` occupies `tree_starts[t]..tree_starts[t+1]`.
+    tree_starts: Vec<u32>,
+    n_features: usize,
+    /// Normalized per-feature importances captured at freeze time.
+    importances: Vec<f64>,
+}
+
+impl FrozenForest {
+    /// Walk one tree from its pool offset. The left child is the next node,
+    /// so runs of left descents stay within a cache line.
+    ///
+    /// # Safety
+    ///
+    /// Requires `start` to be a `tree_starts` entry below the node count and
+    /// `x.len() == self.n_features`. In-bounds access then follows from the
+    /// builder's invariants: the three node arrays are pushed in lockstep
+    /// (equal lengths); every split asserts `feature < n_features` at emit;
+    /// preorder layout puts a split's left subtree at `at + 1` and patches
+    /// `skip[at]` to its right subtree's first node, both inside the pool;
+    /// and every descent strictly increases `at` toward a subtree's final
+    /// node, which is a leaf — so the loop terminates without running off
+    /// the arrays.
+    #[inline]
+    unsafe fn score_tree(&self, start: usize, x: &[f32]) -> f32 {
+        let mut at = start;
+        loop {
+            let f = *self.feature.get_unchecked(at);
+            let thr = *self.threshold.get_unchecked(at);
+            if f == LEAF {
+                return thr;
+            }
+            at = if *x.get_unchecked(f as usize) <= thr {
+                at + 1
+            } else {
+                *self.skip.get_unchecked(at) as usize
+            };
+        }
+    }
+
+    /// Ensemble score of one (scaled) row: mean leaf value over the trees,
+    /// summed in tree order — bit-identical to the live ensembles.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.n_features, "feature dimension mismatch");
+        let mut sum = 0.0f32;
+        for t in 0..self.n_trees() {
+            // SAFETY: `x` is dimension-checked above and `tree_starts[t]`
+            // for t < n_trees is a valid pool offset by construction.
+            sum += unsafe { self.score_tree(self.tree_starts[t] as usize, x) };
+        }
+        sum / self.n_trees() as f32
+    }
+
+    /// Batch prediction over the rows of a [`Matrix`] (rayon fan-out; each
+    /// row scores exactly as [`FrozenForest::score`] would).
+    pub fn score_batch(&self, rows: &Matrix) -> Vec<f32> {
+        (0..rows.n_rows())
+            .into_par_iter()
+            .map(|i| self.score(rows.row(i)))
+            .collect()
+    }
+
+    /// Batch prediction over borrowed rows.
+    pub fn score_rows(&self, rows: &[&[f32]]) -> Vec<f32> {
+        rows.par_iter().map(|r| self.score(r)).collect()
+    }
+
+    /// Hard prediction at vote threshold `tau`.
+    pub fn predict(&self, x: &[f32], tau: f32) -> bool {
+        self.score(x) >= tau
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.tree_starts.len() - 1
+    }
+
+    /// Total nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Total leaves across all trees.
+    pub fn n_leaves(&self) -> usize {
+        self.feature.iter().filter(|&&f| f == LEAF).count()
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Node count of each tree, in scoring order.
+    pub fn tree_node_counts(&self) -> Vec<usize> {
+        self.tree_starts
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .collect()
+    }
+
+    /// Leaf-depth histogram over the whole forest: `hist[d]` = number of
+    /// leaves at depth `d` (root = 0).
+    pub fn depth_histogram(&self) -> Vec<u64> {
+        let mut hist: Vec<u64> = Vec::new();
+        let mut depth = vec![0u32; self.feature.len()];
+        for w in self.tree_starts.windows(2) {
+            let (s, e) = (w[0] as usize, w[1] as usize);
+            depth[s] = 0;
+            // Preorder layout ⇒ both children of node i sit above i, so one
+            // forward sweep settles every depth before it is read.
+            for i in s..e {
+                if self.feature[i] == LEAF {
+                    let d = depth[i] as usize;
+                    if hist.len() <= d {
+                        hist.resize(d + 1, 0);
+                    }
+                    hist[d] += 1;
+                } else {
+                    depth[i + 1] = depth[i] + 1;
+                    depth[self.skip[i] as usize] = depth[i] + 1;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Deepest leaf in the forest.
+    pub fn max_depth(&self) -> usize {
+        self.depth_histogram().len().saturating_sub(1)
+    }
+
+    /// Heap footprint of the packed arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.feature.len() * std::mem::size_of::<u16>()
+            + self.threshold.len() * std::mem::size_of::<f32>()
+            + self.skip.len() * std::mem::size_of::<u32>()
+            + self.tree_starts.len() * std::mem::size_of::<u32>()
+            + self.importances.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Normalized per-feature importances captured at freeze time (sum to 1
+    /// unless the source never split).
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// The `k` most important features as `(feature, weight)` pairs,
+    /// heaviest first; features with zero importance are omitted.
+    pub fn top_importances(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> = self
+            .importances
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-build: tree 0 = stump splitting on feature 1 at 0.5
+    /// (left leaf 0.25, right leaf 0.75); tree 1 = single leaf 1.0.
+    fn two_tree_forest() -> FrozenForest {
+        let mut b = FrozenBuilder::new(3);
+        b.add_tree(0, &mut |i| match i {
+            0 => SourceNode::Split {
+                feature: 1,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+            },
+            1 => SourceNode::Leaf { value: 0.25 },
+            _ => SourceNode::Leaf { value: 0.75 },
+        });
+        b.add_tree(0, &mut |_| SourceNode::Leaf { value: 1.0 });
+        b.finish(vec![0.0, 2.0, 0.0])
+    }
+
+    #[test]
+    fn hand_built_forest_scores_and_counts() {
+        let f = two_tree_forest();
+        assert_eq!(f.n_trees(), 2);
+        assert_eq!(f.n_nodes(), 4);
+        assert_eq!(f.n_leaves(), 3);
+        assert_eq!(f.tree_node_counts(), vec![3, 1]);
+        assert_eq!(f.score(&[0.0, 0.2, 0.0]), (0.25 + 1.0) / 2.0);
+        assert_eq!(f.score(&[0.0, 0.9, 0.0]), (0.75 + 1.0) / 2.0);
+        assert!(f.predict(&[0.0, 0.9, 0.0], 0.8));
+        assert!(!f.predict(&[0.0, 0.2, 0.0], 0.8));
+    }
+
+    #[test]
+    fn importances_are_normalized_at_finish() {
+        let f = two_tree_forest();
+        assert_eq!(f.importances(), &[0.0, 1.0, 0.0]);
+        assert_eq!(f.top_importances(5), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn depth_histogram_and_memory_accounting() {
+        let f = two_tree_forest();
+        // Tree 0: two leaves at depth 1; tree 1: one leaf at depth 0.
+        assert_eq!(f.depth_histogram(), vec![1, 2]);
+        assert_eq!(f.max_depth(), 1);
+        // 4 nodes · (2 + 4 + 4) bytes + 3 starts · 4 + 3 importances · 8.
+        assert_eq!(f.memory_bytes(), 4 * 10 + 12 + 24);
+    }
+
+    #[test]
+    fn batch_scoring_matches_single_row() {
+        let f = two_tree_forest();
+        let mut m = Matrix::new(3);
+        for v in [0.0f32, 0.4, 0.6, 1.0] {
+            m.push_row(&[0.0, v, 0.0]);
+        }
+        let batch = f.score_batch(&m);
+        for (i, &s) in batch.iter().enumerate() {
+            assert_eq!(s, f.score(m.row(i)), "row {i}");
+        }
+        let rows: Vec<&[f32]> = (0..m.n_rows()).map(|i| m.row(i)).collect();
+        assert_eq!(f.score_rows(&rows), batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn empty_forest_is_rejected() {
+        let _ = FrozenBuilder::new(2).finish(vec![0.0, 0.0]);
+    }
+}

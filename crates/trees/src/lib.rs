@@ -10,16 +10,20 @@
 //! * [`sampling`] — the `NegSampleRatio` (λ) downsampling of Eq. 4 used to
 //!   balance offline training sets;
 //! * [`threshold`] — the vendor-style static SMART threshold detector
-//!   (the 3–10 % FDR strawman of §2).
+//!   (the 3–10 % FDR strawman of §2);
+//! * [`frozen`] — the flat [`frozen::FrozenForest`] scoring representation
+//!   every tree model (offline and online) compiles into via `freeze()`.
 
 #![warn(missing_docs)]
 
 pub mod cart;
 pub mod forest;
+pub mod frozen;
 pub mod gini;
 pub mod sampling;
 pub mod threshold;
 
 pub use cart::{CartConfig, DecisionTree};
 pub use forest::{ForestConfig, RandomForest};
+pub use frozen::{FrozenBuilder, FrozenForest, SourceNode};
 pub use sampling::downsample_negatives;

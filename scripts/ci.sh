@@ -15,6 +15,12 @@ export TESTKIT_SEEDS
 echo "== build (release) =="
 cargo build --release
 
+echo "== lint: clippy, warnings are errors =="
+cargo clippy --workspace -- -D warnings
+
+echo "== bench compile gate (benches must not rot) =="
+cargo bench --no-run
+
 echo "== tier-1: full test suite =="
 cargo test -q
 

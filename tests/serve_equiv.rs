@@ -76,6 +76,46 @@ fn four_shards_match_serial_replay_exactly() {
 }
 
 #[test]
+fn published_frozen_snapshot_scores_match_the_serial_predictor_bitwise() {
+    // The epoch-published snapshot is a *frozen* forest; its scores must be
+    // bit-identical to the live serial predictor fed the same stream — the
+    // serve-side face of the freeze ≡ live guarantee.
+    let events = fleet_events(1304);
+    let mut predictor = OnlinePredictor::new(&predictor_cfg());
+    for event in &events {
+        predictor.observe(event);
+    }
+
+    let mut cfg = ServeConfig::new(predictor_cfg());
+    cfg.n_shards = 4;
+    let engine = Engine::new(&cfg);
+    for event in &events {
+        engine.ingest(event.clone()).expect("engine accepts events");
+    }
+    engine.flush();
+    // finish() publishes the final snapshot after draining the stream.
+    engine.finish().expect("clean shutdown");
+
+    let mut probes = 0;
+    for event in &events {
+        if let FleetEvent::Sample(dd) = event {
+            assert_eq!(
+                engine.score(&dd.features).to_bits(),
+                predictor.score_row(&dd.features).to_bits(),
+                "disk {} day {}",
+                dd.disk_id,
+                dd.day
+            );
+            probes += 1;
+            if probes == 500 {
+                break;
+            }
+        }
+    }
+    assert!(probes > 100, "stream produced too few probe samples");
+}
+
+#[test]
 fn shard_counts_agree_with_each_other() {
     // Transitivity check on a third seed: every shard count produces the
     // same stream, so scaling out is a pure deployment decision.

@@ -1,0 +1,90 @@
+//! Ingest-path benchmarks: parsing a Backblaze-style CSV versus replaying
+//! the same fleet from the columnar segment store — the measurement behind
+//! the store's ≥5x rows/sec claim (`BENCH_store.json` records the numbers).
+//!
+//! Both paths start from bytes on disk and end with every row's features
+//! materialized, so the comparison is end to end: CSV goes through text
+//! splitting and float parsing, the store through CRC checks, varint delta
+//! decoding, and dictionary lookups.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orfpred_smart::csv::{read_dataset, write_dataset};
+use orfpred_smart::gen::{FleetConfig, ScalePreset};
+use orfpred_store::{record_fleet, Store, StoreConfig};
+use std::hint::black_box;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn fleet() -> FleetConfig {
+    let mut cfg = FleetConfig::sta(ScalePreset::Small, 42);
+    cfg.duration_days = 120;
+    cfg
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("orfpred_bench_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+fn bench_store(c: &mut Criterion) {
+    let dir = workdir();
+    let fleet = fleet();
+    let store_dir = dir.join("store");
+    let meta = record_fleet(&store_dir, &fleet, StoreConfig::default()).expect("record fleet");
+    let rows = meta.total_rows;
+
+    let csv_path = dir.join("fleet.csv");
+    {
+        let ds = orfpred_smart::gen::FleetSim::collect(&fleet);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&csv_path).expect("csv"));
+        write_dataset(&ds, &mut out).expect("write csv");
+    }
+
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(rows));
+
+    // Baseline: the text path every harness used before the store existed.
+    group.bench_function("csv_parse", |b| {
+        b.iter(|| {
+            let f = std::fs::File::open(&csv_path).expect("open csv");
+            let ds = read_dataset(BufReader::new(f)).expect("parse csv");
+            black_box(ds.records.len())
+        });
+    });
+
+    // Streaming replay: open + CRC-checked decode of every segment, rows
+    // yielded one DiskDay at a time (the serve catch-up path).
+    group.bench_function("segment_replay", |b| {
+        b.iter(|| {
+            let store = Store::open(&store_dir).expect("open store");
+            let mut n = 0usize;
+            for rec in store.records() {
+                let rec = rec.expect("clean segment");
+                black_box(rec.day);
+                n += 1;
+            }
+            n
+        });
+    });
+
+    // Batch view: decode straight into a Dataset (the eval/train path).
+    group.bench_function("dataset_view", |b| {
+        let store = Store::open(&store_dir).expect("open store");
+        b.iter(|| {
+            let ds = store.dataset().expect("decode dataset");
+            black_box(ds.records.len())
+        });
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_store
+);
+criterion_main!(benches);

@@ -2,19 +2,31 @@
 //!
 //! ```text
 //! orfpred simulate --out fleet.csv [--dataset sta|stb] [--scale tiny|small] [--seed N]
-//! orfpred train    --csv fleet.csv --model model.json [--online] [--lambda R] [--seed N]
-//! orfpred score    --csv fleet.csv --model model.json [--tau T] [--top K]
-//! orfpred eval     --csv fleet.csv --model model.json [--target-far F]
-//! orfpred inspect  --csv fleet.csv
+//! orfpred data     record --out store/ (--csv fleet.csv | [--dataset sta|stb] [--scale Z] [--seed N])
+//!                  [--segment-rows R] [--lenient]
+//! orfpred data     info   --store store/ [--top K]
+//! orfpred data     verify --store store/
+//! orfpred train    (--csv fleet.csv | --store store/) --model model.json [--online] [--lambda R] [--seed N]
+//! orfpred score    (--csv fleet.csv | --store store/) --model model.json [--tau T] [--top K]
+//! orfpred eval     (--csv fleet.csv | --store store/) --model model.json [--target-far F]
+//! orfpred inspect  (--csv fleet.csv | --store store/)
 //! orfpred model    inspect --model model.json [--top K]
-//! orfpred drift    --csv fleet.csv [--top N]
-//! orfpred assess   --csv fleet.csv [--seed N]
-//! orfpred serve    [--shards N] [--listen ADDR] [--checkpoint PATH]
+//! orfpred drift    (--csv fleet.csv | --store store/) [--top N]
+//! orfpred assess   (--csv fleet.csv | --store store/) [--seed N]
+//! orfpred serve    [--shards N] [--listen ADDR] [--checkpoint PATH] [--store DIR]
 //!                  [--threshold T] [--window W] [--seed N]
 //! ```
 //!
 //! * `simulate` writes a Backblaze-format CSV from the fleet simulator —
 //!   handy for demos and for testing downstream tooling;
+//! * `data record` captures a fleet (simulated, or parsed from a CSV) into
+//!   a checksummed columnar telemetry store; `data info` prints its
+//!   anatomy (segments, rows, date range, per-column compression);
+//!   `data verify` decodes every segment and checks every CRC and
+//!   ordering invariant;
+//! * commands that read telemetry accept `--csv FILE` or `--store DIR`
+//!   interchangeably; `--lenient` makes CSV parsing skip malformed rows
+//!   (reporting how many) instead of failing;
 //! * `train` fits either the offline Random Forest (default) or the Online
 //!   Random Forest (`--online`, trained by chronological replay) on the
 //!   7-day labelling of the CSV, and saves a self-contained JSON model
@@ -42,7 +54,7 @@ use std::process::ExitCode;
 mod model;
 
 use model::SavedModel;
-use orfpred_smart::csv::read_dataset;
+use orfpred_smart::csv::read_dataset_with;
 use orfpred_smart::gen::{FleetConfig, FleetSim, ScalePreset};
 use orfpred_smart::record::Dataset;
 
@@ -106,22 +118,51 @@ impl Args {
     }
 }
 
-fn load_csv(path: &str) -> Result<Dataset, String> {
+fn load_csv(path: &str, lenient: bool) -> Result<Dataset, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    read_dataset(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+    let (ds, stats) = read_dataset_with(BufReader::new(file), lenient)
+        .map_err(|e| format!("parse {path}: {e}"))?;
+    if stats.rows_skipped > 0 {
+        eprintln!(
+            "warning: skipped {} of {} malformed rows in {path}",
+            stats.rows_skipped,
+            stats.rows_read + stats.rows_skipped
+        );
+        for (line, why) in &stats.skip_examples {
+            eprintln!("  line {line}: {why}");
+        }
+    }
+    Ok(ds)
+}
+
+/// Load telemetry from `--store DIR` (columnar store, verified by CRC on
+/// decode) or `--csv FILE` (Backblaze-format; `--lenient` skips malformed
+/// rows with a warning instead of failing).
+fn load_input(args: &Args) -> Result<Dataset, String> {
+    match (args.get("store"), args.get("csv")) {
+        (Some(_), Some(_)) => Err("give --csv or --store, not both".into()),
+        (Some(dir), None) => {
+            let store =
+                orfpred_store::Store::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            store.dataset().map_err(|e| e.to_string())
+        }
+        (None, Some(path)) => load_csv(path, args.has("lenient")),
+        (None, None) => Err("--csv FILE or --store DIR is required".into()),
+    }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: orfpred <simulate|train|score|eval|inspect|model|drift|assess> [options]\n\
+            "usage: orfpred <simulate|data|train|score|eval|inspect|model|drift|assess> [options]\n\
              run `orfpred <command> --help` conventions: see crate docs"
         );
         return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
         "simulate" => simulate(&argv[1..]),
+        "data" => data_cmd(&argv[1..]),
         "train" => train(&argv[1..]),
         "score" => score(&argv[1..]),
         "eval" => evaluate(&argv[1..]),
@@ -142,9 +183,9 @@ fn main() -> ExitCode {
     }
 }
 
-fn simulate(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let out = args.require("out")?;
+/// Fleet-simulator parameters shared by `simulate` and `data record`:
+/// `--dataset sta|stb`, `--scale tiny|small|medium`, `--seed N`.
+fn fleet_from_args(args: &Args) -> Result<FleetConfig, String> {
     let seed: u64 = args.parse_num("seed", 42)?;
     let scale = match args.get("scale").unwrap_or("tiny") {
         "tiny" => ScalePreset::Tiny,
@@ -152,11 +193,17 @@ fn simulate(argv: &[String]) -> Result<(), String> {
         "medium" => ScalePreset::Medium,
         other => return Err(format!("unknown scale '{other}'")),
     };
-    let cfg = match args.get("dataset").unwrap_or("sta") {
-        "sta" => FleetConfig::sta(scale, seed),
-        "stb" => FleetConfig::stb(scale, seed),
-        other => return Err(format!("unknown dataset '{other}' (sta|stb)")),
-    };
+    match args.get("dataset").unwrap_or("sta") {
+        "sta" => Ok(FleetConfig::sta(scale, seed)),
+        "stb" => Ok(FleetConfig::stb(scale, seed)),
+        other => Err(format!("unknown dataset '{other}' (sta|stb)")),
+    }
+}
+
+fn simulate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let out = args.require("out")?;
+    let cfg = fleet_from_args(&args)?;
     let ds = FleetSim::collect(&cfg);
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     let mut writer = std::io::BufWriter::new(file);
@@ -170,13 +217,122 @@ fn simulate(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn data_cmd(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("record") => data_record(&argv[1..]),
+        Some("info") => data_info(&argv[1..]),
+        Some("verify") => data_verify(&argv[1..]),
+        Some(other) => Err(format!(
+            "unknown data action '{other}' (record|info|verify)"
+        )),
+        None => Err("usage: orfpred data <record|info|verify> [options]".into()),
+    }
+}
+
+/// `orfpred data record --out DIR ...`: capture telemetry into a columnar
+/// store — either from a CSV (`--csv`, optionally `--lenient`) or straight
+/// from the fleet simulator (`--dataset`/`--scale`/`--seed`).
+fn data_record(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["lenient"])?;
+    let out = args.require("out")?;
+    let cfg = orfpred_store::StoreConfig {
+        segment_rows: args.parse_num("segment-rows", orfpred_store::DEFAULT_SEGMENT_ROWS)?,
+        ..Default::default()
+    };
+    let meta = if let Some(path) = args.get("csv") {
+        let ds = load_csv(path, args.has("lenient"))?;
+        orfpred_store::record_dataset(std::path::Path::new(out), &ds, cfg)
+    } else {
+        let fleet = fleet_from_args(&args)?;
+        orfpred_store::record_fleet(std::path::Path::new(out), &fleet, cfg)
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "recorded {} rows into {} segments at {out}",
+        meta.total_rows,
+        meta.segments.len()
+    );
+    Ok(())
+}
+
+/// `orfpred data info --store DIR [--top K]`: print the store's anatomy
+/// from footers alone — no row decoding, so it is instant on large stores.
+fn data_info(argv: &[String]) -> Result<(), String> {
+    use orfpred_smart::csv::date_string;
+    let args = Args::parse(argv, &[])?;
+    let dir = args.require("store")?;
+    let top: usize = args.parse_num("top", 12)?;
+    let store = orfpred_store::Store::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    let info = store.info().map_err(|e| e.to_string())?;
+
+    println!(
+        "model {} | {} disks ({} failed) | {} rows in {} segments (≤ {} rows each)",
+        info.model, info.n_disks, info.n_failed, info.rows, info.segments, info.segment_rows
+    );
+    match (info.first_day, info.last_day) {
+        (Some(a), Some(b)) => println!(
+            "days {a}..{b} ({} to {}) of a {}-day window",
+            date_string(a),
+            date_string(b),
+            info.duration_days
+        ),
+        _ => println!("no rows recorded ({}-day window)", info.duration_days),
+    }
+    let ratio = info.logical_bytes as f64 / (info.disk_bytes.max(1)) as f64;
+    println!(
+        "{} bytes on disk vs {} logical — {ratio:.1}x compression \
+         (disk-id dictionaries {}, day columns {})",
+        info.disk_bytes, info.logical_bytes, info.disk_id_bytes, info.day_bytes
+    );
+
+    let mut cols = info.columns.clone();
+    cols.sort_by(|a, b| {
+        b.encoded_bytes
+            .cmp(&a.encoded_bytes)
+            .then(a.name.cmp(&b.name))
+    });
+    println!(
+        "top {} columns by encoded size ({} total):",
+        top.min(cols.len()),
+        cols.len()
+    );
+    println!(
+        "{:>22} {:>12} {:>8} {:>9} {:>9}",
+        "column", "bytes", "B/row", "int segs", "raw segs"
+    );
+    for c in cols.iter().take(top) {
+        println!(
+            "{:>22} {:>12} {:>8.3} {:>9} {:>9}",
+            c.name,
+            c.encoded_bytes,
+            c.encoded_bytes as f64 / info.rows.max(1) as f64,
+            c.int_segments,
+            c.raw_segments
+        );
+    }
+    Ok(())
+}
+
+/// `orfpred data verify --store DIR`: decode every segment, check every
+/// CRC and ordering invariant. Exit status is the answer.
+fn data_verify(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let dir = args.require("store")?;
+    let store = orfpred_store::Store::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    let report = store.verify().map_err(|e| e.to_string())?;
+    println!(
+        "ok: {} segments, {} rows, {} encoded bytes verified",
+        report.segments, report.rows, report.bytes
+    );
+    Ok(())
+}
+
 fn train(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["online"])?;
-    let csv = args.require("csv")?;
+    let args = Args::parse(argv, &["online", "lenient"])?;
     let model_path = args.require("model")?;
     let seed: u64 = args.parse_num("seed", 42)?;
     let lambda: f64 = args.parse_num("lambda", 3.0)?;
-    let ds = load_csv(csv)?;
+    let ds = load_input(&args)?;
     let saved = if args.has("online") {
         SavedModel::train_online(&ds, seed)?
     } else {
@@ -188,8 +344,8 @@ fn train(argv: &[String]) -> Result<(), String> {
 }
 
 fn score(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let ds = load_csv(args.require("csv")?)?;
+    let args = Args::parse(argv, &["lenient"])?;
+    let ds = load_input(&args)?;
     let saved = SavedModel::load(args.require("model")?)?;
     let tau: f32 = args.parse_num("tau", 0.5)?;
     let top: usize = args.parse_num("top", 20)?;
@@ -233,8 +389,8 @@ fn score(argv: &[String]) -> Result<(), String> {
 }
 
 fn evaluate(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let ds = load_csv(args.require("csv")?)?;
+    let args = Args::parse(argv, &["lenient"])?;
+    let ds = load_input(&args)?;
     let saved = SavedModel::load(args.require("model")?)?;
     let target_far: f64 = args.parse_num("target-far", 0.01)?;
     let seed: u64 = args.parse_num("seed", 42)?;
@@ -266,8 +422,8 @@ fn evaluate(argv: &[String]) -> Result<(), String> {
 }
 
 fn drift(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let ds = load_csv(args.require("csv")?)?;
+    let args = Args::parse(argv, &["lenient"])?;
+    let ds = load_input(&args)?;
     let top: usize = args.parse_num("top", 12)?;
     let cols: Vec<usize> = (0..orfpred_smart::attrs::N_FEATURES).collect();
     let report = orfpred_smart::drift::measure_drift(&ds, &cols, 30, 5_000);
@@ -277,8 +433,8 @@ fn drift(argv: &[String]) -> Result<(), String> {
 
 fn assess(argv: &[String]) -> Result<(), String> {
     use orfpred_eval::health::{HealthAssessor, HealthLevel};
-    let args = Args::parse(argv, &[])?;
-    let ds = load_csv(args.require("csv")?)?;
+    let args = Args::parse(argv, &["lenient"])?;
+    let ds = load_input(&args)?;
     let seed: u64 = args.parse_num("seed", 42)?;
     let mut rng = orfpred_util::Xoshiro256pp::seed_from_u64(seed);
     let split = orfpred_eval::split::DiskSplit::stratified(&ds, 0.7, &mut rng);
@@ -346,6 +502,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
         serve,
         listen: args.get("listen").map(str::to_string),
         checkpoint_path: args.get("checkpoint").map(std::path::PathBuf::from),
+        catchup_store: args.get("store").map(std::path::PathBuf::from),
     };
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -471,8 +628,8 @@ fn model_inspect(argv: &[String]) -> Result<(), String> {
 }
 
 fn inspect(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
-    let ds = load_csv(args.require("csv")?)?;
+    let args = Args::parse(argv, &["lenient"])?;
+    let ds = load_input(&args)?;
     let s = orfpred_smart::summary::summarize(&ds, 30);
     println!(
         "model {} | {} disks ({} failed) | {} snapshots over {} days",

@@ -216,6 +216,145 @@ fn assess_command_triages_disks() {
 }
 
 #[test]
+fn data_store_workflow_record_info_verify_train() {
+    let (store_path, store) = tmp("store");
+    std::fs::remove_dir_all(&store_path).ok();
+    let (model_path, model) = tmp("model5.json");
+
+    // record straight from the simulator
+    let out = bin()
+        .args([
+            "data",
+            "record",
+            "--out",
+            &store,
+            "--dataset",
+            "sta",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--segment-rows",
+            "512",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "data record failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("recorded"));
+    assert!(store_path.join("store.json").exists());
+
+    // info
+    let out = bin()
+        .args(["data", "info", "--store", &store])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "data info failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ST4000DM000"), "info output: {text}");
+    assert!(text.contains("compression"), "info output: {text}");
+    assert!(text.contains("smart_"), "info must name columns: {text}");
+
+    // verify
+    let out = bin()
+        .args(["data", "verify", "--store", &store])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "data verify failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok:"));
+
+    // a store is a drop-in CSV replacement downstream
+    let out = bin()
+        .args(["train", "--store", &store, "--model", &model, "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "train --store failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model_path.exists());
+
+    // verify flags corruption loudly
+    let seg = std::fs::read_dir(&store_path)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "orfseg"))
+        .expect("a segment file");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&seg, &bytes).unwrap();
+    let out = bin()
+        .args(["data", "verify", "--store", &store])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "verify must fail on a flipped bit");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("corrupt"),
+        "typed corruption message: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&store_path).ok();
+    std::fs::remove_file(&model_path).ok();
+}
+
+#[test]
+fn lenient_csv_parsing_skips_bad_rows_with_a_warning() {
+    let (csv_path, csv) = tmp("fleet6.csv");
+    assert!(bin()
+        .args(["simulate", "--out", &csv, "--scale", "tiny", "--seed", "2"])
+        .status()
+        .unwrap()
+        .success());
+    // Wreck one data row.
+    let mut text = std::fs::read_to_string(&csv_path).unwrap();
+    let line_start = text.match_indices('\n').nth(2).unwrap().0 + 1;
+    let line_end = text[line_start..].find('\n').unwrap() + line_start;
+    text.replace_range(line_start..line_end, "not,a,row");
+    std::fs::write(&csv_path, &text).unwrap();
+
+    // Strict parse fails with the line number…
+    let out = bin().args(["inspect", "--csv", &csv]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 4"),
+        "strict error names the line: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // …lenient skips it and says so.
+    let out = bin()
+        .args(["inspect", "--csv", &csv, "--lenient"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "lenient inspect failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("skipped 1 of"),
+        "skip warning: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_message() {
     let out = bin().output().unwrap();
     assert!(!out.status.success(), "no-arg run must fail");

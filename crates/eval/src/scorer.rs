@@ -117,6 +117,18 @@ impl FrozenScorer {
         }
         self.forest.score_batch(&scaled)
     }
+
+    /// Batch-score raw *columns* (one slice per raw feature, equal
+    /// lengths): scale column-wise, then run the frozen columnar kernel.
+    /// This is the telemetry-store replay path — a decoded segment feeds
+    /// straight in with no row materialization — and every element goes
+    /// through the same arithmetic as [`Scorer::score_raw`], so scores are
+    /// bit-identical to the row paths.
+    pub fn score_raw_columns(&self, cols: &[&[f32]]) -> Vec<f32> {
+        let scaled = self.scaler.transform_columns(cols);
+        let refs: Vec<&[f32]> = scaled.iter().map(|c| c.as_slice()).collect();
+        self.forest.score_columns(&refs)
+    }
 }
 
 /// A frozen forest + the *streaming* scaler state it was frozen with — the
@@ -275,10 +287,16 @@ mod tests {
         let live = RfScorer { model, scaler };
         let refs: Vec<&[f32]> = raw_rows.iter().map(|r| r.as_slice()).collect();
         let batch = frozen.score_raw_batch(&refs);
+        let cols: Vec<Vec<f32>> = (0..N_FEATURES)
+            .map(|c| raw_rows.iter().map(|r| r[c]).collect())
+            .collect();
+        let col_refs: Vec<&[f32]> = cols.iter().map(|c| c.as_slice()).collect();
+        let by_col = frozen.score_raw_columns(&col_refs);
         for (i, r) in refs.iter().enumerate() {
             let f = frozen.score_raw(r);
             assert_eq!(f.to_bits(), live.score_raw(r).to_bits(), "row {i}");
             assert_eq!(f.to_bits(), batch[i].to_bits(), "batch row {i}");
+            assert_eq!(f.to_bits(), by_col[i].to_bits(), "columnar row {i}");
         }
     }
 

@@ -111,12 +111,44 @@ fn oracle_label(info: &DiskInfo, day: u16, window: u16) -> Option<bool> {
 
 /// Run the two-pass streaming evaluation on a fleet configuration.
 pub fn run_streaming(fleet: &FleetConfig, cfg: &StreamingConfig) -> StreamingResult {
+    let infos = FleetSim::new(fleet).disk_infos();
+    run_streaming_with(cfg, &infos, || FleetSim::new(fleet))
+}
+
+/// Run the streaming evaluation replaying a recorded telemetry store
+/// instead of the simulator. The store is fully verified (CRCs, ordering,
+/// manifest consistency) before the evaluation starts, so replay inside
+/// the passes cannot fail; given a store recorded from the same fleet
+/// configuration, results are bit-identical to [`run_streaming`] because
+/// the replayed event stream is bit-identical.
+pub fn run_streaming_store(
+    store: &orfpred_store::Store,
+    cfg: &StreamingConfig,
+) -> Result<StreamingResult, orfpred_store::StoreError> {
+    store.verify()?;
+    Ok(run_streaming_with(cfg, &store.meta().disks, || {
+        store
+            .events()
+            .map(|e| e.expect("store verified before replay"))
+    }))
+}
+
+/// The two-pass §4.4 protocol over any twice-replayable event source: the
+/// factory is called once per pass and must yield the same stream both
+/// times (a seeded simulator, a verified store, …).
+pub fn run_streaming_with<I, F>(
+    cfg: &StreamingConfig,
+    infos: &[DiskInfo],
+    events: F,
+) -> StreamingResult
+where
+    I: Iterator<Item = FleetEvent>,
+    F: Fn() -> I,
+{
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
 
-    // ---- Pass 0: metadata (fates are fixed at fleet construction). ----
-    let sim = FleetSim::new(fleet);
-    let infos = sim.disk_infos();
-    let is_train = stratified_mask(&infos, 0.7, &mut rng);
+    // ---- Pass 0: metadata (fates are fixed before any sample). ----
+    let is_train = stratified_mask(infos, 0.7, &mut rng);
 
     // Exact expected counts → thinning probability for λ·|pos| negatives.
     let mut exp_pos = 0u64;
@@ -144,7 +176,7 @@ pub fn run_streaming(fleet: &FleetConfig, cfg: &StreamingConfig) -> StreamingRes
     // ORF trains in chronological order on the oracle-labelled training
     // samples (the Table 4 protocol), thinning nothing — λn does the
     // thinning inside the forest.
-    for ev in sim {
+    for ev in events() {
         let FleetEvent::Sample(rec) = ev else {
             continue;
         };
@@ -223,7 +255,7 @@ pub fn run_streaming(fleet: &FleetConfig, cfg: &StreamingConfig) -> StreamingRes
         *orf_chunk = Matrix::with_capacity(cfg.cols.len(), CHUNK_ROWS);
         chunk_disks.clear();
     };
-    for ev in FleetSim::new(fleet) {
+    for ev in events() {
         let FleetEvent::Sample(rec) = ev else {
             continue;
         };
@@ -373,6 +405,41 @@ mod tests {
         assert_eq!(oracle_label(&failed, 93, 7), Some(false));
         assert_eq!(oracle_label(&good, 94, 7), None);
         assert_eq!(oracle_label(&good, 93, 7), Some(false));
+    }
+
+    #[test]
+    fn store_replay_reproduces_the_simulator_run_exactly() {
+        let fleet = tiny_fleet();
+        let cfg = tiny_cfg();
+        let from_sim = run_streaming(&fleet, &cfg);
+
+        let dir = std::env::temp_dir().join(format!(
+            "orfpred-eval-store-{}-{}",
+            std::process::id(),
+            fleet.seed
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        orfpred_store::record_fleet(
+            &dir,
+            &fleet,
+            orfpred_store::StoreConfig {
+                segment_rows: 4096,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let store = orfpred_store::Store::open(&dir).unwrap();
+        let from_store = run_streaming_store(&store, &cfg).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Same events + same seeds → the whole evaluation is bit-identical.
+        assert_eq!(from_sim.n_samples, from_store.n_samples);
+        assert_eq!(from_sim.n_train_pos, from_store.n_train_pos);
+        assert_eq!(from_sim.n_train_neg, from_store.n_train_neg);
+        assert_eq!(from_sim.rf.fdr.to_bits(), from_store.rf.fdr.to_bits());
+        assert_eq!(from_sim.rf.auc.to_bits(), from_store.rf.auc.to_bits());
+        assert_eq!(from_sim.orf.fdr.to_bits(), from_store.orf.fdr.to_bits());
+        assert_eq!(from_sim.orf.tau.to_bits(), from_store.orf.tau.to_bits());
     }
 
     #[test]

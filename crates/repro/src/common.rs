@@ -28,6 +28,9 @@ pub struct Options {
     pub out_dir: String,
     pub svm: bool,
     pub fast: bool,
+    /// Telemetry-store directory to read instead of simulating. The store's
+    /// drive model must match the experiment's dataset (STA or STB).
+    pub store: Option<String>,
 }
 
 impl Default for Options {
@@ -39,6 +42,7 @@ impl Default for Options {
             out_dir: "results".into(),
             svm: true,
             fast: false,
+            store: None,
         }
     }
 }
@@ -63,9 +67,44 @@ impl Options {
         FleetConfig::stb(self.preset(), self.seed)
     }
 
+    /// Open the configured `--store` and check it holds the drive model the
+    /// experiment expects — feeding an STB capture into an STA table would
+    /// silently relabel every number.
+    pub fn open_store(&self, expect_model: &str) -> orfpred_store::Store {
+        let dir = self.store.as_deref().expect("caller checked --store");
+        let store = orfpred_store::Store::open(std::path::Path::new(dir)).unwrap_or_else(|e| {
+            eprintln!("[repro] {e}");
+            std::process::exit(2);
+        });
+        if store.meta().model != expect_model {
+            eprintln!(
+                "[repro] store {dir} holds drive model {} but this experiment needs {expect_model}",
+                store.meta().model
+            );
+            std::process::exit(2);
+        }
+        store
+    }
+
+    fn load_store(&self, label: &str, expect_model: &str) -> Dataset {
+        let store = self.open_store(expect_model);
+        eprintln!(
+            "[repro] replaying {label} from store {} ({} rows)…",
+            self.store.as_deref().unwrap_or_default(),
+            store.n_rows()
+        );
+        store.dataset().unwrap_or_else(|e| {
+            eprintln!("[repro] {e}");
+            std::process::exit(2);
+        })
+    }
+
     /// Materialise the STA dataset (logs a line; generation takes a bit).
     pub fn sta(&self) -> Dataset {
         let cfg = self.sta_config();
+        if self.store.is_some() {
+            return self.load_store("STA", &cfg.profile.name);
+        }
         self.warn_if_heavy(&cfg);
         eprintln!(
             "[repro] generating STA ({} disks, {} days)…",
@@ -88,6 +127,9 @@ impl Options {
     /// Materialise the STB dataset.
     pub fn stb(&self) -> Dataset {
         let cfg = self.stb_config();
+        if self.store.is_some() {
+            return self.load_store("STB", &cfg.profile.name);
+        }
         self.warn_if_heavy(&cfg);
         eprintln!(
             "[repro] generating STB ({} disks, {} days)…",

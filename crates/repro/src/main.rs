@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--repeats N]
-//!                    [--out DIR] [--no-svm] [--fast]
+//!                    [--out DIR] [--store DIR] [--no-svm] [--fast]
 //!
 //! experiments:
 //!   table1        dataset overview (Table 1)
@@ -37,7 +37,7 @@ use common::{Options, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--repeats N] [--out DIR] [--no-svm] [--fast]");
+        eprintln!("usage: repro <experiment> [--scale tiny|small|medium|paper] [--seed N] [--repeats N] [--out DIR] [--store DIR] [--no-svm] [--fast]");
         eprintln!(
             "experiments: table1 table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 threshold all"
         );
@@ -81,6 +81,13 @@ fn main() {
                     eprintln!("--out needs a path");
                     std::process::exit(2);
                 });
+            }
+            "--store" => {
+                i += 1;
+                opts.store = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--store needs a path");
+                    std::process::exit(2);
+                }));
             }
             "--no-svm" => opts.svm = false,
             "--fast" => opts.fast = true,

@@ -425,6 +425,24 @@ pub fn health(opts: &Options) {
 /// evaluator — works even at `--scale paper` (25M+ snapshots).
 pub fn paper_scale(opts: &Options) {
     for (label, fleet) in [("STA", opts.sta_config()), ("STB", opts.stb_config())] {
+        // With `--store`, stream the recorded telemetry instead of the
+        // simulator. One store holds one drive model, so the non-matching
+        // dataset of the pair is skipped rather than silently relabelled.
+        let store = opts.store.as_deref().map(|dir| {
+            orfpred_store::Store::open(std::path::Path::new(dir)).unwrap_or_else(|e| {
+                eprintln!("[repro] {e}");
+                std::process::exit(2);
+            })
+        });
+        if let Some(s) = &store {
+            if s.meta().model != fleet.profile.name {
+                eprintln!(
+                    "[repro] store holds drive model {}; skipping {label}",
+                    s.meta().model
+                );
+                continue;
+            }
+        }
         eprintln!(
             "[repro] streaming {label} ({} disks, {} days)…",
             fleet.n_disks(),
@@ -441,7 +459,13 @@ pub fn paper_scale(opts: &Options) {
             cfg.orf.max_depth = 25;
         }
         let t0 = std::time::Instant::now();
-        let r = orfpred_eval::streaming::run_streaming(&fleet, &cfg);
+        let r = match &store {
+            Some(s) => orfpred_eval::streaming::run_streaming_store(s, &cfg).unwrap_or_else(|e| {
+                eprintln!("[repro] {e}");
+                std::process::exit(2);
+            }),
+            None => orfpred_eval::streaming::run_streaming(&fleet, &cfg),
+        };
         println!(
             "=== {label}: {} snapshots streamed in {:.0}s ===",
             r.n_samples,

@@ -7,8 +7,8 @@
 //!
 //! ```text
 //! orfpredd [--shards N] [--listen ADDR] [--checkpoint PATH]
-//!          [--threshold T] [--window W] [--seed S] [--trees K]
-//!          [--queue-capacity Q] [--snapshot-every M]
+//!          [--store DIR] [--threshold T] [--window W] [--seed S]
+//!          [--trees K] [--queue-capacity Q] [--snapshot-every M]
 //! ```
 
 use orfpred_core::OnlinePredictorConfig;
@@ -28,6 +28,9 @@ OPTIONS:
     --listen ADDR        also serve the protocol on this TCP address
     --checkpoint PATH    restore from PATH if it exists; checkpoint to it
                          on shutdown and on path-less checkpoint requests
+    --store DIR          replay the telemetry store at DIR before going
+                         live, skipping events the restored checkpoint
+                         already covers
     --threshold T        alarm threshold (default 0.5)
     --window W           labelling window W in days (default 7)
     --seed S             forest RNG seed (default 42)
@@ -50,6 +53,7 @@ fn build_config(mut argv: impl Iterator<Item = String>) -> Result<DaemonConfig, 
     let mut serve = ServeConfig::new(predictor.clone());
     let mut listen = None;
     let mut checkpoint_path = None;
+    let mut catchup_store = None;
 
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -59,6 +63,9 @@ fn build_config(mut argv: impl Iterator<Item = String>) -> Result<DaemonConfig, 
                 checkpoint_path = Some(PathBuf::from(
                     argv.next().ok_or("--checkpoint needs a value")?,
                 ));
+            }
+            "--store" => {
+                catchup_store = Some(PathBuf::from(argv.next().ok_or("--store needs a value")?));
             }
             "--threshold" => predictor.alarm_threshold = parse("--threshold", argv.next())?,
             "--window" => predictor.window_days = parse("--window", argv.next())?,
@@ -85,6 +92,7 @@ fn build_config(mut argv: impl Iterator<Item = String>) -> Result<DaemonConfig, 
         serve,
         listen,
         checkpoint_path,
+        catchup_store,
     })
 }
 

@@ -102,6 +102,13 @@ pub enum Checkpoint {
         alarms_raised: Option<u64>,
         /// Next global sequence number; a restored engine resumes here.
         next_seq: Option<u64>,
+        /// Stream events (samples + failures, barriers excluded) applied
+        /// before the checkpoint. `next_seq` cannot serve this purpose —
+        /// it also counts checkpoint/shutdown barriers — and the telemetry
+        /// store's catch-up replay needs the exact number of *events* to
+        /// skip (`daemon`'s `catchup_store`). `None` on older files:
+        /// catch-up then replays from the beginning.
+        events_ingested: Option<u64>,
     },
 }
 
@@ -257,6 +264,7 @@ mod tests {
             alarm_threshold: Some(0.4),
             alarms_raised: Some(5),
             next_seq: Some(42),
+            events_ingested: Some(41),
         }
     }
 
@@ -343,6 +351,7 @@ mod tests {
             alarm_threshold: Some(0.5),
             alarms_raised: None,
             next_seq: None,
+            events_ingested: None,
         };
         let err = bad.validate().unwrap_err();
         assert!(err.contains("forest expects"), "got: {err}");
@@ -366,6 +375,7 @@ mod tests {
             alarm_threshold: None,
             alarms_raised: None,
             next_seq: None,
+            events_ingested: None,
         };
         assert!(bad.validate().unwrap_err().contains("newer"));
     }

@@ -21,7 +21,7 @@ use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Daemon configuration: the engine plus its I/O endpoints.
@@ -34,21 +34,52 @@ pub struct DaemonConfig {
     /// Default checkpoint file: restored from at startup when it exists,
     /// written at shutdown and by path-less `checkpoint` requests.
     pub checkpoint_path: Option<PathBuf>,
+    /// Optional telemetry-store directory replayed at startup before the
+    /// daemon goes live. Events already covered by the restored
+    /// checkpoint's `events_ingested` cursor are skipped, so a restarted
+    /// daemon catches up on exactly the store tail it missed.
+    pub catchup_store: Option<PathBuf>,
 }
 
 /// Build the engine, restoring from the configured checkpoint if present.
+/// Returns the engine plus the restored `events_ingested` cursor (0 when
+/// starting fresh) used by the store catch-up replay.
 ///
 /// A damaged checkpoint (torn write, truncation, inconsistent state) is a
 /// hard startup error with the typed `CheckpointError` message — silently
 /// starting fresh would discard the operator's serving state.
-fn start_engine(cfg: &DaemonConfig) -> Result<Engine, String> {
+fn start_engine(cfg: &DaemonConfig) -> Result<(Engine, u64), String> {
     match &cfg.checkpoint_path {
         Some(path) if path.exists() => {
             let ck = Checkpoint::load(path).map_err(|e| e.to_string())?;
-            Ok(Engine::restore(&cfg.serve, ck))
+            let Checkpoint::Online {
+                events_ingested, ..
+            } = &ck;
+            let cursor = events_ingested.unwrap_or(0);
+            Ok((Engine::restore(&cfg.serve, ck), cursor))
         }
-        _ => Ok(Engine::new(&cfg.serve)),
+        _ => Ok((Engine::new(&cfg.serve), 0)),
     }
+}
+
+/// Replay the tail of a telemetry store into the engine: skip the first
+/// `skip` events (already applied before the checkpoint was taken), ingest
+/// the rest. Returns the number of events applied. A corrupt store is a
+/// hard startup error — serving from a model that silently missed history
+/// is worse than refusing to start.
+fn catch_up(engine: &Engine, dir: &Path, skip: u64) -> Result<u64, String> {
+    let store = orfpred_store::Store::open(dir).map_err(|e| e.to_string())?;
+    let mut applied = 0u64;
+    for (idx, ev) in (0u64..).zip(store.events()) {
+        let ev = ev.map_err(|e| e.to_string())?;
+        if idx < skip {
+            continue;
+        }
+        engine.ingest(ev).map_err(|e| format!("catch-up: {e}"))?;
+        applied += 1;
+    }
+    engine.flush();
+    Ok(applied)
 }
 
 /// Serve one request against the engine. Returns the direct replies
@@ -126,7 +157,21 @@ pub fn run(
     input: impl BufRead,
     mut output: impl Write,
 ) -> Result<Finished, String> {
-    let engine = Arc::new(start_engine(cfg)?);
+    let (engine, cursor) = start_engine(cfg)?;
+    let engine = Arc::new(engine);
+
+    if let Some(dir) = &cfg.catchup_store {
+        let applied = catch_up(&engine, dir, cursor)?;
+        drain_alarms(&engine, &mut output)?;
+        let note = Response::Ok {
+            what: format!(
+                "catch-up: applied {applied} events from {} (skipped {cursor})",
+                dir.display()
+            ),
+        };
+        write_responses(&mut output, &[note])?;
+        output.flush().map_err(|e| format!("flush output: {e}"))?;
+    }
 
     if let Some(addr) = &cfg.listen {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -233,6 +278,7 @@ mod tests {
             serve,
             listen: None,
             checkpoint_path: None,
+            catchup_store: None,
         }
     }
 
@@ -320,6 +366,63 @@ mod tests {
         assert_eq!(labeller.unwrap().n_pending(), 7);
         assert!(next_seq.unwrap() > 10, "sequence numbers continued");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_catch_up_replays_only_the_missed_tail() {
+        use orfpred_smart::gen::{FleetConfig, ScalePreset};
+
+        let base =
+            std::env::temp_dir().join(format!("orfpred_daemon_catchup_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::create_dir_all(&base).unwrap();
+        let store_dir = base.join("store");
+        let ckpt = base.join("ck.json");
+
+        let mut fleet = FleetConfig::sta(ScalePreset::Tiny, 7);
+        fleet.n_good = 6;
+        fleet.n_failed = 2;
+        fleet.duration_days = 60;
+        let meta = orfpred_store::record_fleet(
+            &store_dir,
+            &fleet,
+            orfpred_store::StoreConfig {
+                segment_rows: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let store = orfpred_store::Store::open(&store_dir).unwrap();
+        let total = store.events().count() as u64;
+        assert!(total > meta.total_rows, "failures add events beyond rows");
+
+        let mut cfg = daemon_cfg();
+        cfg.checkpoint_path = Some(ckpt.clone());
+        cfg.catchup_store = Some(store_dir.clone());
+
+        // First run: fresh engine, the whole store is the tail.
+        let (fin, lines) = run_script(&cfg, "{\"type\":\"shutdown\"}\n");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains(&format!("applied {total} events")) && l.contains("skipped 0")),
+            "catch-up note missing: {lines:?}"
+        );
+        let Checkpoint::Online {
+            events_ingested, ..
+        } = fin.checkpoint;
+        assert_eq!(events_ingested, Some(total));
+
+        // Second run restores the checkpoint: the cursor covers the whole
+        // store, so catch-up applies nothing.
+        let (_fin, lines) = run_script(&cfg, "{\"type\":\"shutdown\"}\n");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("applied 0 events") && l.contains(&format!("skipped {total}"))),
+            "tail-only catch-up missing: {lines:?}"
+        );
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

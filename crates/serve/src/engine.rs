@@ -252,6 +252,7 @@ struct WriterFinal {
     alarms: Vec<Alarm>,
     alarms_raised: u64,
     next_seq: u64,
+    events_ingested: u64,
 }
 
 impl Engine {
@@ -272,32 +273,36 @@ impl Engine {
         assert!(cfg.n_shards > 0, "need at least one shard");
         assert!(cfg.queue_capacity > 0, "need a positive queue capacity");
         let p = &cfg.predictor;
-        let (scaler, forest, labeller, threshold, alarms_raised, start_seq) = match from {
-            None => (
-                OnlineMinMax::new_log1p(&p.feature_cols),
-                OnlineRandomForest::new(p.feature_cols.len(), p.orf.clone(), p.seed),
-                OnlineLabeller::new(p.window_days),
-                p.alarm_threshold,
-                0,
-                0,
-            ),
-            Some(Checkpoint::Online {
-                scaler,
-                forest,
-                labeller,
-                alarm_threshold,
-                alarms_raised,
-                next_seq,
-                version: _,
-            }) => (
-                scaler,
-                forest,
-                labeller.unwrap_or_else(|| OnlineLabeller::new(p.window_days)),
-                alarm_threshold.unwrap_or(p.alarm_threshold),
-                alarms_raised.unwrap_or(0),
-                next_seq.unwrap_or(0),
-            ),
-        };
+        let (scaler, forest, labeller, threshold, alarms_raised, start_seq, events_ingested) =
+            match from {
+                None => (
+                    OnlineMinMax::new_log1p(&p.feature_cols),
+                    OnlineRandomForest::new(p.feature_cols.len(), p.orf.clone(), p.seed),
+                    OnlineLabeller::new(p.window_days),
+                    p.alarm_threshold,
+                    0,
+                    0,
+                    0,
+                ),
+                Some(Checkpoint::Online {
+                    scaler,
+                    forest,
+                    labeller,
+                    alarm_threshold,
+                    alarms_raised,
+                    next_seq,
+                    events_ingested,
+                    version: _,
+                }) => (
+                    scaler,
+                    forest,
+                    labeller.unwrap_or_else(|| OnlineLabeller::new(p.window_days)),
+                    alarm_threshold.unwrap_or(p.alarm_threshold),
+                    alarms_raised.unwrap_or(0),
+                    next_seq.unwrap_or(0),
+                    events_ingested.unwrap_or(0),
+                ),
+            };
 
         let n = cfg.n_shards;
         let stats = Arc::new(ServeStats::new(n));
@@ -343,6 +348,7 @@ impl Engine {
             alarms_raised,
             n_shards: n,
             snapshot_every: cfg.snapshot_every.max(1),
+            events_ingested,
             stats: Arc::clone(&stats),
             snapshot: Arc::clone(&snapshot),
             fresh_alarms: Arc::clone(&fresh_alarms),
@@ -510,6 +516,7 @@ impl Engine {
                 alarm_threshold: Some(fin.alarm_threshold),
                 alarms_raised: Some(fin.alarms_raised),
                 next_seq: Some(fin.next_seq),
+                events_ingested: Some(fin.events_ingested),
             },
         })
     }
@@ -626,6 +633,9 @@ struct WriterThread {
     alarms_raised: u64,
     n_shards: usize,
     snapshot_every: u64,
+    /// Samples + failures applied (barriers excluded) — the store
+    /// catch-up cursor persisted in every checkpoint.
+    events_ingested: u64,
     stats: Arc<ServeStats>,
     snapshot: Arc<EpochCell<ModelSnapshot>>,
     fresh_alarms: Arc<Mutex<Vec<Alarm>>>,
@@ -651,6 +661,7 @@ impl WriterThread {
             }
             match heap.pop().expect("peeked").0 {
                 WriterMsg::Sample { rec, released, .. } => {
+                    self.events_ingested += 1;
                     // Exactly OnlinePredictor::observe_sample's order:
                     // widen scaler → train on released → score fresh row.
                     self.scaler.update(&rec.features);
@@ -679,6 +690,7 @@ impl WriterThread {
                     }
                 }
                 WriterMsg::Failure { flushed, .. } => {
+                    self.events_ingested += 1;
                     for rel in flushed {
                         self.scaler.transform_into(&rel.features, &mut scratch);
                         self.forest.update(&scratch, true);
@@ -710,6 +722,7 @@ impl WriterThread {
             alarms,
             alarms_raised: self.alarms_raised,
             next_seq: self.next_seq,
+            events_ingested: self.events_ingested,
         }
     }
 
@@ -754,6 +767,7 @@ impl WriterThread {
             alarm_threshold: Some(self.alarm_threshold),
             alarms_raised: Some(self.alarms_raised),
             next_seq: Some(self.next_seq + 1),
+            events_ingested: Some(self.events_ingested),
         };
         let result = ck
             .save_atomic_faulted(&req.path, &*self.injector)

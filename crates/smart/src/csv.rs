@@ -47,6 +47,83 @@ fn format_date(day: u16) -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Calendar date string (`YYYY-MM-DD`) for a day offset from
+/// [`EPOCH_DATE`] — the same formatting [`write_dataset`] uses, exposed
+/// for human-facing reports (`orfpred data info`).
+pub fn date_string(day: u16) -> String {
+    format_date(day)
+}
+
+/// Typed CSV parse failure. Row-level variants carry the 1-based line
+/// number; in lenient mode ([`read_dataset_with`]) row-level failures are
+/// skipped and counted instead of returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The underlying reader failed (always fatal, even in lenient mode).
+    Io {
+        /// 1-based line number the reader was on.
+        line: usize,
+        /// Underlying error text.
+        detail: String,
+    },
+    /// The header line is missing or unusable.
+    Header {
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// One data row is malformed.
+    Row {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// The rows parsed individually but do not form a valid dataset
+    /// (empty file, window too long, validation failure).
+    Structure {
+        /// What is wrong with the dataset as a whole.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io { line, detail } => write!(f, "I/O error near line {line}: {detail}"),
+            ParseError::Header { detail } => write!(f, "bad CSV header: {detail}"),
+            ParseError::Row { line, detail } => write!(f, "line {line}: {detail}"),
+            ParseError::Structure { detail } => write!(f, "invalid dataset: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// How many example skip reasons [`ParseStats`] retains.
+const MAX_SKIP_EXAMPLES: usize = 5;
+
+/// What a (possibly lenient) parse did — surfaced in CLI output so silent
+/// data loss is impossible.
+#[derive(Debug, Clone, Default)]
+pub struct ParseStats {
+    /// Data rows parsed into records.
+    pub rows_read: usize,
+    /// Malformed rows skipped (always 0 in strict mode).
+    pub rows_skipped: usize,
+    /// Up to five `(line, reason)` samples of what was
+    /// skipped.
+    pub skip_examples: Vec<(usize, String)>,
+}
+
+impl ParseStats {
+    fn skip(&mut self, line: usize, reason: String) {
+        self.rows_skipped += 1;
+        if self.skip_examples.len() < MAX_SKIP_EXAMPLES {
+            self.skip_examples.push((line, reason));
+        }
+    }
+}
+
 fn parse_date(s: &str) -> Result<i64, String> {
     let mut parts = s.split('-');
     let mut next = |name: &str| {
@@ -105,17 +182,39 @@ pub fn write_dataset<W: Write>(ds: &Dataset, out: &mut W) -> io::Result<()> {
     Ok(())
 }
 
-/// Read a Backblaze-format CSV into a [`Dataset`].
+/// Read a Backblaze-format CSV into a [`Dataset`] (strict: the first
+/// malformed row is an error).
 ///
 /// Robust to column order and to extra SMART columns not in our catalog
 /// (they are ignored); missing catalog attributes read as 0 (Backblaze
 /// leaves unreported values empty).
-pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, String> {
+pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, ParseError> {
+    read_dataset_with(input, false).map(|(ds, _)| ds)
+}
+
+/// Read a Backblaze-format CSV, optionally in lenient mode.
+///
+/// Strict (`lenient = false`): any malformed row aborts with a typed
+/// [`ParseError`] carrying its line number. Lenient: malformed rows are
+/// skipped and counted in the returned [`ParseStats`] (with example
+/// reasons), so real-world dumps with a few mangled lines still load —
+/// but the caller can, and the CLI does, report exactly how many rows
+/// were dropped. I/O, header, and whole-file structural problems are
+/// fatal in both modes.
+pub fn read_dataset_with<R: BufRead>(
+    input: R,
+    lenient: bool,
+) -> Result<(Dataset, ParseStats), ParseError> {
     let mut lines = input.lines();
     let header = lines
         .next()
-        .ok_or("empty CSV")?
-        .map_err(|e| e.to_string())?;
+        .ok_or(ParseError::Header {
+            detail: "empty CSV".into(),
+        })?
+        .map_err(|e| ParseError::Io {
+            line: 1,
+            detail: e.to_string(),
+        })?;
     let columns: Vec<&str> = header.split(',').collect();
 
     let mut col_date = None;
@@ -148,9 +247,12 @@ pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, String> {
             }
         }
     }
-    let col_date = col_date.ok_or("missing 'date' column")?;
-    let col_serial = col_serial.ok_or("missing 'serial_number' column")?;
-    let col_failure = col_failure.ok_or("missing 'failure' column")?;
+    let missing = |name: &str| ParseError::Header {
+        detail: format!("missing '{name}' column"),
+    };
+    let col_date = col_date.ok_or_else(|| missing("date"))?;
+    let col_serial = col_serial.ok_or_else(|| missing("serial_number"))?;
+    let col_failure = col_failure.ok_or_else(|| missing("failure"))?;
 
     struct Row {
         abs_day: i64,
@@ -158,53 +260,97 @@ pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, String> {
         failed: bool,
         features: [f32; N_FEATURES],
     }
-    let mut rows: Vec<Row> = Vec::new();
-    let mut model = String::new();
-    for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
-        if line.trim().is_empty() {
-            continue;
-        }
+
+    /// Parse one data line; `Err` is the row-level reason.
+    fn parse_row(
+        line: &str,
+        n_columns: usize,
+        col_date: usize,
+        col_serial: usize,
+        col_failure: usize,
+        feature_cols: &[(usize, usize)],
+    ) -> Result<Row, String> {
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != columns.len() {
-            return Err(format!(
-                "line {}: {} fields, header has {}",
-                lineno + 2,
-                fields.len(),
-                columns.len()
-            ));
+        if fields.len() != n_columns {
+            return Err(format!("{} fields, header has {n_columns}", fields.len()));
         }
         let abs_day = parse_date(fields[col_date])?;
         let mut features = [0.0f32; N_FEATURES];
-        for &(csv_col, feat) in &feature_cols {
+        for &(csv_col, feat) in feature_cols {
             let s = fields[csv_col].trim();
             if !s.is_empty() {
-                features[feat] = s
-                    .parse::<f64>()
-                    .map_err(|e| format!("line {}: bad value '{s}': {e}", lineno + 2))?
-                    as f32;
+                features[feat] =
+                    s.parse::<f64>()
+                        .map_err(|e| format!("bad value '{s}': {e}"))? as f32;
             }
         }
-        if model.is_empty() {
-            if let Some(c) = col_model {
-                model = fields[c].to_string();
-            }
-        }
-        rows.push(Row {
+        Ok(Row {
             abs_day,
             serial: fields[col_serial].to_string(),
             failed: fields[col_failure].trim() == "1",
             features,
-        });
+        })
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut stats = ParseStats::default();
+    let mut model = String::new();
+    for (lineno, line) in lines.enumerate() {
+        let line_no = lineno + 2; // 1-based, after the header
+        let line = line.map_err(|e| ParseError::Io {
+            line: line_no,
+            detail: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_row(
+            &line,
+            columns.len(),
+            col_date,
+            col_serial,
+            col_failure,
+            &feature_cols,
+        ) {
+            Ok(row) => {
+                if model.is_empty() {
+                    if let Some(c) = col_model {
+                        if let Some(m) = line.split(',').nth(c) {
+                            model = m.to_string();
+                        }
+                    }
+                }
+                stats.rows_read += 1;
+                rows.push(row);
+            }
+            Err(detail) if lenient => stats.skip(line_no, detail),
+            Err(detail) => {
+                return Err(ParseError::Row {
+                    line: line_no,
+                    detail,
+                })
+            }
+        }
     }
     if rows.is_empty() {
-        return Err("CSV contains no data rows".into());
+        return Err(ParseError::Structure {
+            detail: if stats.rows_skipped > 0 {
+                format!(
+                    "CSV contains no parseable data rows ({} skipped)",
+                    stats.rows_skipped
+                )
+            } else {
+                "CSV contains no data rows".into()
+            },
+        });
     }
 
     let min_day = rows.iter().map(|r| r.abs_day).min().unwrap();
     let max_day = rows.iter().map(|r| r.abs_day).max().unwrap();
     if max_day - min_day > i64::from(u16::MAX) {
-        return Err("observation window exceeds u16 days".into());
+        return Err(ParseError::Structure {
+            detail: "observation window exceeds u16 days".into(),
+        });
     }
 
     // Assign dense disk ids by serial (first-seen order).
@@ -251,8 +397,9 @@ pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, String> {
         records,
         disks,
     };
-    ds.validate()?;
-    Ok(ds)
+    ds.validate()
+        .map_err(|detail| ParseError::Structure { detail })?;
+    Ok((ds, stats))
 }
 
 #[cfg(test)]
@@ -327,6 +474,53 @@ mod tests {
         assert!(read_dataset(BufReader::new(missing_field.as_bytes())).is_err());
         let bad_date = "date,serial_number,failure\n2020-13-01,A,0\n";
         assert!(read_dataset(BufReader::new(bad_date.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn strict_errors_are_typed_with_line_numbers() {
+        assert!(matches!(
+            read_dataset(BufReader::new("".as_bytes())),
+            Err(ParseError::Header { .. })
+        ));
+        let short = "date,serial_number,failure\n2020-01-01,A,0\n2020-01-02,A\n";
+        match read_dataset(BufReader::new(short.as_bytes())) {
+            Err(ParseError::Row { line: 3, .. }) => {}
+            other => panic!("expected Row error at line 3, got {other:?}"),
+        }
+        let bad_val = "date,serial_number,failure,smart_5_raw\n2020-01-01,A,0,notanumber\n";
+        match read_dataset(BufReader::new(bad_val.as_bytes())) {
+            Err(ParseError::Row { line: 2, .. }) => {}
+            other => panic!("expected Row error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_bad_rows() {
+        let csv = "date,serial_number,failure,smart_5_raw\n\
+                   2020-01-01,A,0,3\n\
+                   2020-01-02,A\n\
+                   2020-13-77,B,0,1\n\
+                   2020-01-02,A,0,oops\n\
+                   2020-01-03,A,1,9\n";
+        // Strict fails at the first bad row…
+        assert!(matches!(
+            read_dataset(BufReader::new(csv.as_bytes())),
+            Err(ParseError::Row { line: 3, .. })
+        ));
+        // …lenient loads the good ones and accounts for the rest.
+        let (ds, stats) = read_dataset_with(BufReader::new(csv.as_bytes()), true).unwrap();
+        assert_eq!(stats.rows_read, 2);
+        assert_eq!(stats.rows_skipped, 3);
+        assert_eq!(stats.skip_examples.len(), 3);
+        assert_eq!(stats.skip_examples[0].0, 3);
+        assert_eq!(ds.n_records(), 2);
+        assert_eq!(ds.n_failed(), 1);
+        // All rows bad → still a typed structural error, not an empty dataset.
+        let all_bad = "date,serial_number,failure\nx\ny\n";
+        assert!(matches!(
+            read_dataset_with(BufReader::new(all_bad.as_bytes()), true),
+            Err(ParseError::Structure { .. })
+        ));
     }
 
     #[test]

@@ -125,6 +125,35 @@ impl MinMaxScaler {
             };
         }
     }
+
+    /// Columnar transform: `input[c]` holds all rows of raw feature `c`;
+    /// the result holds one scaled column per *selected* feature, in
+    /// selection order. Each element goes through the exact expression
+    /// [`Self::transform`] applies, so scoring a transposed batch is
+    /// bit-identical to scaling row by row — the invariant the telemetry
+    /// store's segment-replay path relies on.
+    pub fn transform_columns(&self, input: &[&[f32]]) -> Vec<Vec<f32>> {
+        let n = input.first().map_or(0, |c| c.len());
+        self.cols
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                let col = input[c];
+                assert_eq!(col.len(), n, "ragged input columns");
+                let span = self.max[j] - self.min[j];
+                col.iter()
+                    .map(|&x| {
+                        let v = if self.log1p { log1p_pos(x) } else { x };
+                        if span > 0.0 {
+                            ((v - self.min[j]) / span).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 /// Streaming min–max scaler: bounds widen as samples arrive.
@@ -288,6 +317,33 @@ mod tests {
         rows.iter().for_each(|r| on.update(r));
         for r in &rows {
             assert_eq!(off.transform(r), on.transform(r));
+        }
+    }
+
+    #[test]
+    fn columnar_transform_matches_rowwise_bitwise() {
+        let rows: Vec<[f32; 3]> = vec![
+            [0.0, 5.0, 9.9],
+            [10.0, 7.0, 0.3],
+            [3.5, -2.0, 1e6],
+            [7.25, 6.0, 0.0],
+        ];
+        for scaler in [
+            MinMaxScaler::fit(rows.iter().map(|r| r.as_slice()), &[0, 2]),
+            MinMaxScaler::fit_log1p(rows.iter().map(|r| r.as_slice()), &[2, 1]),
+        ] {
+            let cols: Vec<Vec<f32>> = (0..3)
+                .map(|c| rows.iter().map(|r| r[c]).collect())
+                .collect();
+            let col_refs: Vec<&[f32]> = cols.iter().map(|c| c.as_slice()).collect();
+            let scaled = scaler.transform_columns(&col_refs);
+            assert_eq!(scaled.len(), scaler.n_outputs());
+            for (i, r) in rows.iter().enumerate() {
+                let want = scaler.transform(r);
+                for (j, w) in want.iter().enumerate() {
+                    assert_eq!(scaled[j][i].to_bits(), w.to_bits(), "row {i} out {j}");
+                }
+            }
         }
     }
 

@@ -1,0 +1,50 @@
+//! Fault-injection points for the store writer, mirroring the serve
+//! checkpoint discipline (`orfpred_serve`'s `FaultInjector` /
+//! `CheckpointFault`): production code installs [`NoStoreFaults`]; the
+//! testkit installs seeded plans that fire at chosen segment rotations so
+//! the fault matrix in `tests/fault_store.rs` is deterministic.
+
+/// What to do to one segment rotation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum SegmentFault {
+    /// Write normally (tmp + fsync + rename).
+    #[default]
+    None,
+    /// Crash mid-write with only a prefix of the segment durable at its
+    /// final path — models power loss after the rename was journaled but
+    /// before all data blocks hit disk. The writer returns
+    /// `StoreError::Injected`; the *reader* must detect the tear.
+    TornWrite {
+        /// Bytes of the encoded segment that survive.
+        keep: usize,
+    },
+    /// Crash after the temp file is fully written and synced but before
+    /// the rename — the clean-crash case the tmp+rename discipline is
+    /// designed for. The store keeps its previous consistent prefix.
+    CrashBeforeRename,
+    /// Silent bit rot: flip one byte of the image before the (otherwise
+    /// normal, atomic) write. The write *succeeds* — detection is entirely
+    /// the reader's job, via the segment CRCs.
+    FlipByte {
+        /// Offset from the end of the segment image (0 = last byte, which
+        /// sits in the tail magic; small values land in the trailer/footer).
+        byte_from_end: usize,
+        /// XOR mask applied to that byte (use a non-zero value).
+        xor: u8,
+    },
+}
+
+/// Consulted once per segment rotation. Implementations must be cheap and
+/// thread-safe (the testkit shares one plan across writer and driver).
+pub trait StoreFaultInjector: Send + Sync + std::fmt::Debug {
+    /// Fault to apply when writing segment `seg_index` (0-based).
+    fn segment_fault(&self, _seg_index: u64) -> SegmentFault {
+        SegmentFault::None
+    }
+}
+
+/// Production default: no faults, ever.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoStoreFaults;
+
+impl StoreFaultInjector for NoStoreFaults {}

@@ -1,0 +1,445 @@
+//! Store reader: manifest-driven access to sealed segments, streaming
+//! record/event replay, full verification, and the footer-only summary
+//! behind `orfpred data info`.
+//!
+//! Replay works segment-at-a-time on owned buffers (one decoded segment
+//! resident at a time), so memory stays bounded by the segment size, not
+//! the fleet. Failure events are synthesized from the manifest's disk
+//! roster and interleaved in exactly the simulator's order — all samples
+//! of day *d* (ascending disk id), then all failures of day *d* — which is
+//! what makes replay-from-store bit-identical to replay-from-sim.
+
+use crate::segment::{Footer, Segment, LOGICAL_ROW_BYTES, N_BLOCKS, SEG_MAGIC};
+use crate::writer::{StoreMeta, META_FILE, STORE_VERSION};
+use crate::StoreError;
+use orfpred_smart::gen::FleetEvent;
+use orfpred_smart::record::{Dataset, DiskDay};
+use orfpred_smart::N_FEATURES;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn io_err(path: &Path, e: impl std::fmt::Display) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    }
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.into(),
+    }
+}
+
+/// An opened store: validated manifest + lazy segment access.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    meta: StoreMeta,
+}
+
+impl Store {
+    /// Open a store directory: parse the manifest and cheaply
+    /// cross-check it (version, row totals, dense roster, segment files
+    /// present with the exact recorded size — which already catches torn
+    /// writes without reading row data). Full CRC verification is
+    /// [`verify`](Self::verify).
+    pub fn open(dir: &Path) -> Result<Store, StoreError> {
+        let meta_path = dir.join(META_FILE);
+        let json = fs::read_to_string(&meta_path).map_err(|e| io_err(&meta_path, e))?;
+        let meta: StoreMeta = serde_json::from_str(&json)
+            .map_err(|e| corrupt(&meta_path, format!("bad manifest: {e}")))?;
+        if meta.version > STORE_VERSION {
+            return Err(corrupt(
+                &meta_path,
+                format!(
+                    "manifest version {} is newer than this reader ({})",
+                    meta.version, STORE_VERSION
+                ),
+            ));
+        }
+        let sum: u64 = meta.segments.iter().map(|s| s.rows).sum();
+        if sum != meta.total_rows {
+            return Err(corrupt(
+                &meta_path,
+                format!(
+                    "total_rows {} != sum of segment rows {sum}",
+                    meta.total_rows
+                ),
+            ));
+        }
+        for (i, d) in meta.disks.iter().enumerate() {
+            if d.disk_id as usize != i {
+                return Err(corrupt(
+                    &meta_path,
+                    format!("disk roster not dense at slot {i}"),
+                ));
+            }
+        }
+        for s in &meta.segments {
+            let path = dir.join(&s.file);
+            let actual = fs::metadata(&path).map_err(|e| io_err(&path, e))?.len();
+            if actual != s.bytes {
+                return Err(corrupt(
+                    &path,
+                    format!(
+                        "segment is {actual} bytes, manifest says {} (torn write?)",
+                        s.bytes
+                    ),
+                ));
+            }
+        }
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            meta,
+        })
+    }
+
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn n_segments(&self) -> usize {
+        self.meta.segments.len()
+    }
+
+    pub fn n_rows(&self) -> u64 {
+        self.meta.total_rows
+    }
+
+    fn segment_path(&self, i: usize) -> PathBuf {
+        self.dir.join(&self.meta.segments[i].file)
+    }
+
+    /// Load and fully decode (CRC-verify) segment `i`.
+    pub fn segment(&self, i: usize) -> Result<Segment, StoreError> {
+        let path = self.segment_path(i);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let seg = Segment::decode(&bytes, &path)?;
+        let want = self.meta.segments[i].rows;
+        if seg.n_rows() as u64 != want {
+            return Err(corrupt(
+                &path,
+                format!("segment holds {} rows, manifest says {want}", seg.n_rows()),
+            ));
+        }
+        Ok(seg)
+    }
+
+    /// Stream every record in `(day, disk_id)` order.
+    pub fn records(&self) -> Records<'_> {
+        Records {
+            store: self,
+            next_seg: 0,
+            seg: None,
+            row: 0,
+            failed: false,
+        }
+    }
+
+    /// Stream the full event sequence — samples interleaved with
+    /// synthesized failure events — in exactly [`FleetSim`]'s order.
+    ///
+    /// [`FleetSim`]: orfpred_smart::gen::FleetSim
+    pub fn events(&self) -> Events<'_> {
+        let mut failures: Vec<(u16, u32)> = self
+            .meta
+            .disks
+            .iter()
+            .filter(|d| d.failed)
+            .map(|d| (d.last_day, d.disk_id))
+            .collect();
+        failures.sort_unstable();
+        Events {
+            records: self.records(),
+            failures,
+            next_failure: 0,
+            pending: None,
+            done: false,
+        }
+    }
+
+    /// Materialize the whole store as a [`Dataset`] (validated). Only for
+    /// stores that fit in memory — replay via [`events`](Self::events) for
+    /// the rest.
+    pub fn dataset(&self) -> Result<Dataset, StoreError> {
+        let mut records = Vec::with_capacity(self.meta.total_rows as usize);
+        for rec in self.records() {
+            records.push(rec?);
+        }
+        let ds = Dataset {
+            model: self.meta.model.clone(),
+            duration_days: self.meta.duration_days,
+            records,
+            disks: self.meta.disks.clone(),
+        };
+        ds.validate().map_err(|e| {
+            corrupt(
+                &self.dir.join(META_FILE),
+                format!("replayed dataset invalid: {e}"),
+            )
+        })?;
+        Ok(ds)
+    }
+
+    /// Decode every segment, verifying both CRCs, the manifest row counts,
+    /// global `(day, disk_id)` ordering, and that every row lands inside
+    /// its disk's `[install_day, last_day]` window.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        let mut last_key: Option<(u16, u32)> = None;
+        for i in 0..self.n_segments() {
+            let seg = self.segment(i)?;
+            let path = self.segment_path(i);
+            bytes += self.meta.segments[i].bytes;
+            for r in 0..seg.n_rows() {
+                let (day, disk) = (seg.days()[r], seg.disk_ids()[r]);
+                let key = (day, disk);
+                if let Some(last) = last_key {
+                    if key <= last {
+                        return Err(corrupt(
+                            &path,
+                            format!("row order violated: {key:?} after {last:?}"),
+                        ));
+                    }
+                }
+                last_key = Some(key);
+                let info = self.meta.disks.get(disk as usize).ok_or_else(|| {
+                    corrupt(&path, format!("row references disk {disk} outside roster"))
+                })?;
+                if day < info.install_day || day > info.last_day {
+                    return Err(corrupt(
+                        &path,
+                        format!(
+                            "disk {disk} sampled on day {day} outside its window [{}, {}]",
+                            info.install_day, info.last_day
+                        ),
+                    ));
+                }
+            }
+            rows += seg.n_rows() as u64;
+        }
+        if rows != self.meta.total_rows {
+            return Err(corrupt(
+                &self.dir.join(META_FILE),
+                format!(
+                    "replayed {rows} rows, manifest says {}",
+                    self.meta.total_rows
+                ),
+            ));
+        }
+        Ok(VerifyReport {
+            segments: self.n_segments(),
+            rows,
+            bytes,
+        })
+    }
+
+    /// Footer-only summary (no row decode): sizes, date range, and
+    /// per-column encoded bytes + modes for the `data info` report.
+    pub fn info(&self) -> Result<StoreInfo, StoreError> {
+        let mut columns: Vec<ColumnStat> = (0..N_FEATURES)
+            .map(|c| ColumnStat {
+                name: orfpred_smart::attrs::feature_name(c),
+                encoded_bytes: 0,
+                raw_segments: 0,
+                int_segments: 0,
+            })
+            .collect();
+        let mut disk_id_bytes = 0u64;
+        let mut day_bytes = 0u64;
+        let mut disk_bytes = 0u64;
+        for (i, sm) in self.meta.segments.iter().enumerate() {
+            let path = self.segment_path(i);
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+            let footer = Footer::parse(&bytes, &path)?;
+            if u64::from(footer.n_rows) != sm.rows {
+                return Err(corrupt(
+                    &path,
+                    format!(
+                        "footer says {} rows, manifest says {}",
+                        footer.n_rows, sm.rows
+                    ),
+                ));
+            }
+            disk_bytes += bytes.len() as u64;
+            disk_id_bytes += footer.block_bytes(0);
+            day_bytes += footer.block_bytes(1);
+            for (c, col) in columns.iter_mut().enumerate() {
+                let b = 2 + c;
+                col.encoded_bytes += footer.block_bytes(b);
+                // Peek the mode byte (first byte of the block's body span).
+                let start = if b == 0 { 0 } else { footer.block_ends[b - 1] };
+                let mode = bytes[SEG_MAGIC.len() + start as usize];
+                if mode == 0 {
+                    col.int_segments += 1;
+                } else {
+                    col.raw_segments += 1;
+                }
+            }
+            debug_assert_eq!(footer.block_ends.len(), N_BLOCKS);
+        }
+        let m = &self.meta;
+        Ok(StoreInfo {
+            segments: m.segments.len(),
+            rows: m.total_rows,
+            segment_rows: m.segment_rows,
+            n_disks: m.disks.len(),
+            n_failed: m.disks.iter().filter(|d| d.failed).count(),
+            first_day: m.segments.first().map(|s| s.first_day),
+            last_day: m.segments.last().map(|s| s.last_day),
+            duration_days: m.duration_days,
+            model: m.model.clone(),
+            disk_bytes,
+            logical_bytes: m.total_rows * LOGICAL_ROW_BYTES,
+            disk_id_bytes,
+            day_bytes,
+            columns,
+        })
+    }
+}
+
+/// What [`Store::verify`] checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    pub segments: usize,
+    pub rows: u64,
+    /// Encoded bytes decoded and CRC-verified.
+    pub bytes: u64,
+}
+
+/// Per-feature-column stats for `data info`.
+#[derive(Debug, Clone)]
+pub struct ColumnStat {
+    /// Human feature name (e.g. `smart_5_raw`).
+    pub name: String,
+    /// Encoded bytes across all segments (including the mode byte).
+    pub encoded_bytes: u64,
+    /// Segments that stored this column as raw f32 bits.
+    pub raw_segments: u32,
+    /// Segments that stored this column delta-coded.
+    pub int_segments: u32,
+}
+
+/// Footer-level store summary.
+#[derive(Debug, Clone)]
+pub struct StoreInfo {
+    pub segments: usize,
+    pub rows: u64,
+    pub segment_rows: u32,
+    pub n_disks: usize,
+    pub n_failed: usize,
+    pub first_day: Option<u16>,
+    pub last_day: Option<u16>,
+    pub duration_days: u16,
+    pub model: String,
+    /// Actual bytes across segment files.
+    pub disk_bytes: u64,
+    /// Uncompressed row-struct bytes the same rows would occupy.
+    pub logical_bytes: u64,
+    pub disk_id_bytes: u64,
+    pub day_bytes: u64,
+    pub columns: Vec<ColumnStat>,
+}
+
+/// Streaming record iterator: one decoded segment resident at a time.
+/// Yields `Err` once on the first corrupt/unreadable segment, then fuses.
+#[derive(Debug)]
+pub struct Records<'a> {
+    store: &'a Store,
+    next_seg: usize,
+    seg: Option<Segment>,
+    row: usize,
+    failed: bool,
+}
+
+impl Iterator for Records<'_> {
+    type Item = Result<DiskDay, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(seg) = &self.seg {
+                if self.row < seg.n_rows() {
+                    let rec = seg.record(self.row);
+                    self.row += 1;
+                    return Some(Ok(rec));
+                }
+                self.seg = None;
+            }
+            if self.next_seg >= self.store.n_segments() {
+                return None;
+            }
+            match self.store.segment(self.next_seg) {
+                Ok(seg) => {
+                    self.next_seg += 1;
+                    self.row = 0;
+                    self.seg = Some(seg);
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Streaming event iterator: records plus synthesized failure events, in
+/// simulator order.
+#[derive(Debug)]
+pub struct Events<'a> {
+    records: Records<'a>,
+    /// `(fail_day, disk_id)` sorted ascending.
+    failures: Vec<(u16, u32)>,
+    next_failure: usize,
+    pending: Option<DiskDay>,
+    done: bool,
+}
+
+impl Iterator for Events<'_> {
+    type Item = Result<FleetEvent, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.pending.is_none() {
+            match self.records.next() {
+                Some(Ok(rec)) => self.pending = Some(rec),
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                None => {}
+            }
+        }
+        // A failure on day d comes after every sample of day d (the failing
+        // disk reports its final SMART snapshot before the failure event).
+        let fail_now = match (&self.pending, self.failures.get(self.next_failure)) {
+            (Some(rec), Some(&(fd, _))) => fd < rec.day,
+            (None, Some(_)) => true,
+            (_, None) => false,
+        };
+        if fail_now {
+            let (day, disk_id) = self.failures[self.next_failure];
+            self.next_failure += 1;
+            return Some(Ok(FleetEvent::Failure { disk_id, day }));
+        }
+        match self.pending.take() {
+            Some(rec) => Some(Ok(FleetEvent::Sample(rec))),
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! Segment encode/decode: the on-disk unit of the telemetry store.
+//!
+//! Layout (all fixed-width integers little-endian; see DESIGN.md §11):
+//!
+//! ```text
+//! +----------------+  offset 0
+//! | magic          |  8 B  "ORFSEG1\n"
+//! +----------------+
+//! | body           |  N_BLOCKS encoded column blocks, back to back:
+//! |                |    block 0          disk-id dictionary + per-row indices
+//! |                |    block 1          day column, zigzag-delta varints
+//! |                |    blocks 2..50     one per SMART feature column, each
+//! |                |                     a mode byte then the payload
+//! +----------------+
+//! | footer         |  row count u32, block count u32, per-block end
+//! |                |  offsets u64×N (relative to body start), body CRC32
+//! +----------------+
+//! | trailer        |  footer length u32, footer CRC32, tail magic
+//! |                |  "ORFSEGF\n" — fixed 16 B so readers can find the
+//! +----------------+  footer from the end of the file
+//! ```
+//!
+//! The body CRC covers magic + body; the footer CRC covers the footer
+//! bytes. A torn write (any prefix of the file) fails the trailer or CRC
+//! checks; a flipped bit anywhere fails one of the CRCs. Decode
+//! bounds-checks every varint and offset, so corrupt bytes always surface
+//! as [`StoreError::Corrupt`], never a panic or silent truncation.
+//!
+//! Feature columns carry a per-segment mode byte. Mode 0 (int-delta)
+//! applies only when every value in the column round-trips exactly through
+//! `u64` — checked bit-for-bit at encode time — and stores zigzag varints
+//! of consecutive (wrapping) deltas. Mode 1 stores raw `f32` bits. Either
+//! way replay reproduces the exact input bits, which is what the
+//! golden-trace oracle asserts.
+
+use crate::crc::crc32;
+use crate::varint;
+use crate::StoreError;
+use orfpred_smart::record::DiskDay;
+use orfpred_smart::N_FEATURES;
+use std::path::Path;
+
+/// Leading magic: format name + version.
+pub const SEG_MAGIC: &[u8; 8] = b"ORFSEG1\n";
+/// Trailing magic: lets a reader distinguish truncation from bad version.
+pub const SEG_TAIL_MAGIC: &[u8; 8] = b"ORFSEGF\n";
+/// Blocks per segment: disk-id dictionary, day column, then one block per
+/// feature column.
+pub const N_BLOCKS: usize = 2 + N_FEATURES;
+/// Fixed trailer width: footer length + footer CRC + tail magic.
+pub const TRAILER_LEN: usize = 4 + 4 + 8;
+
+/// Feature-column payload is delta-coded integers (the common case for
+/// SMART counters).
+const MODE_INT_DELTA: u8 = 0;
+/// Feature-column payload is raw `f32` bits (fractional, negative, huge,
+/// or non-finite values — anything that does not round-trip through u64).
+const MODE_RAW_F32: u8 = 1;
+
+/// Logical (uncompressed row-struct) bytes per record: disk id + day +
+/// 48 × f32. Used for the compression ratios `data info` reports.
+pub const LOGICAL_ROW_BYTES: u64 = 4 + 2 + (N_FEATURES as u64) * 4;
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.into(),
+    }
+}
+
+/// Accumulates rows column-wise, then [`encode`](Self::encode)s them into
+/// one segment image.
+#[derive(Debug)]
+pub struct SegmentBuilder {
+    disk_ids: Vec<u32>,
+    days: Vec<u16>,
+    cols: Vec<Vec<f32>>,
+}
+
+impl Default for SegmentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SegmentBuilder {
+    pub fn new() -> Self {
+        Self {
+            disk_ids: Vec::new(),
+            days: Vec::new(),
+            cols: vec![Vec::new(); N_FEATURES],
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.disk_ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.disk_ids.is_empty()
+    }
+
+    /// `(first, last)` day among buffered rows (`None` when empty).
+    /// Rows arrive day-sorted, so this is just the ends of the day column.
+    pub fn day_range(&self) -> Option<(u16, u16)> {
+        Some((*self.days.first()?, *self.days.last()?))
+    }
+
+    /// Append one record (columns grow in lockstep).
+    pub fn push(&mut self, rec: &DiskDay) {
+        self.disk_ids.push(rec.disk_id);
+        self.days.push(rec.day);
+        for (col, &v) in self.cols.iter_mut().zip(rec.features.iter()) {
+            col.push(v);
+        }
+    }
+
+    /// Encode the buffered rows into a complete segment image
+    /// (magic + body + footer + trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.n_rows();
+        let mut out = Vec::with_capacity(64 + n * 8);
+        out.extend_from_slice(SEG_MAGIC);
+        let body_start = out.len();
+        let mut block_ends: Vec<u64> = Vec::with_capacity(N_BLOCKS);
+
+        // Block 0: disk-id dictionary. Sorted unique ids as ascending
+        // deltas, then one dictionary index per row.
+        let mut dict: Vec<u32> = self.disk_ids.clone();
+        dict.sort_unstable();
+        dict.dedup();
+        varint::write_u64(&mut out, dict.len() as u64);
+        let mut prev = 0u64;
+        for (i, &id) in dict.iter().enumerate() {
+            let v = u64::from(id);
+            // First entry is absolute; the rest are gaps (≥ 1: strictly
+            // ascending after dedup).
+            varint::write_u64(&mut out, if i == 0 { v } else { v - prev });
+            prev = v;
+        }
+        for &id in &self.disk_ids {
+            let idx = dict.binary_search(&id).expect("id came from this list");
+            varint::write_u64(&mut out, idx as u64);
+        }
+        block_ends.push((out.len() - body_start) as u64);
+
+        // Block 1: day column, zigzag deltas (days are sorted ascending in
+        // practice, so deltas are 0 or small positives).
+        let mut prev = 0i64;
+        for &d in &self.days {
+            varint::write_u64(&mut out, varint::zigzag(i64::from(d) - prev));
+            prev = i64::from(d);
+        }
+        block_ends.push((out.len() - body_start) as u64);
+
+        // Feature blocks: int-delta when lossless, raw f32 bits otherwise.
+        for col in &self.cols {
+            let int_ok = col
+                .iter()
+                .all(|&v| v >= 0.0 && ((v as u64) as f32).to_bits() == v.to_bits());
+            if int_ok {
+                out.push(MODE_INT_DELTA);
+                let mut prev = 0i64;
+                for &v in col {
+                    let u = v as u64 as i64; // counters fit i64 in practice;
+                                             // wrapping deltas keep it lossless regardless
+                    varint::write_u64(&mut out, varint::zigzag(u.wrapping_sub(prev)));
+                    prev = u;
+                }
+            } else {
+                out.push(MODE_RAW_F32);
+                for &v in col {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            block_ends.push((out.len() - body_start) as u64);
+        }
+
+        let body_crc = crc32(&out);
+
+        // Footer.
+        let footer_start = out.len();
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        out.extend_from_slice(&(N_BLOCKS as u32).to_le_bytes());
+        for &e in &block_ends {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out.extend_from_slice(&body_crc.to_le_bytes());
+        let footer_len = (out.len() - footer_start) as u32;
+        let footer_crc = crc32(&out[footer_start..]);
+
+        // Trailer.
+        out.extend_from_slice(&footer_len.to_le_bytes());
+        out.extend_from_slice(&footer_crc.to_le_bytes());
+        out.extend_from_slice(SEG_TAIL_MAGIC);
+        out
+    }
+}
+
+/// Footer fields, parsed and CRC-verified but with the body not yet
+/// decoded. `data info` stops here; full decode continues in
+/// [`Segment::decode`].
+#[derive(Debug, Clone)]
+pub struct Footer {
+    pub n_rows: u32,
+    /// Per-block end offsets relative to body start; block `i` spans
+    /// `[ends[i-1], ends[i])`.
+    pub block_ends: Vec<u64>,
+    pub body_crc: u32,
+    /// Total body length in bytes (equals the last block end).
+    pub body_len: u64,
+}
+
+impl Footer {
+    /// Parse and verify the footer + trailer of a full segment image.
+    pub fn parse(bytes: &[u8], path: &Path) -> Result<Footer, StoreError> {
+        let min = SEG_MAGIC.len() + 8 + TRAILER_LEN; // magic + minimal footer + trailer
+        if bytes.len() < min {
+            return Err(corrupt(
+                path,
+                format!("file too short ({} bytes) to be a segment", bytes.len()),
+            ));
+        }
+        if &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+            return Err(corrupt(path, "bad segment magic (not an ORFSEG1 file)"));
+        }
+        let tail = &bytes[bytes.len() - 8..];
+        if tail != SEG_TAIL_MAGIC {
+            return Err(corrupt(
+                path,
+                "missing tail magic (torn or truncated segment write)",
+            ));
+        }
+        let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+        let footer_len = u32::from_le_bytes(trailer[0..4].try_into().unwrap()) as usize;
+        let footer_crc = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+        let footer_end = bytes.len() - TRAILER_LEN;
+        let footer_start = footer_end
+            .checked_sub(footer_len)
+            .filter(|&s| s >= SEG_MAGIC.len())
+            .ok_or_else(|| corrupt(path, "footer length exceeds file"))?;
+        let footer = &bytes[footer_start..footer_end];
+        if crc32(footer) != footer_crc {
+            return Err(corrupt(path, "footer CRC mismatch"));
+        }
+        if footer.len() < 12 {
+            return Err(corrupt(path, "footer too short"));
+        }
+        let n_rows = u32::from_le_bytes(footer[0..4].try_into().unwrap());
+        let n_blocks = u32::from_le_bytes(footer[4..8].try_into().unwrap()) as usize;
+        if n_blocks != N_BLOCKS {
+            return Err(corrupt(
+                path,
+                format!("segment has {n_blocks} blocks, schema expects {N_BLOCKS}"),
+            ));
+        }
+        if footer.len() != 8 + 8 * n_blocks + 4 {
+            return Err(corrupt(path, "footer length inconsistent with block count"));
+        }
+        let mut block_ends = Vec::with_capacity(n_blocks);
+        let mut prev = 0u64;
+        for i in 0..n_blocks {
+            let off = 8 + 8 * i;
+            let e = u64::from_le_bytes(footer[off..off + 8].try_into().unwrap());
+            if e < prev {
+                return Err(corrupt(path, "block offsets not monotone"));
+            }
+            prev = e;
+            block_ends.push(e);
+        }
+        let body_crc = u32::from_le_bytes(footer[footer.len() - 4..].try_into().unwrap());
+        let body_len = (footer_start - SEG_MAGIC.len()) as u64;
+        if *block_ends.last().unwrap() != body_len {
+            return Err(corrupt(
+                path,
+                "last block offset does not match body length",
+            ));
+        }
+        Ok(Footer {
+            n_rows,
+            block_ends,
+            body_crc,
+            body_len,
+        })
+    }
+
+    /// Encoded byte size of block `i`.
+    pub fn block_bytes(&self, i: usize) -> u64 {
+        let start = if i == 0 { 0 } else { self.block_ends[i - 1] };
+        self.block_ends[i] - start
+    }
+}
+
+/// Bounds-checked body reader used during decode.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn read_varint(&mut self, path: &Path, what: &str) -> Result<u64, StoreError> {
+        if self.pos >= self.end {
+            return Err(corrupt(path, format!("{what}: block exhausted")));
+        }
+        let mut p = self.pos;
+        let v = varint::read_u64(&self.bytes[..self.end], &mut p)
+            .ok_or_else(|| corrupt(path, format!("{what}: truncated varint")))?;
+        self.pos = p;
+        Ok(v)
+    }
+
+    fn read_u8(&mut self, path: &Path, what: &str) -> Result<u8, StoreError> {
+        if self.pos >= self.end {
+            return Err(corrupt(path, format!("{what}: block exhausted")));
+        }
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn finish(&self, path: &Path, what: &str) -> Result<(), StoreError> {
+        if self.pos != self.end {
+            return Err(corrupt(
+                path,
+                format!("{what}: {} trailing bytes in block", self.end - self.pos),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fully decoded segment: columnar in memory, rows materialized on
+/// demand. Feature columns are exposed as slices so the frozen scorer can
+/// consume them without building row vectors.
+#[derive(Debug)]
+pub struct Segment {
+    disk_ids: Vec<u32>,
+    days: Vec<u16>,
+    cols: Vec<Vec<f32>>,
+}
+
+impl Segment {
+    /// Decode and fully verify a segment image (both CRCs, every offset and
+    /// varint bounds-checked).
+    pub fn decode(bytes: &[u8], path: &Path) -> Result<Segment, StoreError> {
+        let footer = Footer::parse(bytes, path)?;
+        let body_end = SEG_MAGIC.len() + footer.body_len as usize;
+        if crc32(&bytes[..body_end]) != footer.body_crc {
+            return Err(corrupt(path, "body CRC mismatch"));
+        }
+        let n = footer.n_rows as usize;
+        let body = bytes;
+        let block = |i: usize| -> (usize, usize) {
+            let start = if i == 0 { 0 } else { footer.block_ends[i - 1] };
+            (
+                SEG_MAGIC.len() + start as usize,
+                SEG_MAGIC.len() + footer.block_ends[i] as usize,
+            )
+        };
+
+        // Block 0: disk ids.
+        let (start, end) = block(0);
+        let mut cur = Cursor {
+            bytes: body,
+            pos: start,
+            end,
+        };
+        let dict_len = cur.read_varint(path, "disk dict length")? as usize;
+        if dict_len > n.max(1) {
+            return Err(corrupt(path, "disk dictionary larger than row count"));
+        }
+        let mut dict: Vec<u32> = Vec::with_capacity(dict_len);
+        let mut acc = 0u64;
+        for i in 0..dict_len {
+            let d = cur.read_varint(path, "disk dict entry")?;
+            acc = if i == 0 { d } else { acc.saturating_add(d) };
+            let id = u32::try_from(acc).map_err(|_| corrupt(path, "disk id exceeds u32"))?;
+            dict.push(id);
+        }
+        let mut disk_ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = cur.read_varint(path, "disk index")? as usize;
+            let id = *dict
+                .get(idx)
+                .ok_or_else(|| corrupt(path, "disk index out of dictionary range"))?;
+            disk_ids.push(id);
+        }
+        cur.finish(path, "disk block")?;
+
+        // Block 1: days.
+        let (start, end) = block(1);
+        let mut cur = Cursor {
+            bytes: body,
+            pos: start,
+            end,
+        };
+        let mut days = Vec::with_capacity(n);
+        let mut prev = 0i64;
+        for _ in 0..n {
+            let d = varint::unzigzag(cur.read_varint(path, "day delta")?);
+            let day = prev
+                .checked_add(d)
+                .ok_or_else(|| corrupt(path, "day overflow"))?;
+            let day = u16::try_from(day).map_err(|_| corrupt(path, "day out of u16 range"))?;
+            days.push(day);
+            prev = i64::from(day);
+        }
+        cur.finish(path, "day block")?;
+
+        // Feature blocks.
+        let mut cols = Vec::with_capacity(N_FEATURES);
+        for c in 0..N_FEATURES {
+            let (start, end) = block(2 + c);
+            let mut cur = Cursor {
+                bytes: body,
+                pos: start,
+                end,
+            };
+            let mode = cur.read_u8(path, "column mode")?;
+            let mut col = Vec::with_capacity(n);
+            match mode {
+                MODE_INT_DELTA => {
+                    // Hot loop of the whole replay path (48 columns × rows
+                    // of these): inline the one-byte varint fast path —
+                    // slow-moving counters delta to 0 or small values, so
+                    // almost every code is a single byte.
+                    let mut prev = 0i64;
+                    let end = cur.end;
+                    let mut pos = cur.pos;
+                    for _ in 0..n {
+                        if pos >= end {
+                            return Err(corrupt(path, "feature delta: block exhausted"));
+                        }
+                        let b = body[pos];
+                        let d = if b < 0x80 {
+                            pos += 1;
+                            u64::from(b)
+                        } else {
+                            varint::read_u64(&body[..end], &mut pos)
+                                .ok_or_else(|| corrupt(path, "feature delta: truncated varint"))?
+                        };
+                        let u = prev.wrapping_add(varint::unzigzag(d));
+                        col.push(u as u64 as f32);
+                        prev = u;
+                    }
+                    cur.pos = pos;
+                }
+                MODE_RAW_F32 => {
+                    for _ in 0..n {
+                        if cur.pos + 4 > cur.end {
+                            return Err(corrupt(path, "raw f32 column truncated"));
+                        }
+                        let bits =
+                            u32::from_le_bytes(body[cur.pos..cur.pos + 4].try_into().unwrap());
+                        cur.pos += 4;
+                        col.push(f32::from_bits(bits));
+                    }
+                }
+                m => {
+                    return Err(corrupt(path, format!("unknown column mode byte {m}")));
+                }
+            }
+            cur.finish(path, "feature block")?;
+            cols.push(col);
+        }
+
+        Ok(Segment {
+            disk_ids,
+            days,
+            cols,
+        })
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.disk_ids.len()
+    }
+
+    pub fn disk_ids(&self) -> &[u32] {
+        &self.disk_ids
+    }
+
+    pub fn days(&self) -> &[u16] {
+        &self.days
+    }
+
+    /// One decoded feature column (all rows of feature `c`).
+    pub fn feature_col(&self, c: usize) -> &[f32] {
+        &self.cols[c]
+    }
+
+    /// All feature columns as borrowed slices — the batch-columnar view the
+    /// frozen scorer consumes without materializing rows.
+    pub fn feature_cols(&self) -> Vec<&[f32]> {
+        self.cols.iter().map(|c| c.as_slice()).collect()
+    }
+
+    /// Materialize row `i` as a [`DiskDay`] (gathers across columns).
+    pub fn record(&self, i: usize) -> DiskDay {
+        let mut features = [0.0f32; N_FEATURES];
+        for (f, col) in features.iter_mut().zip(self.cols.iter()) {
+            *f = col[i];
+        }
+        DiskDay {
+            disk_id: self.disk_ids[i],
+            day: self.days[i],
+            features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn p() -> PathBuf {
+        PathBuf::from("test.orfseg")
+    }
+
+    fn sample_rows() -> Vec<DiskDay> {
+        let mut rows = Vec::new();
+        for day in 0..5u16 {
+            for disk in [0u32, 3, 7] {
+                let mut features = [0.0f32; N_FEATURES];
+                for (i, f) in features.iter_mut().enumerate() {
+                    *f = match i % 4 {
+                        0 => (u64::from(day) * 100 + u64::from(disk)) as f32, // counter
+                        1 => 0.5 + day as f32,                                // fractional
+                        2 => -1.0,                                            // negative
+                        _ => 1e12,                                            // huge counter
+                    };
+                }
+                rows.push(DiskDay {
+                    disk_id: disk,
+                    day,
+                    features,
+                });
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn encode_decode_round_trip_bitwise() {
+        let rows = sample_rows();
+        let mut b = SegmentBuilder::new();
+        for r in &rows {
+            b.push(r);
+        }
+        let bytes = b.encode();
+        let seg = Segment::decode(&bytes, &p()).unwrap();
+        assert_eq!(seg.n_rows(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            let got = seg.record(i);
+            assert_eq!(got.disk_id, r.disk_id);
+            assert_eq!(got.day, r.day);
+            for (a, b) in got.features.iter().zip(r.features.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn raw_mode_preserves_awkward_floats() {
+        let specials = [
+            -0.0f32,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            1.0e38,
+            -3.25,
+        ];
+        let mut b = SegmentBuilder::new();
+        for (i, &v) in specials.iter().enumerate() {
+            let mut features = [v; N_FEATURES];
+            features[0] = i as f32; // keep one clean counter column
+            b.push(&DiskDay {
+                disk_id: i as u32,
+                day: 0,
+                features,
+            });
+        }
+        let bytes = b.encode();
+        let seg = Segment::decode(&bytes, &p()).unwrap();
+        for (i, &v) in specials.iter().enumerate() {
+            assert_eq!(seg.record(i).features[1].to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let b = SegmentBuilder::new();
+        let bytes = b.encode();
+        let seg = Segment::decode(&bytes, &p()).unwrap();
+        assert_eq!(seg.n_rows(), 0);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut b = SegmentBuilder::new();
+        for r in sample_rows() {
+            b.push(&r);
+        }
+        let bytes = b.encode();
+        for cut in 0..bytes.len() {
+            match Segment::decode(&bytes[..cut], &p()) {
+                Err(StoreError::Corrupt { .. }) => {}
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught() {
+        let mut b = SegmentBuilder::new();
+        for r in sample_rows().into_iter().take(4) {
+            b.push(&r);
+        }
+        let bytes = b.encode();
+        let mut tampered = bytes.clone();
+        for byte in 0..tampered.len() {
+            tampered[byte] ^= 0x01;
+            assert!(
+                matches!(
+                    Segment::decode(&tampered, &p()),
+                    Err(StoreError::Corrupt { .. })
+                ),
+                "flip at byte {byte} went undetected"
+            );
+            tampered[byte] ^= 0x01;
+        }
+    }
+}

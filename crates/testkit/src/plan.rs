@@ -13,6 +13,7 @@
 //! [`crate::driver`]), checkpoint target paths, and input line indices.
 
 use orfpred_serve::{CheckpointFault, FaultInjector};
+use orfpred_store::{SegmentFault, StoreFaultInjector};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -36,6 +37,8 @@ pub struct FaultPlan {
     ckpt_faults: Mutex<HashMap<PathBuf, CheckpointFault>>,
     /// Pending input-line replacements, keyed by 0-based line index.
     mangles: Mutex<HashMap<u64, String>>,
+    /// Pending telemetry-store segment faults, keyed by segment index.
+    store_faults: Mutex<HashMap<u64, SegmentFault>>,
     /// Human-readable log of every fault that fired, in firing order.
     fired: Mutex<Vec<String>>,
 }
@@ -70,6 +73,13 @@ impl FaultPlan {
         self.mangles.lock().insert(idx, replacement.to_string());
     }
 
+    /// Fire `fault` when the telemetry-store writer seals segment
+    /// `seg_index` (0-based).
+    pub fn store_fault_at(&self, seg_index: u64, fault: SegmentFault) {
+        assert!(fault != SegmentFault::None, "None is not a fault");
+        self.store_faults.lock().insert(seg_index, fault);
+    }
+
     /// Every fault that has fired so far, in firing order.
     pub fn fired(&self) -> Vec<String> {
         self.fired.lock().clone()
@@ -102,6 +112,7 @@ impl FaultPlan {
             && self.delays.lock().is_empty()
             && self.ckpt_faults.lock().is_empty()
             && self.mangles.lock().is_empty()
+            && self.store_faults.lock().is_empty()
     }
 
     fn log(&self, entry: String) {
@@ -111,13 +122,21 @@ impl FaultPlan {
 
 impl FaultInjector for FaultPlan {
     fn kill_shard(&self, shard: usize, seq: u64) -> bool {
-        if self.kills.lock().remove(&seq) {
-            self.fired_kills.lock().insert(seq);
-            self.log(format!("kill shard {shard} at seq {seq}"));
-            true
-        } else {
-            false
+        // Mark the kill fired *before* removing it from the pending set,
+        // holding the pending lock across both: at no instant is the seq in
+        // neither set. The driver's quiesce loop reads pending-then-fired,
+        // so a kill that vanished from pending is always seen as fired —
+        // the other order had a window where quiesce concluded "no kill
+        // anywhere" and let the run finish with a dead shard.
+        let mut kills = self.kills.lock();
+        if !kills.contains(&seq) {
+            return false;
         }
+        self.fired_kills.lock().insert(seq);
+        kills.remove(&seq);
+        drop(kills);
+        self.log(format!("kill shard {shard} at seq {seq}"));
+        true
     }
 
     fn delay_to_writer(&self, shard: usize, seq: u64) -> usize {
@@ -147,6 +166,18 @@ impl FaultInjector for FaultPlan {
     }
 }
 
+impl StoreFaultInjector for FaultPlan {
+    fn segment_fault(&self, seg_index: u64) -> SegmentFault {
+        match self.store_faults.lock().remove(&seg_index) {
+            Some(fault) => {
+                self.log(format!("store fault {fault:?} on segment {seg_index}"));
+                fault
+            }
+            None => SegmentFault::None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +192,7 @@ mod tests {
             CheckpointFault::CrashBeforeRename,
         );
         plan.mangle_at(2, "garbage");
+        plan.store_fault_at(1, SegmentFault::TornWrite { keep: 10 });
         assert!(!plan.all_consumed());
 
         assert!(!plan.kill_shard(0, 6));
@@ -179,8 +211,16 @@ mod tests {
         assert_eq!(plan.mangle_line(2, "ok").as_deref(), Some("garbage"));
         assert!(plan.mangle_line(2, "ok").is_none(), "mangle is one-shot");
 
+        assert_eq!(plan.segment_fault(0), SegmentFault::None);
+        assert_eq!(plan.segment_fault(1), SegmentFault::TornWrite { keep: 10 });
+        assert_eq!(
+            plan.segment_fault(1),
+            SegmentFault::None,
+            "store fault is one-shot"
+        );
+
         assert!(plan.all_consumed());
-        assert_eq!(plan.n_fired(), 4);
+        assert_eq!(plan.n_fired(), 5);
     }
 
     #[test]

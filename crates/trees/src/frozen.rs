@@ -220,6 +220,58 @@ impl FrozenForest {
         rows.par_iter().map(|r| self.score(r)).collect()
     }
 
+    /// Walk one tree reading row `i` out of column-major feature storage —
+    /// the same traversal as [`Self::score_tree`] with a transposed gather.
+    ///
+    /// # Safety
+    ///
+    /// Same node-array invariants as [`Self::score_tree`], plus
+    /// `cols.len() == self.n_features` and `i < cols[f].len()` for every
+    /// feature `f` (the public wrapper checks both).
+    #[inline]
+    unsafe fn score_tree_columns(&self, start: usize, cols: &[&[f32]], i: usize) -> f32 {
+        let mut at = start;
+        loop {
+            let f = *self.feature.get_unchecked(at);
+            let thr = *self.threshold.get_unchecked(at);
+            if f == LEAF {
+                return thr;
+            }
+            let v = *cols.get_unchecked(f as usize).get_unchecked(i);
+            at = if v <= thr {
+                at + 1
+            } else {
+                *self.skip.get_unchecked(at) as usize
+            };
+        }
+    }
+
+    /// Batch prediction over column-major storage (one slice per feature,
+    /// equal lengths) — the telemetry-store replay path, which scores
+    /// decoded segments without materializing row vectors. Each row scores
+    /// exactly as [`FrozenForest::score`] would (same tree order, same
+    /// summation), so results are bit-identical to the row paths.
+    pub fn score_columns(&self, cols: &[&[f32]]) -> Vec<f32> {
+        assert_eq!(cols.len(), self.n_features, "feature dimension mismatch");
+        let n = cols.first().map_or(0, |c| c.len());
+        for c in cols {
+            assert_eq!(c.len(), n, "ragged feature columns");
+        }
+        (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut sum = 0.0f32;
+                for t in 0..self.n_trees() {
+                    // SAFETY: dimensions checked above; `tree_starts[t]` for
+                    // t < n_trees is a valid pool offset by construction.
+                    sum +=
+                        unsafe { self.score_tree_columns(self.tree_starts[t] as usize, cols, i) };
+                }
+                sum / self.n_trees() as f32
+            })
+            .collect()
+    }
+
     /// Hard prediction at vote threshold `tau`.
     pub fn predict(&self, x: &[f32], tau: f32) -> bool {
         self.score(x) >= tau
@@ -380,6 +432,27 @@ mod tests {
         }
         let rows: Vec<&[f32]> = (0..m.n_rows()).map(|i| m.row(i)).collect();
         assert_eq!(f.score_rows(&rows), batch);
+    }
+
+    #[test]
+    fn columnar_scoring_matches_row_scoring() {
+        let f = two_tree_forest();
+        let rows = [
+            [0.0f32, 0.0, 0.7],
+            [0.3, 0.4, 0.1],
+            [0.9, 0.6, 0.2],
+            [0.1, 1.0, 0.5],
+        ];
+        let cols: Vec<Vec<f32>> = (0..3)
+            .map(|c| rows.iter().map(|r| r[c]).collect())
+            .collect();
+        let col_refs: Vec<&[f32]> = cols.iter().map(|c| c.as_slice()).collect();
+        let by_col = f.score_columns(&col_refs);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(by_col[i].to_bits(), f.score(r).to_bits(), "row {i}");
+        }
+        let empty: Vec<&[f32]> = vec![&[], &[], &[]];
+        assert!(f.score_columns(&empty).is_empty());
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn main() {
         serve: serve_cfg(4),
         listen: None,
         checkpoint_path: None,
+        catchup_store: None,
     };
     let mut transcript = Vec::new();
     let finished =

@@ -18,8 +18,9 @@ cargo build --release
 echo "== lint: clippy, warnings are errors =="
 cargo clippy --workspace -- -D warnings
 
-echo "== bench compile gate (benches must not rot) =="
+echo "== bench compile gate (benches must not rot, store bench included) =="
 cargo bench --no-run
+cargo bench -p orfpred-bench --bench store --no-run
 
 echo "== tier-1: full test suite =="
 cargo test -q
@@ -31,6 +32,10 @@ cargo test -q \
     --test fault_reorder \
     --test fault_protocol \
     --test fault_labeller \
-    --test fault_sim
+    --test fault_sim \
+    --test fault_store
+
+echo "== store golden-trace property suite =="
+cargo test -q --test store_roundtrip
 
 echo "ci: all green"

@@ -17,6 +17,8 @@
 //!   evaluation harnesses,
 //! * [`serve`] — sharded online serving engine (`orfpredd` daemon) with
 //!   checkpoint/restore and live metrics,
+//! * [`store`] — append-only columnar telemetry store: checksummed
+//!   segments, delta/dictionary encodings, bit-identical replay,
 //! * [`util`] — deterministic RNG streams, distributions, streaming stats.
 //!
 //! ## Quickstart
@@ -50,6 +52,7 @@ pub use orfpred_core as core;
 pub use orfpred_eval as eval;
 pub use orfpred_serve as serve;
 pub use orfpred_smart as smart;
+pub use orfpred_store as store;
 pub use orfpred_svm as svm;
 pub use orfpred_trees as trees;
 pub use orfpred_util as util;

@@ -22,6 +22,7 @@ fn daemon_cfg() -> DaemonConfig {
         serve,
         listen: None,
         checkpoint_path: None,
+        catchup_store: None,
     }
 }
 

@@ -1,0 +1,451 @@
+//! A small handwritten Rust lexer — just enough fidelity for the lint
+//! rules: it must never mistake the contents of a string, raw string,
+//! char literal, or comment for code, and it must keep comments (with
+//! line numbers) because annotations (`// lint: allow(...)`) and safety
+//! justifications (`// SAFETY:`) live there.
+//!
+//! Deliberately *not* a parser: no `syn` (the workspace is hermetic), no
+//! AST. Rules pattern-match over the token stream.
+//!
+//! The tricky corners a naive scanner gets wrong, all covered by unit
+//! tests below:
+//!
+//! * `'a` (lifetime) vs `'a'` (char literal) vs `'\n'` (escaped char);
+//! * nested block comments (`/* /* */ */` is one comment in Rust);
+//! * raw strings `r#"..."#` with arbitrarily many `#`s, whose bodies may
+//!   contain `"` and `//` and even `*/`;
+//! * byte strings / raw byte strings (`b"..."`, `br#"..."#`);
+//! * doc comments (`///`, `//!`) vs plain line comments vs `////`.
+
+/// What a token is. Only the distinctions the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `let`, `HashMap`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String literal of any flavour (plain/raw/byte/raw-byte).
+    StrLit,
+    /// Numeric literal (integers and floats, any base or suffix).
+    NumLit,
+    /// A single punctuation character (`.`, `(`, `[`, `!`, ...).
+    Punct(char),
+    /// `// ...` (non-doc) line comment.
+    LineComment,
+    /// `/// ...` or `//! ...` doc comment.
+    DocComment,
+    /// `/* ... */` block comment (nesting already resolved).
+    BlockComment,
+}
+
+/// One token: kind, 1-based line, and byte range into the source.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into tokens, including comment tokens. Never panics on
+/// malformed input: an unterminated literal or comment simply runs to
+/// end-of-file as one token.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.toks.push(Tok {
+            kind,
+            line,
+            start,
+            end: self.pos,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    let doc = matches!(self.peek(2), b'/' | b'!') && self.peek(3) != b'/';
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    let kind = if doc {
+                        TokKind::DocComment
+                    } else {
+                        TokKind::LineComment
+                    };
+                    self.push(kind, start, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while self.pos < self.src.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump();
+                            self.bump();
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokKind::BlockComment, start, line);
+                }
+                b'r' if self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_str_at(1)) => {
+                    self.bump(); // r
+                    self.raw_string(start, line);
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump(); // b
+                    self.string(start, line);
+                }
+                b'b' if self.peek(1) == b'r'
+                    && (self.peek(2) == b'"' || (self.peek(2) == b'#' && self.raw_str_at(2))) =>
+                {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string(start, line);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump(); // b
+                    self.char_lit(start, line);
+                }
+                b'"' => self.string(start, line),
+                b'\'' => {
+                    // Lifetime or char literal. `'` + ident-run not closed
+                    // by `'` is a lifetime; anything else is a char.
+                    if is_ident_start(self.peek(1)) {
+                        let mut n = 2;
+                        while is_ident_continue(self.peek(n)) {
+                            n += 1;
+                        }
+                        if self.peek(n) != b'\'' {
+                            for _ in 0..n {
+                                self.bump();
+                            }
+                            self.push(TokKind::Lifetime, start, line);
+                            continue;
+                        }
+                    }
+                    self.char_lit(start, line);
+                }
+                _ if is_ident_start(b) => {
+                    // Raw identifiers (`r#unsafe`) land here only via the
+                    // `r` arm guard failing; consume `r#` prefix if present.
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    if self.peek(0) == b'#' && start + 1 == self.pos && self.src[start] == b'r' {
+                        self.bump();
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    // Consume a fractional part, but not `..` (range) and
+                    // not a method call (`1.max(2)`).
+                    if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                        self.bump();
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokKind::NumLit, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(b as char), start, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// Is `r` (at offset `at` from pos, pointing at the first `#`)
+    /// followed by `#...#"`, i.e. genuinely a raw string and not
+    /// `r#ident`?
+    fn raw_str_at(&self, at: usize) -> bool {
+        let mut n = at;
+        while self.peek(n) == b'#' {
+            n += 1;
+        }
+        self.peek(n) == b'"'
+    }
+
+    /// Lex the remainder of a raw string; `pos` is at the first `#` or `"`.
+    fn raw_string(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            if self.pos >= self.src.len() {
+                break;
+            }
+            if self.peek(0) == b'"' {
+                let mut n = 1;
+                while n <= hashes && self.peek(n) == b'#' {
+                    n += 1;
+                }
+                if n == hashes + 1 {
+                    for _ in 0..n {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        self.push(TokKind::StrLit, start, line);
+    }
+
+    /// Lex a plain (escaped) string; `pos` is at the opening quote.
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::StrLit, start, line);
+    }
+
+    /// Lex a char/byte literal; `pos` is at the opening `'`.
+    fn char_lit(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                // An unterminated char literal should not eat the file;
+                // stop at end-of-line (chars cannot contain raw newlines).
+                b'\n' => break,
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::CharLit, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let out = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = out.iter().filter(|(k, _)| *k == TokKind::CharLit).collect();
+        assert_eq!(lifetimes.len(), 2, "{out:?}");
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+        assert_eq!(chars.len(), 2, "{out:?}");
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let out = kinds("&'static str; &'_ T");
+        let lifetimes: Vec<_> = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'static", "'_"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        let out = kinds(src);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(out[0], (TokKind::Ident, "a".into()));
+        assert_eq!(out[1].0, TokKind::BlockComment);
+        assert_eq!(out[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn raw_strings_hide_quotes_comments_and_hashes() {
+        let src = r####"let s = r#"has "quotes" and // not a comment"#; done"####;
+        let out = kinds(src);
+        let strs: Vec<_> = out.iter().filter(|(k, _)| *k == TokKind::StrLit).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("not a comment"));
+        assert!(out.iter().any(|(k, t)| *k == TokKind::Ident && t == "done"));
+        assert!(!out.iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes_and_embedded_single_hash_close() {
+        let src = r###"r##"body with "# inside"## after"###;
+        let out = kinds(src);
+        assert_eq!(out[0].0, TokKind::StrLit);
+        assert!(out[0].1.ends_with("\"##"));
+        assert_eq!(out[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn plain_strings_hide_code_like_content() {
+        let out = kinds(r#"let s = "unsafe { HashMap } // x \" y"; next"#);
+        assert!(out.iter().any(|(k, t)| *k == TokKind::Ident && t == "next"));
+        assert!(!out
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        assert!(!out
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let out = kinds(r##"b"bytes" br#"raw bytes"# b'\xff' b'q'"##);
+        assert_eq!(
+            out.iter().filter(|(k, _)| *k == TokKind::StrLit).count(),
+            2,
+            "{out:?}"
+        );
+        assert_eq!(
+            out.iter().filter(|(k, _)| *k == TokKind::CharLit).count(),
+            2,
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let out = kinds("/// doc\n//! inner doc\n// plain\n//// plain too\nx");
+        let docs = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::DocComment)
+            .count();
+        let plain = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::LineComment)
+            .count();
+        assert_eq!((docs, plain), (2, 2), "{out:?}");
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nr\"raw\nstring\"\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text(src) == "b").unwrap();
+        assert_eq!(b.line, 6);
+        let raw = toks.iter().find(|t| t.kind == TokKind::StrLit).unwrap();
+        assert_eq!(raw.line, 4, "token line is where it starts");
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let out = kinds("1.5f32 0x_ff 1..n 2_000u64 1.max(2)");
+        let nums: Vec<_> = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5f32", "0x_ff", "1", "2_000u64", "1", "2"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let out = kinds("r#unsafe r#fn normal");
+        let idents: Vec<_> = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["r#unsafe", "r#fn", "normal"]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"unterminated");
+        lex("/* never closed");
+        lex("r#\"no close");
+        lex("'x");
+    }
+}

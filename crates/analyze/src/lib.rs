@@ -1,0 +1,29 @@
+//! `orfpred-lint` — workspace-aware static analysis for orfpred's
+//! project-specific invariants.
+//!
+//! Clippy checks general Rust hygiene; this tool checks the properties
+//! the repo's *guarantees* rest on and that no general-purpose linter
+//! can know about: determinism of the replay/serving crates, an audited
+//! `unsafe` surface, panic-free serving/store paths, and lock discipline
+//! in the engine. See DESIGN.md §12 for the rule catalogue and the
+//! policy for adding rules.
+//!
+//! Layering:
+//!
+//! * [`lexer`] — a small handwritten Rust lexer (comments, strings, raw
+//!   strings, char-vs-lifetime) — no `syn`, the workspace is hermetic;
+//! * [`rules`] — the rule engine: token-pattern rules, `#[cfg(test)]`
+//!   span skipping, inline `// lint: allow(...)` annotations, the
+//!   `unsafe` inventory;
+//! * [`workspace`] — member discovery from the root `Cargo.toml` and the
+//!   committed `lint.toml` allowlist.
+//!
+//! The binary (`cargo run -p orfpred-analyze -- --deny`) is wired into
+//! `scripts/ci.sh` as a hard gate ahead of the test stages.
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{analyze, AllowEntry, Report, RuleId, SourceFile, UnsafeSite, Violation};
+pub use workspace::{load_allowlist, load_workspace};

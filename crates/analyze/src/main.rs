@@ -1,0 +1,186 @@
+//! The `orfpred-lint` binary. See `--help`.
+
+use orfpred_analyze::rules::RuleId;
+use orfpred_analyze::{analyze, load_allowlist, load_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "orfpred-lint — static analysis for orfpred's determinism, unsafe-audit, \
+panic-path, and lock-discipline invariants
+
+USAGE:
+    cargo run -p orfpred-analyze -- [OPTIONS]
+
+OPTIONS:
+    --deny               exit non-zero when any violation survives (CI mode)
+    --inventory          list every `unsafe` site with its SAFETY justification
+    --explain <rule-id>  print the rationale and fix guidance for one rule
+    --list-rules         list rule ids with one-line summaries
+    --root <dir>         workspace root (default: current directory, walking up
+                         to the first Cargo.toml with a [workspace] table)
+    -h, --help           this text
+
+Violations are suppressed by an inline annotation on (or directly above) the
+flagged line:   // lint: allow(<rule-id>, reason=\"non-empty justification\")
+or by a committed [[allow]] entry in <root>/lint.toml. Reasons are mandatory
+in both places.";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut inventory = false;
+    let mut explain: Option<String> = None;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--inventory" => inventory = true,
+            "--list-rules" => list_rules = true,
+            "--explain" => match args.next() {
+                Some(id) => explain = Some(id),
+                None => {
+                    eprintln!("--explain needs a rule id (try --list-rules)");
+                    return ExitCode::from(1);
+                }
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(1);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in RuleId::ALL {
+            let headline = rule.explain().lines().next().unwrap_or("");
+            println!("{headline}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = explain {
+        match RuleId::parse(&id) {
+            Some(rule) => {
+                println!("{}", rule.explain());
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!(
+                    "unknown rule `{id}`; known rules: {}",
+                    RuleId::ALL.map(RuleId::as_str).join(", ")
+                );
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("no workspace Cargo.toml found here or above; use --root");
+                return ExitCode::from(1);
+            }
+        },
+    };
+
+    let files = match load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("orfpred-lint: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let allowlist = match load_allowlist(&root.join("lint.toml")) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("orfpred-lint: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let report = analyze(&files, &allowlist);
+
+    if inventory {
+        println!(
+            "unsafe inventory: {} site(s) across {} files",
+            report.inventory.len(),
+            report.files_scanned
+        );
+        for site in &report.inventory {
+            let what = format!("{}:{}", site.path, site.line);
+            let tag = if site.in_test { " [test]" } else { "" };
+            match &site.safety {
+                Some(s) => println!("  {what:<44} unsafe {}{tag}  SAFETY: {s}", site.kind),
+                None => println!("  {what:<44} unsafe {}{tag}  SAFETY: (missing)", site.kind),
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for note in &report.notes {
+        eprintln!("note: {note}");
+    }
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule.as_str(), v.message);
+    }
+    if report.violations.is_empty() {
+        println!(
+            "orfpred-lint: clean — {} files, 0 violations ({} unsafe sites inventoried)",
+            report.files_scanned,
+            report.inventory.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let mut rules: Vec<&str> = report.violations.iter().map(|v| v.rule.as_str()).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        println!(
+            "orfpred-lint: {} violation(s) across {} file(s)",
+            report.violations.len(),
+            {
+                let mut fs: Vec<&str> = report.violations.iter().map(|v| v.path.as_str()).collect();
+                fs.sort_unstable();
+                fs.dedup();
+                fs.len()
+            }
+        );
+        for r in rules {
+            println!("help: run `cargo run -p orfpred-analyze -- --explain {r}`");
+        }
+        if deny {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Walk upward from the current directory to the first `Cargo.toml`
+/// containing a `[workspace]` table.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,1154 @@
+//! The rule engine: walks each file's token stream and enforces the four
+//! project-specific invariant classes (DESIGN.md §12):
+//!
+//! * [`RuleId::Nondeterminism`] — the serving/replay equivalence guarantees
+//!   (bit-identical N-shard vs serial alarms, bit-exact store replay,
+//!   golden-trace recovery) only mean anything if the deterministic crates
+//!   contain no hasher-order, wall-clock, environment, or thread-identity
+//!   dependence;
+//! * [`RuleId::UnsafeAudit`] — every `unsafe` site carries a `// SAFETY:`
+//!   comment stating the invariant it relies on, and the tool can dump the
+//!   full inventory;
+//! * [`RuleId::PanicPath`] — serving/store library code must not take
+//!   implicit panic paths (`unwrap`, `expect`, `panic!`, bare indexing): a
+//!   panicking shard or writer thread silently poisons the engine;
+//! * [`RuleId::LockDiscipline`] — in `crates/serve`, a lock guard held
+//!   across a channel send or file I/O is a latent deadlock/stall; the
+//!   few intentional sites (sequence-stamp + send atomicity) must say so.
+//!
+//! Escape hatch: `// lint: allow(<rule>, reason="...")` on the flagged
+//! line (trailing) or the line directly above. The reason is mandatory —
+//! a reasonless `allow` suppresses nothing and is itself flagged.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Stable rule identifiers (these appear in diagnostics, annotations, and
+/// `lint.toml`; never rename one without a migration note).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    Nondeterminism,
+    UnsafeAudit,
+    PanicPath,
+    LockDiscipline,
+    /// Meta-rule: a malformed or reasonless `// lint: allow(...)`.
+    AllowSyntax,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 5] = [
+        RuleId::Nondeterminism,
+        RuleId::UnsafeAudit,
+        RuleId::PanicPath,
+        RuleId::LockDiscipline,
+        RuleId::AllowSyntax,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => "nondeterminism",
+            RuleId::UnsafeAudit => "unsafe_audit",
+            RuleId::PanicPath => "panic_path",
+            RuleId::LockDiscipline => "lock_discipline",
+            RuleId::AllowSyntax => "allow_syntax",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Long-form documentation for `--explain <rule-id>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => {
+                "nondeterminism — hasher/clock/env/thread dependence in a deterministic crate\n\
+                 \n\
+                 Scope: crates/core, crates/trees, crates/smart, crates/store, crates/eval\n\
+                 (non-test code). These crates back the repo's equivalence guarantees:\n\
+                 N-shard serving == serial replay (DESIGN \u{a7}8), bit-exact store replay\n\
+                 (\u{a7}11), golden-trace fault recovery (\u{a7}9). The paper's online setting\n\
+                 (streaming ORF) is only auditable if the same sample stream reproduces\n\
+                 the same model, so anything whose value or order depends on process\n\
+                 identity is banned here:\n\
+                 \n\
+                   * HashMap / HashSet (iteration order depends on per-process hasher\n\
+                     seed \u{2014} even \"we never iterate\" tends to rot; prefer BTreeMap /\n\
+                     BTreeSet / Vec, or annotate with the no-iteration argument)\n\
+                   * RandomState / DefaultHasher\n\
+                   * Instant::now / SystemTime::now (wall-clock branches)\n\
+                   * std::env reads (var/vars/temp_dir/args/current_dir)\n\
+                   * thread::current (thread-identity values)\n\
+                 \n\
+                 Escape hatch: `// lint: allow(nondeterminism, reason=\"...\")` on or\n\
+                 directly above the flagged line, with a non-empty reason."
+            }
+            RuleId::UnsafeAudit => {
+                "unsafe_audit — every `unsafe` block/fn/impl/trait needs `// SAFETY:`\n\
+                 \n\
+                 Scope: whole workspace, non-test code. The comment must sit directly\n\
+                 above the `unsafe` keyword (attribute lines like `#[inline]` may sit\n\
+                 between) and must start with `// SAFETY:`, stating the invariant that\n\
+                 makes the site sound \u{2014} not what the code does. A doc-comment\n\
+                 `# Safety` section documents the *caller's* obligation and does not\n\
+                 replace the site audit.\n\
+                 \n\
+                 `orfpred-lint --inventory` dumps every unsafe site with its\n\
+                 justification; keep that list reviewable and small."
+            }
+            RuleId::PanicPath => {
+                "panic_path — implicit panics in serving/store library code\n\
+                 \n\
+                 Scope: crates/serve, crates/store (non-test code). A panic in a shard\n\
+                 or writer thread kills the engine mid-stream; the store must return\n\
+                 typed StoreError/CheckpointError instead of dying on corrupt input.\n\
+                 Flagged forms:\n\
+                 \n\
+                   * .unwrap() / .expect(...)\n\
+                   * panic! / unreachable! / todo! / unimplemented!\n\
+                   * slice/array indexing with a variable index (`xs[i]`) \u{2014} use\n\
+                     .get(i) or annotate with the bounds argument\n\
+                 \n\
+                 Fix by propagating a typed error, or annotate:\n\
+                 `// lint: allow(panic_path, reason=\"...\")` with the proof the panic\n\
+                 is unreachable (and why dying would be correct if it weren't)."
+            }
+            RuleId::LockDiscipline => {
+                "lock_discipline — lock guard held across a send or file I/O\n\
+                 \n\
+                 Scope: crates/serve (non-test code). A Mutex/RwLock guard held across\n\
+                 a blocking channel send or a file write couples lock hold time to\n\
+                 backpressure or disk latency: scoring/ingest stalls, and two such\n\
+                 sites can deadlock. Flagged when a `let`-bound guard (an initializer\n\
+                 ending in .lock()/.read()/.write()) is still live at a `.send(`,\n\
+                 `File::`/`fs::` call, `write_all`, `save_atomic`, or `rename`.\n\
+                 \n\
+                 Fix by cloning/snapshotting what you need and dropping the guard\n\
+                 first, or annotate the *binding* line:\n\
+                 `// lint: allow(lock_discipline, reason=\"...\")` \u{2014} e.g. the ingest\n\
+                 path intentionally holds the sequence-stamp lock across the shard\n\
+                 send so stamping and enqueue order stay atomic (DESIGN \u{a7}8)."
+            }
+            RuleId::AllowSyntax => {
+                "allow_syntax — malformed lint annotation\n\
+                 \n\
+                 The escape hatch is `// lint: allow(<rule-id>, reason=\"...\")` with a\n\
+                 known rule id and a non-empty reason. A reasonless or unparsable\n\
+                 annotation suppresses nothing and is flagged so it cannot silently\n\
+                 rot in place."
+            }
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: RuleId,
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+/// One `unsafe` site for `--inventory`.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub path: String,
+    pub line: u32,
+    /// `block` | `fn` | `impl` | `trait`.
+    pub kind: &'static str,
+    /// The `// SAFETY:` justification, if present.
+    pub safety: Option<String>,
+    /// Inside `#[cfg(test)]` code (exempt from the audit, still listed).
+    pub in_test: bool,
+}
+
+/// A source file handed to the engine.
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated (used in diagnostics and for
+    /// `lint.toml` matching).
+    pub path: String,
+    /// Short crate name (`core`, `serve`, ... or `orfpred` for the facade);
+    /// decides which rules apply.
+    pub crate_name: String,
+    pub text: String,
+}
+
+/// A `lint.toml` allowlist entry: suppresses `rule` in files whose path
+/// starts with `path` (optionally only on `line`). `reason` is mandatory.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    pub rule: RuleId,
+    pub path: String,
+    pub line: Option<u32>,
+    pub reason: String,
+}
+
+/// Everything one analysis run produces.
+#[derive(Default)]
+pub struct Report {
+    /// Surviving violations, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Every unsafe site seen (annotated or not), sorted by (path, line).
+    pub inventory: Vec<UnsafeSite>,
+    /// Non-fatal observations (unused allows, etc.).
+    pub notes: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Crates whose non-test code must be deterministic.
+pub const DETERMINISTIC_CRATES: [&str; 5] = ["core", "trees", "smart", "store", "eval"];
+/// Crates under the panic-path rule.
+pub const PANIC_CRATES: [&str; 2] = ["serve", "store"];
+/// Crates under the lock-discipline rule.
+pub const LOCK_CRATES: [&str; 1] = ["serve"];
+
+/// Run every applicable rule over `files`, apply inline annotations and
+/// the `lint.toml` allowlist, and return the surviving diagnostics.
+pub fn analyze(files: &[SourceFile], allowlist: &[AllowEntry]) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut allowlist_used = vec![false; allowlist.len()];
+
+    for file in files {
+        let mut fa = FileAnalysis::new(file);
+        fa.run();
+        report.inventory.append(&mut fa.inventory);
+        'violation: for v in fa.violations {
+            // Inline annotation?
+            if let Some(a) = fa.allows.iter().position(|a| {
+                a.rule == Some(v.rule) && a.target_line == v.line && !a.reason.is_empty()
+            }) {
+                fa.allows[a].used = true;
+                continue;
+            }
+            // lint.toml allowlist?
+            for (i, e) in allowlist.iter().enumerate() {
+                if e.rule == v.rule
+                    && v.path.starts_with(&e.path)
+                    && e.line.is_none_or(|l| l == v.line)
+                {
+                    allowlist_used[i] = true;
+                    continue 'violation;
+                }
+            }
+            report.violations.push(v);
+        }
+        for a in &fa.allows {
+            if let (false, Some(rule), false) = (a.used, a.rule, a.reason.is_empty()) {
+                report.notes.push(format!(
+                    "{}:{}: unused `lint: allow({})` annotation (nothing to suppress)",
+                    file.path,
+                    a.comment_line,
+                    rule.as_str(),
+                ));
+            }
+        }
+    }
+
+    for (i, used) in allowlist_used.iter().enumerate() {
+        if !used {
+            report.notes.push(format!(
+                "lint.toml: unused allow entry #{} ({} in {})",
+                i + 1,
+                allowlist[i].rule.as_str(),
+                allowlist[i].path
+            ));
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report.violations.dedup();
+    report
+        .inventory
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report
+}
+
+/// A parsed inline `// lint: allow(...)` annotation.
+struct InlineAllow {
+    /// `None` when the rule id did not parse.
+    rule: Option<RuleId>,
+    reason: String,
+    /// Line the annotation suppresses (its own line for trailing comments,
+    /// else the next code line).
+    target_line: u32,
+    comment_line: u32,
+    used: bool,
+}
+
+struct FileAnalysis<'a> {
+    file: &'a SourceFile,
+    toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens.
+    code: Vec<usize>,
+    /// Line spans (inclusive) of `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(u32, u32)>,
+    lines: Vec<&'a str>,
+    allows: Vec<InlineAllow>,
+    violations: Vec<Violation>,
+    inventory: Vec<UnsafeSite>,
+}
+
+impl<'a> FileAnalysis<'a> {
+    fn new(file: &'a SourceFile) -> Self {
+        let toks = lex(&file.text);
+        let code = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        FileAnalysis {
+            file,
+            toks,
+            code,
+            test_spans: Vec::new(),
+            lines: file.text.lines().collect(),
+            allows: Vec::new(),
+            violations: Vec::new(),
+            inventory: Vec::new(),
+        }
+    }
+
+    fn src(&self) -> &str {
+        &self.file.text
+    }
+
+    /// Text of code token `ci` (an index into `self.code`).
+    fn ctext(&self, ci: usize) -> &str {
+        self.toks[self.code[ci]].text(self.src())
+    }
+
+    fn ckind(&self, ci: usize) -> TokKind {
+        self.toks[self.code[ci]].kind
+    }
+
+    fn cline(&self, ci: usize) -> u32 {
+        self.toks[self.code[ci]].line
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn flag(&mut self, rule: RuleId, line: u32, message: String) {
+        self.violations.push(Violation {
+            rule,
+            path: self.file.path.clone(),
+            line,
+            message,
+        });
+    }
+
+    fn run(&mut self) {
+        self.find_test_spans();
+        self.collect_allows();
+        let c = self.file.crate_name.as_str();
+        if DETERMINISTIC_CRATES.contains(&c) {
+            self.rule_nondeterminism();
+        }
+        self.rule_unsafe_audit();
+        if PANIC_CRATES.contains(&c) {
+            self.rule_panic_path();
+        }
+        if LOCK_CRATES.contains(&c) {
+            self.rule_lock_discipline();
+        }
+    }
+
+    /// Mark the line spans of `#[cfg(test)]` items and `#[test]` fns so
+    /// every rule can skip test code. Handles `#[cfg(test)] mod tests {}`
+    /// blocks, attribute stacks, and single-item attributes.
+    fn find_test_spans(&mut self) {
+        let mut ci = 0;
+        while ci + 1 < self.code.len() {
+            if self.ckind(ci) == TokKind::Punct('#') && self.ckind(ci + 1) == TokKind::Punct('[') {
+                let attr_end = self.matching(ci + 1, '[', ']');
+                let is_test = self.attr_is_test(ci + 2, attr_end);
+                if is_test {
+                    let start_line = self.cline(ci);
+                    // Skip any further attributes / doc comments, then
+                    // span the item that follows.
+                    let mut j = attr_end + 1;
+                    while j + 1 < self.code.len()
+                        && self.ckind(j) == TokKind::Punct('#')
+                        && self.ckind(j + 1) == TokKind::Punct('[')
+                    {
+                        j = self.matching(j + 1, '[', ']') + 1;
+                    }
+                    let end = self.item_end(j);
+                    self.test_spans.push((start_line, self.cline(end)));
+                    ci = end + 1;
+                    continue;
+                }
+                ci = attr_end + 1;
+                continue;
+            }
+            ci += 1;
+        }
+    }
+
+    /// Does the attribute body (code-token range, exclusive end) spell a
+    /// test attribute? `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]`
+    /// — but not `#[cfg(not(test))]`.
+    fn attr_is_test(&self, start: usize, end: usize) -> bool {
+        let mut has_test = false;
+        let mut has_not = false;
+        for ci in start..end.min(self.code.len()) {
+            match self.ctext(ci) {
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+        }
+        has_test && !has_not
+    }
+
+    /// Code-token index of the matching closer for the opener at `ci`.
+    fn matching(&self, ci: usize, open: char, close: char) -> usize {
+        let mut depth = 0usize;
+        let mut j = ci;
+        while j < self.code.len() {
+            match self.ckind(j) {
+                TokKind::Punct(p) if p == open => depth += 1,
+                TokKind::Punct(p) if p == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.code.len() - 1
+    }
+
+    /// Code-token index of the last token of the item starting at `ci`:
+    /// either a `;` at nesting level 0 or the `}` closing its first brace.
+    fn item_end(&self, ci: usize) -> usize {
+        let mut j = ci;
+        let mut depth = 0usize;
+        while j < self.code.len() {
+            match self.ckind(j) {
+                TokKind::Punct(';') if depth == 0 => return j,
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Parse `// lint: allow(rule, reason="...")` annotations out of line
+    /// comments. Malformed ones are flagged under [`RuleId::AllowSyntax`].
+    fn collect_allows(&mut self) {
+        for (i, t) in self.toks.iter().enumerate() {
+            if t.kind != TokKind::LineComment {
+                continue;
+            }
+            let text = t.text(self.src());
+            let Some(rest) = text.trim_start_matches('/').trim().strip_prefix("lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let comment_line = t.line;
+            // Trailing comment (code earlier on the same line) applies to
+            // its own line; a standalone comment applies to the next code
+            // line.
+            let trailing = self.toks[..i].iter().any(|p| {
+                p.line == comment_line
+                    && !matches!(
+                        p.kind,
+                        TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                    )
+            });
+            let target_line = if trailing {
+                comment_line
+            } else {
+                self.toks[i..]
+                    .iter()
+                    .find(|p| {
+                        !matches!(
+                            p.kind,
+                            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                        )
+                    })
+                    .map_or(comment_line, |p| p.line)
+            };
+
+            let parsed = parse_allow_body(rest);
+            match parsed {
+                Ok((rule_str, reason)) => {
+                    let rule = RuleId::parse(&rule_str);
+                    if rule.is_none() {
+                        self.violations.push(Violation {
+                            rule: RuleId::AllowSyntax,
+                            path: self.file.path.clone(),
+                            line: comment_line,
+                            message: format!(
+                                "unknown rule `{rule_str}` in lint annotation (known: {})",
+                                RuleId::ALL.map(RuleId::as_str).join(", ")
+                            ),
+                        });
+                    } else if reason.is_empty() {
+                        self.violations.push(Violation {
+                            rule: RuleId::AllowSyntax,
+                            path: self.file.path.clone(),
+                            line: comment_line,
+                            message: format!(
+                                "`lint: allow({rule_str})` has no reason — a reasonless \
+                                 allow suppresses nothing; write \
+                                 `// lint: allow({rule_str}, reason=\"...\")`"
+                            ),
+                        });
+                    }
+                    self.allows.push(InlineAllow {
+                        rule,
+                        reason,
+                        target_line,
+                        comment_line,
+                        used: false,
+                    });
+                }
+                Err(err) => {
+                    self.violations.push(Violation {
+                        rule: RuleId::AllowSyntax,
+                        path: self.file.path.clone(),
+                        line: comment_line,
+                        message: format!("malformed lint annotation: {err}"),
+                    });
+                }
+            }
+        }
+    }
+
+    // ----- rule: nondeterminism ------------------------------------------
+
+    fn rule_nondeterminism(&mut self) {
+        const BANNED_TYPES: [(&str, &str); 4] = [
+            (
+                "HashMap",
+                "iteration order depends on the per-process hasher seed",
+            ),
+            (
+                "HashSet",
+                "iteration order depends on the per-process hasher seed",
+            ),
+            ("RandomState", "hasher state is seeded per process"),
+            ("DefaultHasher", "hasher state is seeded per process"),
+        ];
+        const BANNED_PATHS: [(&str, &str, &str); 12] = [
+            ("Instant", "now", "wall-clock reads differ across runs"),
+            ("SystemTime", "now", "wall-clock reads differ across runs"),
+            ("env", "var", "environment reads differ across hosts"),
+            ("env", "var_os", "environment reads differ across hosts"),
+            ("env", "vars", "environment reads differ across hosts"),
+            ("env", "vars_os", "environment reads differ across hosts"),
+            ("env", "temp_dir", "environment reads differ across hosts"),
+            ("env", "args", "process arguments differ across invocations"),
+            (
+                "env",
+                "args_os",
+                "process arguments differ across invocations",
+            ),
+            (
+                "env",
+                "current_dir",
+                "working directory differs across invocations",
+            ),
+            (
+                "thread",
+                "current",
+                "thread identity differs across schedules",
+            ),
+            ("thread", "id", "thread identity differs across schedules"),
+        ];
+        let mut found: Vec<(u32, String)> = Vec::new();
+        for ci in 0..self.code.len() {
+            if self.ckind(ci) != TokKind::Ident {
+                continue;
+            }
+            let line = self.cline(ci);
+            if self.in_test(line) {
+                continue;
+            }
+            let text = self.ctext(ci);
+            if let Some((name, why)) = BANNED_TYPES.iter().find(|(n, _)| *n == text) {
+                found.push((
+                    line,
+                    format!(
+                        "`{name}` in deterministic crate `{}` — {why}",
+                        self.file.crate_name
+                    ),
+                ));
+                continue;
+            }
+            // `a::b` path heads: Ident ':' ':' Ident.
+            if ci + 3 < self.code.len()
+                && self.ckind(ci + 1) == TokKind::Punct(':')
+                && self.ckind(ci + 2) == TokKind::Punct(':')
+                && self.ckind(ci + 3) == TokKind::Ident
+            {
+                let tail = self.ctext(ci + 3);
+                if let Some((a, b, why)) = BANNED_PATHS
+                    .iter()
+                    .find(|(a, b, _)| *a == text && *b == tail)
+                {
+                    found.push((
+                        line,
+                        format!(
+                            "`{a}::{b}` in deterministic crate `{}` — {why}",
+                            self.file.crate_name
+                        ),
+                    ));
+                }
+            }
+        }
+        for (line, msg) in found {
+            self.flag(RuleId::Nondeterminism, line, msg);
+        }
+    }
+
+    // ----- rule: unsafe_audit --------------------------------------------
+
+    fn rule_unsafe_audit(&mut self) {
+        let mut sites: Vec<(u32, &'static str, Option<String>, bool)> = Vec::new();
+        for ci in 0..self.code.len() {
+            if self.ckind(ci) != TokKind::Ident || self.ctext(ci) != "unsafe" {
+                continue;
+            }
+            let line = self.cline(ci);
+            let kind = match self.code.get(ci + 1).map(|_| self.ctext(ci + 1)) {
+                Some("fn") => "fn",
+                Some("impl") => "impl",
+                Some("trait") => "trait",
+                Some("{") => "block",
+                _ => "block",
+            };
+            let safety = self.safety_comment_above(line);
+            sites.push((line, kind, safety, self.in_test(line)));
+        }
+        for (line, kind, safety, in_test) in sites {
+            if safety.is_none() && !in_test {
+                self.flag(
+                    RuleId::UnsafeAudit,
+                    line,
+                    format!(
+                        "`unsafe` {kind} without a `// SAFETY:` comment directly above — \
+                         state the invariant that makes this sound"
+                    ),
+                );
+            }
+            self.inventory.push(UnsafeSite {
+                path: self.file.path.clone(),
+                line,
+                kind,
+                safety,
+                in_test,
+            });
+        }
+    }
+
+    /// The `// SAFETY:` justification directly above `line`, if any.
+    /// Scans upward through contiguous `//` comment and `#[...]` attribute
+    /// lines; stops at the first code or blank line. When the `unsafe`
+    /// token sits on a continuation line (rustfmt splitting `sum +=` from
+    /// the `unsafe { .. }` operand), the scan first walks up to the
+    /// statement's opening line so the comment is found where a human
+    /// would write it.
+    fn safety_comment_above(&self, line: u32) -> Option<String> {
+        const CONTINUATION_TAILS: [&str; 8] = ["=", "(", ",", "+", "-", "*", "||", "&&"];
+        let mut line = line as usize;
+        while line >= 2 {
+            let above = self.lines.get(line - 2)?.trim();
+            if CONTINUATION_TAILS.iter().any(|t| above.ends_with(t)) {
+                line -= 1;
+            } else {
+                break;
+            }
+        }
+        let mut l = line - 1; // 0-based index of the line above
+        let mut collected: Vec<&str> = Vec::new();
+        while l > 0 {
+            l -= 1;
+            let t = self.lines.get(l)?.trim();
+            if t.starts_with("//") && !t.starts_with("///") && !t.starts_with("//!") {
+                collected.push(t);
+                if let Some(rest) = t.strip_prefix("// SAFETY:") {
+                    // Earlier pushes are continuation lines below the
+                    // SAFETY opener; stitch them back in order.
+                    let mut text = rest.trim().to_string();
+                    for cont in collected.iter().rev().skip(1) {
+                        let cont = cont.trim_start_matches('/').trim();
+                        if !cont.is_empty() {
+                            text.push(' ');
+                            text.push_str(cont);
+                        }
+                    }
+                    return Some(text);
+                }
+                continue;
+            }
+            if t.starts_with("#[") || t.starts_with("#![") {
+                continue; // attributes may sit between the comment and the item
+            }
+            return None;
+        }
+        None
+    }
+
+    // ----- rule: panic_path ----------------------------------------------
+
+    fn rule_panic_path(&mut self) {
+        const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+        /// Keywords that make a preceding-`[` context an array literal or
+        /// pattern rather than an indexing expression.
+        const NON_POSTFIX: [&str; 22] = [
+            "let", "mut", "ref", "dyn", "in", "as", "return", "break", "continue", "else", "if",
+            "while", "match", "move", "static", "const", "type", "impl", "fn", "where", "use",
+            "pub",
+        ];
+        let mut found: Vec<(u32, String)> = Vec::new();
+        for ci in 0..self.code.len() {
+            let line = self.cline(ci);
+            if self.in_test(line) {
+                continue;
+            }
+            match self.ckind(ci) {
+                TokKind::Ident => {
+                    let text = self.ctext(ci);
+                    if (text == "unwrap" || text == "expect")
+                        && ci > 0
+                        && self.ckind(ci - 1) == TokKind::Punct('.')
+                        && ci + 1 < self.code.len()
+                        && self.ckind(ci + 1) == TokKind::Punct('(')
+                    {
+                        found.push((
+                            line,
+                            format!(
+                                "`.{text}(` in `{}` library code — propagate a typed error \
+                                 instead of panicking in the serving/store path",
+                                self.file.crate_name
+                            ),
+                        ));
+                    } else if PANIC_MACROS.contains(&text)
+                        && ci + 1 < self.code.len()
+                        && self.ckind(ci + 1) == TokKind::Punct('!')
+                    {
+                        found.push((
+                            line,
+                            format!(
+                                "`{text}!` in `{}` library code — a panicking worker \
+                                 thread poisons the engine; return an error",
+                                self.file.crate_name
+                            ),
+                        ));
+                    }
+                }
+                TokKind::Punct('[') if ci > 0 => {
+                    // Postfix indexing with a bare variable index.
+                    let prev_ok = match self.ckind(ci - 1) {
+                        TokKind::Ident => !NON_POSTFIX.contains(&self.ctext(ci - 1)),
+                        TokKind::Punct(')') | TokKind::Punct(']') => true,
+                        _ => false,
+                    };
+                    if !prev_ok {
+                        continue;
+                    }
+                    let close = self.matching(ci, '[', ']');
+                    if close == ci + 2 && self.ckind(ci + 1) == TokKind::Ident {
+                        found.push((
+                            line,
+                            format!(
+                                "indexing `{}[{}]` can panic — use `.get({})` or annotate \
+                                 with the bounds invariant",
+                                self.ctext(ci - 1),
+                                self.ctext(ci + 1),
+                                self.ctext(ci + 1),
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (line, msg) in found {
+            self.flag(RuleId::PanicPath, line, msg);
+        }
+    }
+
+    // ----- rule: lock_discipline -----------------------------------------
+
+    fn rule_lock_discipline(&mut self) {
+        const GUARD_CALLS: [&str; 3] = ["lock", "read", "write"];
+        const IO_IDENTS: [&str; 8] = [
+            "write_all",
+            "save_atomic",
+            "save_atomic_faulted",
+            "sync_all",
+            "sync_data",
+            "create_dir_all",
+            "rename",
+            "remove_file",
+        ];
+        const IO_PATH_HEADS: [&str; 3] = ["File", "fs", "OpenOptions"];
+
+        // Running brace depth per code token (before processing it).
+        let mut found: Vec<(u32, String)> = Vec::new();
+        let mut ci = 0;
+        while ci < self.code.len() {
+            if self.ckind(ci) != TokKind::Ident || self.ctext(ci) != "let" {
+                ci += 1;
+                continue;
+            }
+            let let_line = self.cline(ci);
+            if self.in_test(let_line) {
+                ci += 1;
+                continue;
+            }
+            // Find the terminating `;` of this let statement, tracking all
+            // bracket kinds so `;` inside closures/arrays doesn't end it.
+            let mut j = ci + 1;
+            let mut net = 0i32;
+            let stmt_end = loop {
+                if j >= self.code.len() {
+                    break self.code.len() - 1;
+                }
+                match self.ckind(j) {
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => net += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => net -= 1,
+                    TokKind::Punct(';') if net == 0 => break j,
+                    _ => {}
+                }
+                if net < 0 {
+                    break j; // malformed / end of block — bail out
+                }
+                j += 1;
+            };
+            // Guard binding: initializer's last call is .lock()/.read()/.write()
+            // and the binding isn't a deref copy-out (`let v = *m.lock();`
+            // drops the guard at the end of the statement).
+            let eq = (ci..stmt_end).find(|&j| self.ckind(j) == TokKind::Punct('='));
+            let derefs_out = eq.is_some_and(|j| {
+                j + 1 < self.code.len() && self.ckind(j + 1) == TokKind::Punct('*')
+            });
+            let is_guard = stmt_end >= 4
+                && !derefs_out
+                && self.ckind(stmt_end) == TokKind::Punct(';')
+                && self.ckind(stmt_end - 1) == TokKind::Punct(')')
+                && self.ckind(stmt_end - 2) == TokKind::Punct('(')
+                && self.ckind(stmt_end - 3) == TokKind::Ident
+                && GUARD_CALLS.contains(&self.ctext(stmt_end - 3))
+                && self.ckind(stmt_end - 4) == TokKind::Punct('.');
+            if !is_guard {
+                ci = stmt_end + 1;
+                continue;
+            }
+            // Binding name (skip `mut`); complex patterns fall back to "_".
+            let mut ni = ci + 1;
+            if ni < self.code.len() && self.ctext(ni) == "mut" {
+                ni += 1;
+            }
+            let name = if ni < self.code.len()
+                && self.ckind(ni) == TokKind::Ident
+                && matches!(
+                    self.ckind(ni + 1),
+                    TokKind::Punct('=') | TokKind::Punct(':')
+                ) {
+                self.ctext(ni).to_string()
+            } else {
+                "_".to_string()
+            };
+            // Guard scope: until the enclosing block closes or `drop(name)`.
+            let mut depth = 0i32;
+            let mut k = stmt_end + 1;
+            let mut crossings: Vec<(u32, String)> = Vec::new();
+            while k < self.code.len() {
+                match self.ckind(k) {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break; // enclosing block closed — guard dropped
+                        }
+                    }
+                    TokKind::Ident
+                        if self.ctext(k) == "drop"
+                            && k + 2 < self.code.len()
+                            && self.ckind(k + 1) == TokKind::Punct('(')
+                            && self.ctext(k + 2) == name =>
+                    {
+                        break;
+                    }
+                    TokKind::Ident => {
+                        let t = self.ctext(k);
+                        if t == "send"
+                            && k > 0
+                            && self.ckind(k - 1) == TokKind::Punct('.')
+                            && k + 1 < self.code.len()
+                            && self.ckind(k + 1) == TokKind::Punct('(')
+                        {
+                            crossings.push((self.cline(k), "`.send(` (channel send)".into()));
+                        } else if IO_IDENTS.contains(&t)
+                            && k + 1 < self.code.len()
+                            && self.ckind(k + 1) == TokKind::Punct('(')
+                        {
+                            crossings.push((self.cline(k), format!("`{t}(` (file I/O)")));
+                        } else if IO_PATH_HEADS.contains(&t)
+                            && k + 1 < self.code.len()
+                            && self.ckind(k + 1) == TokKind::Punct(':')
+                        {
+                            crossings.push((self.cline(k), format!("`{t}::` (file I/O)")));
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if !crossings.is_empty() {
+                let detail = crossings
+                    .iter()
+                    .map(|(l, what)| format!("{what} at line {l}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                found.push((
+                    let_line,
+                    format!(
+                        "lock guard `{name}` (acquired here) is held across {detail} — \
+                         drop the guard first or annotate this binding with the reason \
+                         the hold is required"
+                    ),
+                ));
+            }
+            ci = stmt_end + 1;
+        }
+        for (line, msg) in found {
+            self.flag(RuleId::LockDiscipline, line, msg);
+        }
+    }
+}
+
+/// Parse the body after `lint:`: expects `allow(<rule>, reason="...")` or
+/// `allow(<rule>)`. Returns (rule, reason) — reason may be empty.
+fn parse_allow_body(rest: &str) -> Result<(String, String), String> {
+    let inner = rest
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(...)`, found `{rest}`"))?;
+    let inner = inner
+        .strip_suffix(')')
+        .ok_or_else(|| "missing closing `)`".to_string())?;
+    let (rule, tail) = match inner.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Err("empty rule id".into());
+    }
+    if tail.is_empty() {
+        return Ok((rule.to_string(), String::new()));
+    }
+    let reason = tail
+        .strip_prefix("reason")
+        .and_then(|t| t.trim_start().strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| format!("expected `reason=\"...\"`, found `{tail}`"))?;
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    Ok((rule.to_string(), reason.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: format!("crates/{crate_name}/src/lib.rs"),
+            crate_name: crate_name.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    fn run(crate_name: &str, text: &str) -> Report {
+        analyze(&[file(crate_name, text)], &[])
+    }
+
+    #[test]
+    fn allow_body_parses() {
+        assert_eq!(
+            parse_allow_body(r#"allow(panic_path, reason="idx < n by modulo")"#).unwrap(),
+            ("panic_path".into(), "idx < n by modulo".into())
+        );
+        assert_eq!(
+            parse_allow_body("allow(panic_path)").unwrap(),
+            ("panic_path".into(), String::new())
+        );
+        assert!(parse_allow_body("deny(x)").is_err());
+        assert!(parse_allow_body(r#"allow(x, reason=unquoted)"#).is_err());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let r = run(
+            "core",
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let _: HashMap<u32, u32> = HashMap::new(); }\n}\n",
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let r = run(
+            "core",
+            "#[cfg(not(test))]\nmod real {\n    pub type M = std::collections::HashMap<u32, u32>;\n}\n",
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn string_and_comment_content_is_ignored() {
+        let r = run(
+            "core",
+            "pub fn f() -> &'static str {\n    // HashMap in a comment, Instant::now too\n    \"HashMap unsafe unwrap()\"\n}\n",
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn trailing_and_preceding_allows_suppress_with_reason() {
+        let src = "use std::collections::HashMap; // lint: allow(nondeterminism, reason=\"lookups only, never iterated\")\n\
+                   // lint: allow(nondeterminism, reason=\"lookups only, never iterated\")\n\
+                   pub type M = HashMap<u32, u32>;\n";
+        let r = run("core", src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn reasonless_allow_does_not_suppress_and_is_flagged() {
+        let src =
+            "pub type M = std::collections::HashMap<u32, u32>; // lint: allow(nondeterminism)\n";
+        let r = run("core", src);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.rule == RuleId::Nondeterminism && v.line == 1));
+        assert!(r.violations.iter().any(|v| v.rule == RuleId::AllowSyntax));
+    }
+
+    #[test]
+    fn lock_guard_across_send_is_flagged_and_temporaries_are_not() {
+        let src = "fn f(m: &parking_lot::Mutex<u64>, tx: &Sender<u64>) {\n\
+                       let st = m.lock();\n\
+                       tx.send(*st).ok();\n\
+                   }\n\
+                   fn g(m: &parking_lot::Mutex<u64>, tx: &Sender<u64>) {\n\
+                       let v = *m.lock();\n\
+                       tx.send(v).ok();\n\
+                   }\n\
+                   fn h(m: &parking_lot::Mutex<u64>, tx: &Sender<u64>) {\n\
+                       let st = m.lock();\n\
+                       drop(st);\n\
+                       tx.send(1).ok();\n\
+                   }\n";
+        let r = run("serve", src);
+        let locks: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == RuleId::LockDiscipline)
+            .collect();
+        assert_eq!(locks.len(), 1, "{:?}", r.violations);
+        assert_eq!(locks[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment_and_attrs_may_intervene() {
+        let src = "pub fn f(x: &[u8]) -> u8 {\n\
+                       // SAFETY: caller guarantees non-empty\n\
+                       #[allow(clippy::missing_safety_doc)]\n\
+                       unsafe { *x.get_unchecked(0) }\n\
+                   }\n\
+                   pub fn g(x: &[u8]) -> u8 {\n\
+                       unsafe { *x.get_unchecked(0) }\n\
+                   }\n";
+        let r = run("util", src);
+        let v: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == RuleId::UnsafeAudit)
+            .collect();
+        assert_eq!(v.len(), 1, "{:?}", r.violations);
+        assert_eq!(v[0].line, 7);
+        assert_eq!(r.inventory.len(), 2);
+        assert_eq!(
+            r.inventory[0].safety.as_deref(),
+            Some("caller guarantees non-empty")
+        );
+    }
+
+    #[test]
+    fn panic_forms_and_bare_indexing_flagged_in_store_only_non_test() {
+        let src = "pub fn f(xs: &[u8], i: usize) -> u8 {\n\
+                       let a = xs.first().unwrap();\n\
+                       let b = xs[i];\n\
+                       let c = xs[0];\n\
+                       if *a == b + c { panic!(\"boom\") }\n\
+                       b\n\
+                   }\n";
+        let r = run("store", src);
+        let lines: Vec<u32> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == RuleId::PanicPath)
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(lines, vec![2, 3, 5], "{:?}", r.violations);
+        // Same source in a crate outside the panic scope: clean.
+        assert!(run("eval", src)
+            .violations
+            .iter()
+            .all(|v| v.rule != RuleId::PanicPath));
+    }
+
+    #[test]
+    fn lint_toml_allowlist_suppresses_by_path_prefix() {
+        let f = file(
+            "core",
+            "pub type M = std::collections::HashMap<u32, u32>;\n",
+        );
+        let allow = AllowEntry {
+            rule: RuleId::Nondeterminism,
+            path: "crates/core/".into(),
+            line: None,
+            reason: "legacy, tracked in #12".into(),
+        };
+        let r = analyze(&[f], &[allow]);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        let f = file(
+            "core",
+            "pub type M = std::collections::HashMap<u32, u32>;\n",
+        );
+        let r = analyze(&[f], &[]);
+        assert!(!r.violations.is_empty());
+    }
+}

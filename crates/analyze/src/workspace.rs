@@ -1,0 +1,262 @@
+//! Workspace discovery and `lint.toml` allowlist loading.
+//!
+//! Dependency-free: the root `Cargo.toml`'s `members = [...]` array and
+//! the `[[allow]]` tables in `lint.toml` are both simple enough to parse
+//! by hand, and keeping the tool free of even workspace-internal deps
+//! means it can lint a broken tree (the whole point of running it first
+//! in CI).
+
+use crate::rules::{AllowEntry, RuleId, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Errors surfaced to `main` (exit code 1, distinct from lint failures).
+#[derive(Debug)]
+pub struct WalkError(pub String);
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+fn err(msg: impl Into<String>) -> WalkError {
+    WalkError(msg.into())
+}
+
+/// Member directories named by the root manifest's `members = [...]`
+/// array, in file order, plus `"."` for the root package if the manifest
+/// also contains a `[package]` section.
+pub fn workspace_members(root: &Path) -> Result<Vec<String>, WalkError> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| err(format!("cannot read {}/Cargo.toml: {e}", root.display())))?;
+    let start = manifest
+        .find("members")
+        .ok_or_else(|| err("no `members` array in root Cargo.toml"))?;
+    let open = manifest[start..]
+        .find('[')
+        .ok_or_else(|| err("malformed `members` array"))?
+        + start;
+    let close = manifest[open..]
+        .find(']')
+        .ok_or_else(|| err("unterminated `members` array"))?
+        + open;
+    let mut members: Vec<String> = Vec::new();
+    for piece in manifest[open + 1..close].split(',') {
+        let piece = piece.trim();
+        // Strip a trailing line comment, then expect a quoted path.
+        let piece = piece.split("  #").next().unwrap_or(piece).trim();
+        if let Some(q) = piece.strip_prefix('"').and_then(|p| p.strip_suffix('"')) {
+            members.push(q.to_string());
+        }
+    }
+    if manifest.contains("[package]") {
+        members.push(".".to_string());
+    }
+    Ok(members)
+}
+
+/// The short crate name rules are scoped by: the last path component of
+/// the member directory (`crates/core` → `core`), or `orfpred` for the
+/// root facade package.
+pub fn crate_name_of(member: &str) -> String {
+    if member == "." {
+        return "orfpred".to_string();
+    }
+    member.rsplit('/').next().unwrap_or(member).to_string()
+}
+
+/// Load every `src/**/*.rs` file of every workspace member. Only `src/`
+/// is walked: integration tests, benches, and examples are not library
+/// code and are outside every rule's scope.
+pub fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, WalkError> {
+    let mut files = Vec::new();
+    for member in workspace_members(root)? {
+        let crate_name = crate_name_of(&member);
+        let src_dir = root.join(&member).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        collect_rs_files(&src_dir, &mut paths)?;
+        paths.sort();
+        for p in paths {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| err(format!("cannot read {}: {e}", p.display())))?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile {
+                path: rel,
+                crate_name: crate_name.clone(),
+                text,
+            });
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| err(format!("cannot read dir {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| err(format!("readdir: {e}")))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse `lint.toml` (the committed allowlist). Missing file = empty
+/// allowlist, which is the intended steady state: violations are fixed
+/// or annotated inline, and this file exists for emergencies (e.g.
+/// temporarily waiving a rule for a file mid-refactor, with a reason).
+pub fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, WalkError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(err(format!("cannot read {}: {e}", path.display()))),
+    };
+    // An [[allow]] table under construction: (rule, path, line, reason).
+    type PartialAllow = (Option<RuleId>, Option<String>, Option<u32>, Option<String>);
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<PartialAllow> = None;
+    let flush =
+        |cur: &mut Option<PartialAllow>, entries: &mut Vec<AllowEntry>| -> Result<(), WalkError> {
+            if let Some((rule, p, line, reason)) = cur.take() {
+                let rule = rule.ok_or_else(|| err("lint.toml: [[allow]] entry missing `rule`"))?;
+                let p = p.ok_or_else(|| err("lint.toml: [[allow]] entry missing `path`"))?;
+                let reason =
+                    reason.ok_or_else(|| err("lint.toml: [[allow]] entry missing `reason`"))?;
+                if reason.trim().is_empty() {
+                    return Err(err("lint.toml: [[allow]] entry has an empty `reason`"));
+                }
+                entries.push(AllowEntry {
+                    rule,
+                    path: p,
+                    line,
+                    reason,
+                });
+            }
+            Ok(())
+        };
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut current, &mut entries)?;
+            current = Some((None, None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(format!("lint.toml:{}: cannot parse `{raw}`", n + 1)));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(cur) = current.as_mut() else {
+            return Err(err(format!(
+                "lint.toml:{}: `{key}` outside an [[allow]] table",
+                n + 1
+            )));
+        };
+        let unquote = |v: &str| -> Option<String> {
+            v.strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .map(str::to_string)
+        };
+        match key {
+            "rule" => {
+                let v = unquote(value)
+                    .ok_or_else(|| err(format!("lint.toml:{}: rule must be quoted", n + 1)))?;
+                cur.0 = Some(
+                    RuleId::parse(&v)
+                        .ok_or_else(|| err(format!("lint.toml:{}: unknown rule `{v}`", n + 1)))?,
+                );
+            }
+            "path" => {
+                cur.1 = Some(
+                    unquote(value)
+                        .ok_or_else(|| err(format!("lint.toml:{}: path must be quoted", n + 1)))?,
+                );
+            }
+            "line" => {
+                cur.2 =
+                    Some(value.parse().map_err(|_| {
+                        err(format!("lint.toml:{}: line must be an integer", n + 1))
+                    })?);
+            }
+            "reason" => {
+                cur.3 =
+                    Some(unquote(value).ok_or_else(|| {
+                        err(format!("lint.toml:{}: reason must be quoted", n + 1))
+                    })?);
+            }
+            other => {
+                return Err(err(format!(
+                    "lint.toml:{}: unknown key `{other}` in [[allow]]",
+                    n + 1
+                )))
+            }
+        }
+    }
+    flush(&mut current, &mut entries)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_name_of("crates/core"), "core");
+        assert_eq!(crate_name_of("crates/compat/serde"), "serde");
+        assert_eq!(crate_name_of("."), "orfpred");
+    }
+
+    #[test]
+    fn allowlist_round_trip() {
+        let dir = std::env::temp_dir().join(format!("orfpred-lint-toml-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("lint.toml");
+        std::fs::write(
+            &p,
+            "# comment\n\n[[allow]]\nrule = \"panic_path\"\npath = \"crates/store/\"\nreason = \"mid-refactor\"\n\n[[allow]]\nrule = \"nondeterminism\"\npath = \"crates/eval/src/zoo.rs\"\nline = 9\nreason = \"wall-clock for display\"\n",
+        )
+        .unwrap();
+        let entries = load_allowlist(&p).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, RuleId::PanicPath);
+        assert_eq!(entries[1].line, Some(9));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_allowlist_is_empty() {
+        assert!(load_allowlist(Path::new("/nonexistent/lint.toml"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("orfpred-lint-toml2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("lint.toml");
+        std::fs::write(
+            &p,
+            "[[allow]]\nrule = \"panic_path\"\npath = \"x\"\nreason = \"\"\n",
+        )
+        .unwrap();
+        assert!(load_allowlist(&p).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: the escape hatch with a reason suppresses the violation on
+//! the next code line.
+
+pub fn stamp() -> u64 {
+    // lint: allow(nondeterminism, reason="display-only timing, no model output depends on it")
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,9 @@
+//! Fixture: a lock guard bound with `let` and still live at a channel
+//! send. The diagnostic lands on the binding line.
+
+pub fn drain(q: &SpinMutex<Vec<u64>>, tx: &Sender<u64>) {
+    let held = q.lock();
+    for v in held.iter() {
+        tx.send(*v).ok();
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: deterministic-scope crate using a hasher-randomized map.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}

@@ -1,0 +1,6 @@
+//! Fixture: an unannotated unwrap in non-test library code of a
+//! panic-scoped crate.
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}

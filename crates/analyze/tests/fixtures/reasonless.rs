@@ -1,0 +1,8 @@
+//! Fixture: a reasonless allow suppresses nothing and is itself
+//! flagged as malformed.
+
+pub fn stamp() -> u64 {
+    // lint: allow(nondeterminism)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block with no `// SAFETY:` comment above it.
+
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

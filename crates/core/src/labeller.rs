@@ -13,7 +13,7 @@
 //!   the window before death, so it is all released as **positive**.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// A sample the labeller has released with a definitive label.
@@ -54,7 +54,10 @@ type PendingSample = (u16, Box<[f32]>);
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct OnlineLabeller {
     window: usize,
-    queues: HashMap<u32, VecDeque<PendingSample>>,
+    // BTreeMap, not HashMap: `absorb`/`split_by` iterate the queues and
+    // the serialized form feeds checkpoint bytes, so iteration order must
+    // not depend on the per-process hasher seed.
+    queues: BTreeMap<u32, VecDeque<PendingSample>>,
 }
 
 impl OnlineLabeller {
@@ -64,7 +67,7 @@ impl OnlineLabeller {
         assert!(window > 0, "window must hold at least one sample");
         Self {
             window,
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
         }
     }
 

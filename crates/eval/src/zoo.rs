@@ -72,6 +72,16 @@ impl ZooConfig {
     }
 }
 
+/// Start a wall-clock stopwatch for a `train_ms` report column.
+///
+/// The only clock read in the eval crate: `train_ms` is *display-only*
+/// timing in [`ZooRow`] — no score, label, split, or operating point
+/// depends on it, so replay equivalence is unaffected.
+fn train_timer() -> std::time::Instant {
+    // lint: allow(nondeterminism, reason="wall-clock feeds only the ZooRow::train_ms display column; no model output depends on it")
+    std::time::Instant::now()
+}
+
 /// Train and evaluate the whole zoo on one dataset.
 pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
@@ -106,7 +116,7 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     );
 
     // Mahalanobis: unsupervised, healthy rows only.
-    let t0 = std::time::Instant::now();
+    let t0 = train_timer();
     let healthy_rows: Vec<Vec<f32>> =
         tm.x.rows()
             .zip(&tm.y)
@@ -125,7 +135,7 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     );
 
     // Naive Bayes.
-    let t0 = std::time::Instant::now();
+    let t0 = train_timer();
     let nb = GaussianNaiveBayes::fit(tm.x.rows(), &tm.y);
     add(
         "Naive Bayes",
@@ -138,7 +148,7 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     );
 
     // Decision tree.
-    let t0 = std::time::Instant::now();
+    let t0 = train_timer();
     let dt = DecisionTree::fit(
         &tm.x,
         &tm.y,
@@ -161,7 +171,7 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
 
     // SVM (capped rows).
     let (hx, hy) = cap_rows(&tm.x, &tm.y, cfg.heavy_train_cap, &mut rng);
-    let t0 = std::time::Instant::now();
+    let t0 = train_timer();
     let svm = Svm::fit(
         &hx,
         &hy,
@@ -184,7 +194,7 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     );
 
     // GBDT (capped rows).
-    let t0 = std::time::Instant::now();
+    let t0 = train_timer();
     let gbdt = Gbdt::fit(&hx, &hy, &GbdtConfig::default());
     add(
         "GBDT",
@@ -197,7 +207,7 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     );
 
     // Random forest.
-    let t0 = std::time::Instant::now();
+    let t0 = train_timer();
     let rf = RandomForest::fit(&tm.x, &tm.y, &cfg.forest, rng.next_u64());
     add(
         "Random forest",
@@ -210,7 +220,7 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     );
 
     // ORF (chronological replay; frozen for the fixed-state evaluation).
-    let t0 = std::time::Instant::now();
+    let t0 = train_timer();
     let (forest, scaler) = stream_orf(ds, &labels, &cfg.cols, &cfg.orf, cfg.seed ^ 0x0f);
     add(
         "ORF (this paper)",

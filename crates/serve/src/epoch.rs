@@ -42,12 +42,25 @@ pub struct EpochCell<T> {
     active: AtomicUsize,
 }
 
-// Arc<T> is the only thing crossing threads through the UnsafeCell, and the
-// protocol above keeps mutation exclusive, so the usual Arc bounds apply.
+// SAFETY: sending the cell moves both slots' `Option<Arc<T>>` values to the
+// receiving thread; `Arc<T>` is `Send` when `T: Send + Sync`, and nothing
+// else in the cell is thread-affine, so the usual `Arc` bounds apply.
 unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+// SAFETY: shared access is governed by the two-slot protocol (module docs):
+// the `UnsafeCell` contents are mutated only by the single storer, only on
+// the inactive slot, and only after its reader count has drained to zero —
+// readers dereference a slot solely while registered on it and validated as
+// active, so no `&`/`&mut` overlap can occur across threads.
 unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
 
 impl<T> EpochCell<T> {
+    /// The slot for `idx`, which every caller derives from `self.active`
+    /// (always 0 or 1).
+    fn slot(&self, idx: usize) -> &Slot<T> {
+        // lint: allow(panic_path, reason="idx comes from `active` or `1 - active`, both always 0|1 for a 2-slot array")
+        &self.slots[idx]
+    }
+
     /// A cell initially publishing `value`.
     pub fn new(value: Arc<T>) -> Self {
         Self {
@@ -70,22 +83,28 @@ impl<T> EpochCell<T> {
     pub fn load(&self) -> Arc<T> {
         loop {
             let idx = self.active.load(SeqCst);
-            self.slots[idx].readers.fetch_add(1, SeqCst);
+            self.slot(idx).readers.fetch_add(1, SeqCst);
             // Re-validate under registration: if the slot is still active,
             // the writer cannot be mutating it (it only writes the inactive
             // slot) nor start to before we unregister (the drain loop sees
             // our registration, which precedes this load in the SeqCst
             // order).
             if self.active.load(SeqCst) == idx {
-                let value = unsafe { (*self.slots[idx].value.get()).clone() };
-                self.slots[idx].readers.fetch_sub(1, SeqCst);
+                // SAFETY: we observed slot `idx` active *while registered*
+                // on it, so the single storer — which mutates only the
+                // inactive slot, and only after the slot's reader count
+                // drains to zero — cannot touch this `UnsafeCell` until
+                // our `fetch_sub` below; the shared `&` we read through is
+                // therefore never aliased by a mutation.
+                let value = unsafe { (*self.slot(idx).value.get()).clone() };
+                self.slot(idx).readers.fetch_sub(1, SeqCst);
                 if let Some(v) = value {
                     return v;
                 }
                 // Unreachable in practice (the active slot always holds
                 // Some), but retrying is the safe response.
             } else {
-                self.slots[idx].readers.fetch_sub(1, SeqCst);
+                self.slot(idx).readers.fetch_sub(1, SeqCst);
             }
         }
     }
@@ -99,11 +118,17 @@ impl<T> EpochCell<T> {
         // an Arc clone — microseconds) or are about to fail validation and
         // unregister. Either way this terminates quickly; publishes are
         // rare (every `snapshot_every` samples), loads are constant-time.
-        while self.slots[next].readers.load(SeqCst) != 0 {
+        while self.slot(next).readers.load(SeqCst) != 0 {
             std::hint::spin_loop();
         }
+        // SAFETY: slot `next` is inactive (readers route to `active`, which
+        // still names the other slot until the store below) and the drain
+        // loop observed zero registered readers; any reader registering
+        // after that observation will fail re-validation without touching
+        // the cell. Exclusive mutation is guaranteed because `store` is
+        // single-writer by contract.
         unsafe {
-            *self.slots[next].value.get() = Some(value);
+            *self.slot(next).value.get() = Some(value);
         }
         self.active.store(next, SeqCst);
     }

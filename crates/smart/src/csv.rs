@@ -9,6 +9,7 @@
 
 use crate::attrs::{ATTRIBUTES, N_ATTRIBUTES, N_FEATURES};
 use crate::record::{Dataset, DiskDay, DiskInfo};
+// lint: allow(nondeterminism, reason="serial->id dictionary below; key lookups only, never iterated")
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
@@ -353,7 +354,10 @@ pub fn read_dataset_with<R: BufRead>(
         });
     }
 
-    // Assign dense disk ids by serial (first-seen order).
+    // Assign dense disk ids by serial (first-seen order). The map is used
+    // for contains/insert/lookup only; ordering comes from the `serials`
+    // vector, so hasher state cannot leak into the id assignment.
+    // lint: allow(nondeterminism, reason="lookups only; first-seen order is carried by the serials Vec, never by map iteration")
     let mut ids: HashMap<String, u32> = HashMap::new();
     let mut serials: Vec<String> = Vec::new();
     for r in &rows {

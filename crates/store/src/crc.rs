@@ -23,6 +23,7 @@ const fn make_tables() -> [[u32; 256]; 8] {
             };
             bit += 1;
         }
+        // lint: allow(panic_path, reason="i < 256 is the loop condition; an overrun would fail at compile time anyway (const fn)")
         t[0][i] = crc;
         i += 1;
     }
@@ -30,10 +31,12 @@ const fn make_tables() -> [[u32; 256]; 8] {
     // contribution of byte b seen k positions earlier in an 8-byte chunk.
     let mut i = 0;
     while i < 256 {
+        // lint: allow(panic_path, reason="i < 256 is the loop condition; evaluated at compile time (const fn)")
         let mut crc = t[0][i];
         let mut k = 1;
         while k < 8 {
             crc = (crc >> 8) ^ t[0][(crc & 0xFF) as usize];
+            // lint: allow(panic_path, reason="k < 8 and i < 256 are the loop conditions; evaluated at compile time (const fn)")
             t[k][i] = crc;
             k += 1;
         }

@@ -139,6 +139,7 @@ impl SegmentBuilder {
             prev = v;
         }
         for &id in &self.disk_ids {
+            // lint: allow(panic_path, reason="dict was built by sort+dedup of this very disk_ids vec two statements up, so every id is present")
             let idx = dict.binary_search(&id).expect("id came from this list");
             varint::write_u64(&mut out, idx as u64);
         }
@@ -197,6 +198,18 @@ impl SegmentBuilder {
     }
 }
 
+/// `u32::from_le_bytes` over a 4-byte subslice.
+fn le_u32(bytes: &[u8]) -> u32 {
+    // lint: allow(panic_path, reason="every caller slices an exact 4-byte range already bounds-checked against the footer/trailer layout")
+    u32::from_le_bytes(bytes.try_into().unwrap())
+}
+
+/// `u64::from_le_bytes` over an 8-byte subslice.
+fn le_u64(bytes: &[u8]) -> u64 {
+    // lint: allow(panic_path, reason="every caller slices an exact 8-byte range already bounds-checked against the footer layout")
+    u64::from_le_bytes(bytes.try_into().unwrap())
+}
+
 /// Footer fields, parsed and CRC-verified but with the body not yet
 /// decoded. `data info` stops here; full decode continues in
 /// [`Segment::decode`].
@@ -232,8 +245,8 @@ impl Footer {
             ));
         }
         let trailer = &bytes[bytes.len() - TRAILER_LEN..];
-        let footer_len = u32::from_le_bytes(trailer[0..4].try_into().unwrap()) as usize;
-        let footer_crc = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+        let footer_len = le_u32(&trailer[0..4]) as usize;
+        let footer_crc = le_u32(&trailer[4..8]);
         let footer_end = bytes.len() - TRAILER_LEN;
         let footer_start = footer_end
             .checked_sub(footer_len)
@@ -246,8 +259,8 @@ impl Footer {
         if footer.len() < 12 {
             return Err(corrupt(path, "footer too short"));
         }
-        let n_rows = u32::from_le_bytes(footer[0..4].try_into().unwrap());
-        let n_blocks = u32::from_le_bytes(footer[4..8].try_into().unwrap()) as usize;
+        let n_rows = le_u32(&footer[0..4]);
+        let n_blocks = le_u32(&footer[4..8]) as usize;
         if n_blocks != N_BLOCKS {
             return Err(corrupt(
                 path,
@@ -261,16 +274,19 @@ impl Footer {
         let mut prev = 0u64;
         for i in 0..n_blocks {
             let off = 8 + 8 * i;
-            let e = u64::from_le_bytes(footer[off..off + 8].try_into().unwrap());
+            let e = le_u64(&footer[off..off + 8]);
             if e < prev {
                 return Err(corrupt(path, "block offsets not monotone"));
             }
             prev = e;
             block_ends.push(e);
         }
-        let body_crc = u32::from_le_bytes(footer[footer.len() - 4..].try_into().unwrap());
+        let body_crc = le_u32(&footer[footer.len() - 4..]);
         let body_len = (footer_start - SEG_MAGIC.len()) as u64;
-        if *block_ends.last().unwrap() != body_len {
+        let Some(&last_end) = block_ends.last() else {
+            return Err(corrupt(path, "footer holds no block offsets"));
+        };
+        if last_end != body_len {
             return Err(corrupt(
                 path,
                 "last block offset does not match body length",
@@ -284,9 +300,11 @@ impl Footer {
         })
     }
 
-    /// Encoded byte size of block `i`.
+    /// Encoded byte size of block `i` (`i < N_BLOCKS`, which `parse`
+    /// guarantees equals `block_ends.len()`).
     pub fn block_bytes(&self, i: usize) -> u64 {
         let start = if i == 0 { 0 } else { self.block_ends[i - 1] };
+        // lint: allow(panic_path, reason="parse() rejects any footer whose block count differs from N_BLOCKS, and callers iterate i in 0..N_BLOCKS")
         self.block_ends[i] - start
     }
 }
@@ -355,6 +373,7 @@ impl Segment {
             let start = if i == 0 { 0 } else { footer.block_ends[i - 1] };
             (
                 SEG_MAGIC.len() + start as usize,
+                // lint: allow(panic_path, reason="called with i in 0..N_BLOCKS only; parse() pinned block_ends.len() to N_BLOCKS")
                 SEG_MAGIC.len() + footer.block_ends[i] as usize,
             )
         };
@@ -432,6 +451,7 @@ impl Segment {
                         if pos >= end {
                             return Err(corrupt(path, "feature delta: block exhausted"));
                         }
+                        // lint: allow(panic_path, reason="pos < end was just checked, and end is a parse()-validated block bound inside body")
                         let b = body[pos];
                         let d = if b < 0x80 {
                             pos += 1;
@@ -451,8 +471,7 @@ impl Segment {
                         if cur.pos + 4 > cur.end {
                             return Err(corrupt(path, "raw f32 column truncated"));
                         }
-                        let bits =
-                            u32::from_le_bytes(body[cur.pos..cur.pos + 4].try_into().unwrap());
+                        let bits = le_u32(&body[cur.pos..cur.pos + 4]);
                         cur.pos += 4;
                         col.push(f32::from_bits(bits));
                     }
@@ -484,8 +503,9 @@ impl Segment {
         &self.days
     }
 
-    /// One decoded feature column (all rows of feature `c`).
+    /// One decoded feature column (all rows of feature `c < N_FEATURES`).
     pub fn feature_col(&self, c: usize) -> &[f32] {
+        // lint: allow(panic_path, reason="decode() always builds exactly N_FEATURES columns; c is a schema feature index by contract")
         &self.cols[c]
     }
 
@@ -495,14 +515,18 @@ impl Segment {
         self.cols.iter().map(|c| c.as_slice()).collect()
     }
 
-    /// Materialize row `i` as a [`DiskDay`] (gathers across columns).
+    /// Materialize row `i < n_rows()` as a [`DiskDay`] (gathers across
+    /// columns).
     pub fn record(&self, i: usize) -> DiskDay {
         let mut features = [0.0f32; N_FEATURES];
         for (f, col) in features.iter_mut().zip(self.cols.iter()) {
+            // lint: allow(panic_path, reason="i < n_rows() by contract and decode() gives every column exactly n_rows entries")
             *f = col[i];
         }
         DiskDay {
+            // lint: allow(panic_path, reason="i < n_rows() == disk_ids.len() by contract")
             disk_id: self.disk_ids[i],
+            // lint: allow(panic_path, reason="i < n_rows() and decode() sizes days identically to disk_ids")
             day: self.days[i],
             features,
         }

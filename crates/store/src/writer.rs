@@ -215,6 +215,7 @@ impl StoreWriter {
         let file = format!("seg-{idx:05}.orfseg");
         let path = self.dir.join(&file);
         let mut bytes = self.builder.encode();
+        // lint: allow(panic_path, reason="the is_empty early-return above guarantees the builder holds at least one row, so day_range() is Some")
         let (first_day, last_day) = self.builder.day_range().expect("builder not empty");
         let rows = self.builder.n_rows() as u64;
 
@@ -225,6 +226,7 @@ impl StoreWriter {
                 // reader's CRCs can catch this.
                 let n = bytes.len();
                 let at = n - 1 - byte_from_end.min(n - 1);
+                // lint: allow(panic_path, reason="at = n-1-min(_, n-1) is always in 0..n, and n >= 1 because encode() of a non-empty builder emits at least the magic")
                 bytes[at] ^= xor;
                 write_atomic(&path, &bytes)?;
             }

@@ -176,6 +176,12 @@ impl FrozenForest {
     /// and every descent strictly increases `at` toward a subtree's final
     /// node, which is a leaf — so the loop terminates without running off
     /// the arrays.
+    // SAFETY: sound to *define* under the documented preconditions — every
+    // `get_unchecked` below stays in bounds because the builder pushes the
+    // three node arrays in lockstep, asserts `feature < n_features` at
+    // emit, and patches `skip` to in-pool preorder offsets, while `at`
+    // strictly increases toward a terminating leaf (see `# Safety` above
+    // for what callers must uphold).
     #[inline]
     unsafe fn score_tree(&self, start: usize, x: &[f32]) -> f32 {
         let mut at = start;
@@ -228,6 +234,10 @@ impl FrozenForest {
     /// Same node-array invariants as [`Self::score_tree`], plus
     /// `cols.len() == self.n_features` and `i < cols[f].len()` for every
     /// feature `f` (the public wrapper checks both).
+    // SAFETY: same node-array argument as `score_tree` (lockstep arrays,
+    // feature bound asserted at emit, in-pool `skip` offsets, strictly
+    // advancing `at`); the column gather additionally relies on the
+    // caller-checked `cols.len() == n_features` and `i < cols[f].len()`.
     #[inline]
     unsafe fn score_tree_columns(&self, start: usize, cols: &[&[f32]], i: usize) -> f32 {
         let mut at = start;

@@ -18,6 +18,13 @@ cargo build --release
 echo "== lint: clippy, warnings are errors =="
 cargo clippy --workspace -- -D warnings
 
+echo "== lint: orfpred invariants =="
+# Workspace-wide static pass: determinism, unsafe-audit, panic-path and
+# lock-discipline rules (DESIGN.md §12). Hard gate — on failure, each
+# diagnostic names its rule id; dig deeper with
+#   cargo run -p orfpred-analyze -- --explain <rule-id>
+cargo run -q -p orfpred-analyze --release -- --deny
+
 echo "== bench compile gate (benches must not rot, store bench included) =="
 cargo bench --no-run
 cargo bench -p orfpred-bench --bench store --no-run

@@ -63,8 +63,8 @@ impl RuleId {
             RuleId::Nondeterminism => {
                 "nondeterminism — hasher/clock/env/thread dependence in a deterministic crate\n\
                  \n\
-                 Scope: crates/core, crates/trees, crates/smart, crates/store, crates/eval\n\
-                 (non-test code). These crates back the repo's equivalence guarantees:\n\
+                 Scope: crates/core, crates/trees, crates/smart, crates/store, crates/eval,\n\
+                 crates/prep (non-test code). These crates back the repo's equivalence guarantees:\n\
                  N-shard serving == serial replay (DESIGN \u{a7}8), bit-exact store replay\n\
                  (\u{a7}11), golden-trace fault recovery (\u{a7}9). The paper's online setting\n\
                  (streaming ORF) is only auditable if the same sample stream reproduces\n\
@@ -98,9 +98,10 @@ impl RuleId {
             RuleId::PanicPath => {
                 "panic_path — implicit panics in serving/store library code\n\
                  \n\
-                 Scope: crates/serve, crates/store (non-test code). A panic in a shard\n\
-                 or writer thread kills the engine mid-stream; the store must return\n\
-                 typed StoreError/CheckpointError instead of dying on corrupt input.\n\
+                 Scope: crates/serve, crates/store, crates/prep (non-test code). A panic\n\
+                 in a shard or writer thread kills the engine mid-stream; the store and\n\
+                 the preprocessing stage must degrade gracefully on corrupt input\n\
+                 (typed StoreError/CheckpointError, repair-and-count) instead of dying.\n\
                  Flagged forms:\n\
                  \n\
                    * .unwrap() / .expect(...)\n\
@@ -199,9 +200,9 @@ pub struct Report {
 }
 
 /// Crates whose non-test code must be deterministic.
-pub const DETERMINISTIC_CRATES: [&str; 5] = ["core", "trees", "smart", "store", "eval"];
+pub const DETERMINISTIC_CRATES: [&str; 6] = ["core", "trees", "smart", "store", "eval", "prep"];
 /// Crates under the panic-path rule.
-pub const PANIC_CRATES: [&str; 2] = ["serve", "store"];
+pub const PANIC_CRATES: [&str; 3] = ["serve", "store", "prep"];
 /// Crates under the lock-discipline rule.
 pub const LOCK_CRATES: [&str; 1] = ["serve"];
 

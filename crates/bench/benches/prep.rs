@@ -1,0 +1,84 @@
+//! Preprocessing-stage benchmarks: raw throughput of the repair rules on a
+//! clean stream (the passthrough overhead every deployment pays) and on a
+//! corrupted stream (the worst case, every rule firing), plus the same
+//! comparison end-to-end through the sharded serving engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use orfpred_core::OnlinePredictorConfig;
+use orfpred_prep::{PrepConfig, Preprocessor};
+use orfpred_serve::{Engine, ServeConfig};
+use orfpred_smart::attrs::table2_feature_columns;
+use orfpred_smart::gen::{
+    corrupt_events, DirtyConfig, FleetConfig, FleetEvent, FleetSim, ScalePreset,
+};
+use std::hint::black_box;
+
+fn clean_events() -> Vec<FleetEvent> {
+    let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 11);
+    cfg.duration_days = 150;
+    FleetSim::new(&cfg).collect()
+}
+
+fn dirty_events() -> Vec<FleetEvent> {
+    corrupt_events(&clean_events(), &DirtyConfig::harsh(7))
+}
+
+fn bench_prep_stage(c: &mut Criterion) {
+    let streams = [("clean", clean_events()), ("dirty", dirty_events())];
+    let mut group = c.benchmark_group("prep_stage");
+    for (name, stream) in &streams {
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), stream, |b, stream| {
+            b.iter(|| {
+                let mut prep = Preprocessor::new(&PrepConfig::tolerant());
+                let mut out = Vec::new();
+                let mut emitted = 0usize;
+                for e in stream {
+                    out.clear();
+                    prep.observe(black_box(e), &mut out);
+                    emitted += out.len();
+                }
+                emitted
+            });
+        });
+    }
+    group.finish();
+}
+
+fn serve_cfg(prep: Option<PrepConfig>) -> ServeConfig {
+    let mut p = OnlinePredictorConfig::new(table2_feature_columns(), 5);
+    p.orf.n_trees = 10;
+    p.orf.min_parent_size = 30.0;
+    p.orf.warmup_age = 10;
+    p.orf.lambda_neg = 0.2;
+    p.prep = prep;
+    let mut cfg = ServeConfig::new(p);
+    cfg.n_shards = 2;
+    cfg
+}
+
+fn bench_serve_with_prep(c: &mut Criterion) {
+    let cases = [
+        ("clean_no_prep", clean_events(), None),
+        ("clean_prep", clean_events(), Some(PrepConfig::tolerant())),
+        ("dirty_prep", dirty_events(), Some(PrepConfig::tolerant())),
+    ];
+    let mut group = c.benchmark_group("serve_prep_ingest");
+    group.sample_size(10);
+    for (name, stream, prep) in &cases {
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), stream, |b, stream| {
+            b.iter(|| {
+                let engine = Engine::new(&serve_cfg(prep.clone()));
+                for e in stream {
+                    engine.ingest(e.clone()).unwrap();
+                }
+                engine.finish().unwrap().alarms.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prep_stage, bench_serve_with_prep);
+criterion_main!(benches);

@@ -15,6 +15,9 @@
 //! orfpred assess   (--csv fleet.csv | --store store/) [--seed N]
 //! orfpred serve    [--shards N] [--listen ADDR] [--checkpoint PATH] [--store DIR]
 //!                  [--threshold T] [--window W] [--seed N]
+//!                  [--prep] [--stuck-run K] [--recheck-days D] [--max-value X]
+//!                  [--drift-policy no-update|replace|accumulate]
+//!                  [--drift-z Z] [--drift-window W] [--drift-check-every E]
 //! ```
 //!
 //! * `simulate` writes a Backblaze-format CSV from the fleet simulator —
@@ -46,7 +49,12 @@
 //!   latest snapshot into act-now / schedule / healthy bands;
 //! * `serve` runs the sharded online serving engine on stdin/stdout (and
 //!   optionally a TCP listener) — the same daemon as the `orfpredd`
-//!   binary; see `README.md` ("Serving") for the line protocol.
+//!   binary; see `README.md` ("Serving") for the line protocol. `--prep`
+//!   arms the telemetry repair stage (imputation, range/stuck-at checks,
+//!   duplicate handling, failure re-checks; the extra knobs tune it), and
+//!   `--drift-policy` closes the loop: a detected distribution shift in
+//!   the released healthy population triggers the chosen long-term update
+//!   policy live, republishing the model through the snapshot path.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -480,10 +488,10 @@ fn assess(argv: &[String]) -> Result<(), String> {
 }
 
 fn serve(argv: &[String]) -> Result<(), String> {
-    use orfpred_core::OnlinePredictorConfig;
+    use orfpred_core::{AdaptConfig, OnlinePredictorConfig, UpdatePolicy};
     use orfpred_serve::{DaemonConfig, ServeConfig};
 
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["prep"])?;
     let mut predictor = OnlinePredictorConfig::new(
         orfpred_smart::attrs::table2_feature_columns(),
         args.parse_num("seed", 42u64)?,
@@ -491,6 +499,44 @@ fn serve(argv: &[String]) -> Result<(), String> {
     predictor.alarm_threshold = args.parse_num("threshold", predictor.alarm_threshold)?;
     predictor.window_days = args.parse_num("window", predictor.window_days)?;
     predictor.orf.n_trees = args.parse_num("trees", predictor.orf.n_trees)?;
+    // Telemetry repair stage: --prep arms the tolerant profile; any of the
+    // tuning knobs implies it.
+    if args.has("prep")
+        || args.get("stuck-run").is_some()
+        || args.get("recheck-days").is_some()
+        || args.get("max-value").is_some()
+    {
+        let mut prep = orfpred_prep::PrepConfig::tolerant();
+        prep.stuck_run = args.parse_num("stuck-run", prep.stuck_run)?;
+        prep.recheck_days = args.parse_num("recheck-days", prep.recheck_days)?;
+        if let Some(v) = args.get("max-value") {
+            prep.max_value = Some(
+                v.parse()
+                    .map_err(|_| format!("--max-value: bad value '{v}'"))?,
+            );
+        }
+        predictor.prep = Some(prep);
+    }
+    // Closed-loop adaptation: a detected shift in the released healthy
+    // population triggers the chosen long-term update policy live.
+    if let Some(name) = args.get("drift-policy") {
+        let policy = match name {
+            "no-update" => UpdatePolicy::NoUpdate,
+            "replace" => UpdatePolicy::Replace,
+            "accumulate" => UpdatePolicy::Accumulate,
+            other => {
+                return Err(format!(
+                    "--drift-policy: unknown policy '{other}' (no-update|replace|accumulate)"
+                ))
+            }
+        };
+        let mut adapt = AdaptConfig::new(policy, predictor.feature_cols.clone());
+        adapt.detector.z_threshold = args.parse_num("drift-z", adapt.detector.z_threshold)?;
+        adapt.detector.window = args.parse_num("drift-window", adapt.detector.window)?;
+        adapt.detector.check_every =
+            args.parse_num("drift-check-every", adapt.detector.check_every)?;
+        predictor.adapt = Some(adapt);
+    }
     let mut serve = ServeConfig::new(predictor);
     serve.n_shards = args.parse_num("shards", serve.n_shards)?;
     serve.queue_capacity = args.parse_num("queue-capacity", serve.queue_capacity)?;
@@ -511,6 +557,17 @@ fn serve(argv: &[String]) -> Result<(), String> {
         "serve: clean shutdown, {} alarms in stream",
         finished.alarms.len()
     );
+    let orfpred_serve::Checkpoint::Online { prep, adapt, .. } = &finished.checkpoint;
+    if let Some(p) = prep {
+        eprintln!("{}", p.counters().render());
+    }
+    if let Some(ad) = adapt {
+        eprintln!(
+            "serve: {} drift events, {} model rebuilds",
+            ad.drift_events(),
+            ad.rebuilds()
+        );
+    }
     Ok(())
 }
 

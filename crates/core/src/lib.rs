@@ -16,16 +16,23 @@
 //!   positives when the disk fails and aged out as negatives otherwise;
 //! * [`online::OnlinePredictor`] — Algorithm 2 end-to-end: labeller +
 //!   streaming min–max scaler + ORF + alarm threshold, consuming the fleet
-//!   event stream directly.
+//!   event stream directly (optionally through the `orfpred-prep`
+//!   preprocessing stage);
+//! * [`adapt::AdaptiveState`] — drift-triggered closed-loop adaptation:
+//!   a windowed detector over the released healthy population plus a
+//!   configurable long-term update policy (no-update / replace /
+//!   accumulate) that rebuilds the forest deterministically.
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod config;
 pub mod forest;
 pub mod labeller;
 pub mod online;
 pub mod tree;
 
+pub use adapt::{AdaptConfig, AdaptiveState, UpdatePolicy};
 pub use config::OrfConfig;
 pub use forest::OnlineRandomForest;
 pub use labeller::{OnlineLabeller, ReleasedSample};

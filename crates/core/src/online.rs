@@ -11,9 +11,11 @@
 //! No offline retraining ever happens — this is the paper's headline
 //! property.
 
+use crate::adapt::{AdaptConfig, AdaptiveState};
 use crate::config::OrfConfig;
 use crate::forest::OnlineRandomForest;
 use crate::labeller::OnlineLabeller;
+use orfpred_prep::{PrepConfig, Preprocessor};
 use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use orfpred_smart::scale::OnlineMinMax;
@@ -33,6 +35,13 @@ pub struct OnlinePredictorConfig {
     pub feature_cols: Vec<usize>,
     /// Seed for the forest's RNG streams.
     pub seed: u64,
+    /// Optional preprocessing stage applied to events entering through
+    /// [`OnlinePredictor::observe`] (imputation, dedup, stuck-at,
+    /// survival re-checks). `None` feeds events to the labeller verbatim.
+    pub prep: Option<PrepConfig>,
+    /// Optional drift-triggered closed-loop adaptation. `None` keeps the
+    /// paper's pure-ORF behaviour.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl OnlinePredictorConfig {
@@ -44,6 +53,8 @@ impl OnlinePredictorConfig {
             alarm_threshold: 0.5,
             feature_cols,
             seed,
+            prep: None,
+            adapt: None,
         }
     }
 }
@@ -71,6 +82,8 @@ pub struct OnlinePredictor {
     alarm_threshold: f32,
     scratch: Vec<f32>,
     alarms_raised: u64,
+    prep: Option<Preprocessor>,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl OnlinePredictor {
@@ -85,12 +98,53 @@ impl OnlinePredictor {
             alarm_threshold: cfg.alarm_threshold,
             scratch: vec![0.0; n],
             alarms_raised: 0,
+            prep: cfg.prep.as_ref().map(Preprocessor::new),
+            adaptive: cfg
+                .adapt
+                .as_ref()
+                .map(|a| AdaptiveState::new(a, n, &cfg.orf, cfg.seed)),
         }
     }
 
     /// Process one fleet event; returns an alarm if the fresh sample looks
     /// at-risk.
+    ///
+    /// This is the *raw ingest* entry point: when a preprocessing stage is
+    /// configured the event runs through it first and the pipeline sees
+    /// only what prep emits (a dropped sample never touches the labeller;
+    /// a held failure commits later). The snapshot-level APIs
+    /// ([`Self::observe_sample`], [`Self::observe_failure`]) are the
+    /// post-prep entry points and bypass the stage.
     pub fn observe(&mut self, event: &FleetEvent) -> Option<Alarm> {
+        let Some(mut prep) = self.prep.take() else {
+            return self.observe_prepped(event);
+        };
+        let mut buf = Vec::new();
+        prep.observe(event, &mut buf);
+        let mut alarm = None;
+        for ev in &buf {
+            alarm = self.observe_prepped(ev).or(alarm);
+        }
+        self.prep = Some(prep);
+        alarm
+    }
+
+    /// End of stream: flush failures still held by the preprocessing
+    /// stage's survival re-check (no-op without prep or pending holds).
+    pub fn finish(&mut self) {
+        let Some(mut prep) = self.prep.take() else {
+            return;
+        };
+        let mut buf = Vec::new();
+        prep.finish(&mut buf);
+        for ev in &buf {
+            self.observe_prepped(ev);
+        }
+        self.prep = Some(prep);
+    }
+
+    /// Dispatch one already-preprocessed event.
+    fn observe_prepped(&mut self, event: &FleetEvent) -> Option<Alarm> {
         match event {
             FleetEvent::Sample(rec) => self.observe_sample(rec),
             FleetEvent::Failure { disk_id, .. } => {
@@ -121,6 +175,7 @@ impl OnlinePredictor {
             self.scaler
                 .transform_into(&released.features, &mut self.scratch);
             self.forest.update(&self.scratch, released.positive);
+            self.adapt_on_released(&released.features, released.positive);
         }
 
         // Prediction phase on the fresh (still unlabelled) sample.
@@ -145,6 +200,22 @@ impl OnlinePredictor {
             self.scaler
                 .transform_into(&released.features, &mut self.scratch);
             self.forest.update(&self.scratch, true);
+            self.adapt_on_released(&released.features, true);
+        }
+    }
+
+    /// Feed one labeller release to the adaptation loop; on a drift event
+    /// the update policy may swap in a rebuilt forest. Must run at the
+    /// same per-release points in serial replay and in the serve engine's
+    /// writer thread, or the two diverge.
+    fn adapt_on_released(&mut self, features: &[f32], positive: bool) {
+        let Some(adaptive) = self.adaptive.as_mut() else {
+            return;
+        };
+        if adaptive.on_released(features, positive).is_some() {
+            if let Some(forest) = adaptive.rebuild(&self.scaler) {
+                self.forest = forest;
+            }
         }
     }
 
@@ -184,6 +255,16 @@ impl OnlinePredictor {
     /// Total alarms raised so far.
     pub fn alarms_raised(&self) -> u64 {
         self.alarms_raised
+    }
+
+    /// The preprocessing stage, when configured (counters / diagnostics).
+    pub fn prep(&self) -> Option<&Preprocessor> {
+        self.prep.as_ref()
+    }
+
+    /// The adaptation loop, when configured (counters / diagnostics).
+    pub fn adaptive(&self) -> Option<&AdaptiveState> {
+        self.adaptive.as_ref()
     }
 
     /// Freeze the current model state for batch scoring: the compiled

@@ -1,0 +1,649 @@
+//! Deterministic online preprocessing between ingest and the labeller.
+//!
+//! Production SMART telemetry is never as clean as a simulator stream:
+//! samples arrive with missing or implausible attribute values, collectors
+//! re-deliver old days, sensors stick and repeat the same row for weeks,
+//! and failure tickets are sometimes raised for disks that keep serving.
+//! Feeding such a stream straight into Algorithm 2's labeller poisons the
+//! W-day queues with garbage rows and flushes *wrong* positives into the
+//! online forest.
+//!
+//! [`Preprocessor`] is a small deterministic state machine that sits in
+//! front of [`orfpred_core`](../orfpred_core/index.html)'s
+//! `OnlineLabeller` on **every** ingest path — CSV replay, store replay,
+//! and the daemon wire protocol — and applies, per event, in a fixed
+//! order:
+//!
+//! 1. **survival re-check** — a `Failure` event is held for
+//!    [`PrepConfig::recheck_days`] stream days before being committed; if
+//!    the disk reports a sample while held, the failure is cancelled as a
+//!    flipped label (noisy-label tolerance for Algorithm 2 positives),
+//! 2. **duplicate / out-of-order day handling** — re-delivered or stale
+//!    days for a disk are dropped,
+//! 3. **missing / out-of-range imputation** — non-finite or implausible
+//!    attribute values are replaced by the disk's last good value
+//!    (falling back to the fleet-wide last good value, then `0.0`),
+//! 4. **stuck-at detection** — after [`PrepConfig::stuck_run`] consecutive
+//!    bit-identical rows from one disk, further repeats are dropped.
+//!
+//! Every rule keeps a counter in [`PrepCounters`], reported in the same
+//! style as `orfpred data verify`. The **default configuration is a
+//! strict no-op**: on a clean stream the output events, their order, and
+//! all downstream state are bit-identical to a pipeline without the
+//! stage. All internal state is ordered (`BTreeMap`) and serializable, so
+//! a serve-engine checkpoint can freeze and resume the stage mid-stream.
+
+#![warn(missing_docs)]
+
+use orfpred_smart::attrs::N_FEATURES;
+use orfpred_smart::gen::FleetEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration for the online preprocessing stage.
+///
+/// The default is a strict no-op: no value bounds, stuck-at detection off,
+/// survival re-check off. Clean streams pass through bit-exactly.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrepConfig {
+    /// Smallest plausible attribute value; anything below is treated as
+    /// missing and imputed. `None` leaves the low side unbounded.
+    pub min_value: Option<f32>,
+    /// Largest plausible attribute value; anything above is treated as
+    /// missing and imputed. `None` leaves the high side unbounded.
+    pub max_value: Option<f32>,
+    /// Drop a disk's sample once its full attribute row has repeated
+    /// bit-identically this many times in a row. `0` disables stuck-at
+    /// detection. `stuck_run: 3` passes the first repeat pair through and
+    /// drops from the third identical row onward.
+    pub stuck_run: u16,
+    /// Hold each `Failure` event until the stream day reaches
+    /// `failure day + recheck_days` before committing it downstream. A
+    /// sample from the held disk in the meantime cancels the failure as a
+    /// flipped label. `0` disables the re-check (failures pass through
+    /// immediately).
+    pub recheck_days: u16,
+}
+
+impl PrepConfig {
+    /// A production-shaped configuration with every rule armed: attribute
+    /// values must be non-negative, four identical rows mark a stuck
+    /// sensor, and failures are re-checked for two days. Used by the
+    /// dirty-fleet test scenarios; tune per deployment in real use.
+    pub fn tolerant() -> Self {
+        Self {
+            min_value: Some(0.0),
+            max_value: None,
+            stuck_run: 4,
+            recheck_days: 2,
+        }
+    }
+}
+
+/// Per-rule event counters, one `u64` per repair action.
+///
+/// `*_in` / `*_out` track stream totals; the difference is accounted for
+/// exactly by the drop/hold counters in between.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrepCounters {
+    /// Sample events offered to the stage.
+    pub samples_in: u64,
+    /// Sample events emitted downstream.
+    pub samples_out: u64,
+    /// Failure events offered to the stage.
+    pub failures_in: u64,
+    /// Failure events emitted downstream.
+    pub failures_out: u64,
+    /// Attribute values imputed because they were NaN or infinite.
+    pub values_imputed: u64,
+    /// Attribute values imputed because they fell outside the configured
+    /// plausibility bounds.
+    pub values_out_of_range: u64,
+    /// Samples dropped because the disk already reported that day.
+    pub duplicate_days: u64,
+    /// Samples dropped because they were older than the disk's newest day.
+    pub out_of_order_days: u64,
+    /// Samples dropped by stuck-at detection.
+    pub stuck_dropped: u64,
+    /// Failure events dropped because the disk already had one held.
+    pub duplicate_failures: u64,
+    /// Failure events held for a survival re-check.
+    pub failures_held: u64,
+    /// Held failures committed after surviving the re-check window.
+    pub failures_released: u64,
+    /// Held failures cancelled because the disk reported again.
+    pub failures_cancelled: u64,
+}
+
+impl PrepCounters {
+    /// True when any repair rule fired (imputation, drop, hold or cancel).
+    pub fn any_repairs(&self) -> bool {
+        self.values_imputed
+            + self.values_out_of_range
+            + self.duplicate_days
+            + self.out_of_order_days
+            + self.stuck_dropped
+            + self.duplicate_failures
+            + self.failures_held
+            + self.failures_cancelled
+            > 0
+    }
+
+    /// Render an `orfpred data verify`-style report block.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("prep: stream totals\n");
+        s.push_str(&format!(
+            "  samples   in {:>10}  out {:>10}\n",
+            self.samples_in, self.samples_out
+        ));
+        s.push_str(&format!(
+            "  failures  in {:>10}  out {:>10}\n",
+            self.failures_in, self.failures_out
+        ));
+        s.push_str("prep: repairs\n");
+        for (name, n) in [
+            ("values imputed (non-finite)", self.values_imputed),
+            ("values imputed (out of range)", self.values_out_of_range),
+            ("duplicate days dropped", self.duplicate_days),
+            ("out-of-order days dropped", self.out_of_order_days),
+            ("stuck-at rows dropped", self.stuck_dropped),
+            ("duplicate failures dropped", self.duplicate_failures),
+            ("failures held for re-check", self.failures_held),
+            ("failures released", self.failures_released),
+            (
+                "failures cancelled (flipped label)",
+                self.failures_cancelled,
+            ),
+        ] {
+            s.push_str(&format!("  {name:<34} {n:>10}\n"));
+        }
+        s
+    }
+}
+
+/// Per-disk preprocessing state.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct DiskPrep {
+    /// Newest day this disk has reported (after repairs).
+    last_day: u16,
+    /// The disk's last emitted (repaired) attribute row.
+    last_row: [f32; N_FEATURES],
+    /// Consecutive bit-identical repeats of `last_row` seen so far.
+    run_len: u16,
+}
+
+/// The online preprocessing stage. See the crate docs for the rule set.
+///
+/// Feed events with [`Preprocessor::observe`]; each call appends zero or
+/// more repaired events to the caller's buffer (held failures released by
+/// the advancing stream day come out *before* the sample that advanced
+/// it). Call [`Preprocessor::finish`] at end of stream to flush held
+/// failures.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Preprocessor {
+    cfg: PrepConfig,
+    /// Per-disk state, ordered for deterministic iteration and serde.
+    disks: BTreeMap<u32, DiskPrep>,
+    /// Fleet-wide last good value per column (imputation fallback for a
+    /// disk's first sample).
+    col_last: Vec<f32>,
+    /// Whether `col_last` has ever been written for the column.
+    col_seen: Vec<bool>,
+    /// Held failures: disk id → failure day.
+    pending: BTreeMap<u32, u16>,
+    /// Highest sample/failure day observed so far ("stream day").
+    watermark: u16,
+    counters: PrepCounters,
+}
+
+impl Preprocessor {
+    /// Create a stage with the given configuration.
+    pub fn new(cfg: &PrepConfig) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            disks: BTreeMap::new(),
+            col_last: vec![0.0; N_FEATURES],
+            col_seen: vec![false; N_FEATURES],
+            pending: BTreeMap::new(),
+            watermark: 0,
+            counters: PrepCounters::default(),
+        }
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &PrepConfig {
+        &self.cfg
+    }
+
+    /// Per-rule counters accumulated so far.
+    pub fn counters(&self) -> &PrepCounters {
+        &self.counters
+    }
+
+    /// Number of failures currently held for a survival re-check.
+    pub fn n_pending_failures(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Process one raw event, appending the resulting downstream events to
+    /// `out` (possibly none). Held failures whose re-check window expired
+    /// are released first, in `(day, disk_id)` order.
+    pub fn observe(&mut self, event: &FleetEvent, out: &mut Vec<FleetEvent>) {
+        match event {
+            FleetEvent::Sample(dd) => self.observe_sample(dd, out),
+            FleetEvent::Failure { disk_id, day } => self.observe_failure(*disk_id, *day, out),
+        }
+    }
+
+    /// Flush every held failure (end of stream), in `(day, disk_id)` order.
+    pub fn finish(&mut self, out: &mut Vec<FleetEvent>) {
+        self.watermark = u16::MAX;
+        self.release_due(out);
+    }
+
+    fn observe_sample(&mut self, dd: &orfpred_smart::record::DiskDay, out: &mut Vec<FleetEvent>) {
+        self.counters.samples_in += 1;
+
+        // The disk is evidently alive: cancel a held failure before the
+        // day-advance releases anything.
+        if self.pending.remove(&dd.disk_id).is_some() {
+            self.counters.failures_cancelled += 1;
+        }
+        self.watermark = self.watermark.max(dd.day);
+        self.release_due(out);
+
+        let prev = self.disks.get(&dd.disk_id).copied();
+        if let Some(st) = prev {
+            if dd.day == st.last_day {
+                self.counters.duplicate_days += 1;
+                return;
+            }
+            if dd.day < st.last_day {
+                self.counters.out_of_order_days += 1;
+                return;
+            }
+        }
+
+        let mut repaired = dd.clone();
+        self.repair_row(&mut repaired.features, prev.as_ref());
+
+        // Stuck-at: count consecutive bit-identical repaired rows.
+        let mut run_len = 0;
+        if let Some(st) = prev {
+            if rows_identical(&st.last_row, &repaired.features) {
+                run_len = st.run_len.saturating_add(1);
+            }
+        }
+        self.disks.insert(
+            dd.disk_id,
+            DiskPrep {
+                last_day: repaired.day,
+                last_row: repaired.features,
+                run_len,
+            },
+        );
+        if self.cfg.stuck_run > 0 && run_len >= self.cfg.stuck_run {
+            self.counters.stuck_dropped += 1;
+            return;
+        }
+
+        for (last, (seen, v)) in self
+            .col_last
+            .iter_mut()
+            .zip(self.col_seen.iter_mut().zip(repaired.features.iter()))
+        {
+            *last = *v;
+            *seen = true;
+        }
+        self.counters.samples_out += 1;
+        out.push(FleetEvent::Sample(repaired));
+    }
+
+    fn observe_failure(&mut self, disk_id: u32, day: u16, out: &mut Vec<FleetEvent>) {
+        self.counters.failures_in += 1;
+        self.watermark = self.watermark.max(day);
+        self.release_due(out);
+
+        if self.pending.contains_key(&disk_id) {
+            self.counters.duplicate_failures += 1;
+            return;
+        }
+        if self.cfg.recheck_days == 0 {
+            self.counters.failures_out += 1;
+            out.push(FleetEvent::Failure { disk_id, day });
+        } else {
+            self.counters.failures_held += 1;
+            self.pending.insert(disk_id, day);
+        }
+    }
+
+    /// Release held failures whose re-check window has expired, ordered by
+    /// `(day, disk_id)` so the output is independent of arrival order.
+    fn release_due(&mut self, out: &mut Vec<FleetEvent>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let horizon = u32::from(self.watermark);
+        let mut due: Vec<(u16, u32)> = self
+            .pending
+            .iter()
+            .filter(|&(_, &day)| u32::from(day) + u32::from(self.cfg.recheck_days) <= horizon)
+            .map(|(&disk, &day)| (day, disk))
+            .collect();
+        due.sort_unstable();
+        for (day, disk_id) in due {
+            self.pending.remove(&disk_id);
+            self.counters.failures_released += 1;
+            self.counters.failures_out += 1;
+            out.push(FleetEvent::Failure { disk_id, day });
+        }
+    }
+
+    /// Impute non-finite and out-of-range values in place: the disk's last
+    /// good value, else the fleet-wide last good value, else `0.0`.
+    fn repair_row(&mut self, row: &mut [f32; N_FEATURES], prev: Option<&DiskPrep>) {
+        for (c, v) in row.iter_mut().enumerate() {
+            let bad = if !v.is_finite() {
+                self.counters.values_imputed += 1;
+                true
+            } else if self.cfg.min_value.is_some_and(|lo| *v < lo)
+                || self.cfg.max_value.is_some_and(|hi| *v > hi)
+            {
+                self.counters.values_out_of_range += 1;
+                true
+            } else {
+                false
+            };
+            if bad {
+                *v = prev
+                    .map(|st| st.last_row)
+                    .as_ref()
+                    .and_then(|r| r.get(c))
+                    .copied()
+                    .or_else(|| {
+                        if self.col_seen.get(c).copied().unwrap_or(false) {
+                            self.col_last.get(c).copied()
+                        } else {
+                            None
+                        }
+                    })
+                    .unwrap_or(0.0);
+            }
+        }
+    }
+}
+
+/// Bitwise row equality — NaN-free by construction (rows are repaired
+/// before they are stored), but bit comparison keeps it total anyway.
+fn rows_identical(a: &[f32; N_FEATURES], b: &[f32; N_FEATURES]) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orfpred_smart::record::DiskDay;
+
+    fn sample(disk_id: u32, day: u16, fill: f32) -> FleetEvent {
+        FleetEvent::Sample(DiskDay {
+            disk_id,
+            day,
+            features: [fill; N_FEATURES],
+        })
+    }
+
+    fn run(prep: &mut Preprocessor, events: &[FleetEvent]) -> Vec<FleetEvent> {
+        let mut out = Vec::new();
+        for e in events {
+            prep.observe(e, &mut out);
+        }
+        out
+    }
+
+    fn fmt(events: &[FleetEvent]) -> Vec<String> {
+        events.iter().map(|e| format!("{e:?}")).collect()
+    }
+
+    #[test]
+    fn default_config_is_a_bit_exact_passthrough() {
+        let events = vec![
+            sample(1, 0, 5.0),
+            sample(2, 0, 7.0),
+            sample(1, 1, 5.0), // identical row repeat: fine with stuck_run=0
+            FleetEvent::Failure { disk_id: 2, day: 1 },
+            sample(1, 2, 9.0),
+        ];
+        let mut prep = Preprocessor::new(&PrepConfig::default());
+        let out = run(&mut prep, &events);
+        assert_eq!(fmt(&out), fmt(&events));
+        assert!(!prep.counters().any_repairs());
+        assert_eq!(prep.counters().samples_in, 4);
+        assert_eq!(prep.counters().samples_out, 4);
+        assert_eq!(prep.counters().failures_in, 1);
+        assert_eq!(prep.counters().failures_out, 1);
+        let mut tail = Vec::new();
+        prep.finish(&mut tail);
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_days_are_dropped() {
+        let events = vec![
+            sample(1, 3, 1.0),
+            sample(1, 3, 2.0), // duplicate day
+            sample(1, 2, 3.0), // out of order
+            sample(1, 4, 4.0),
+        ];
+        let mut prep = Preprocessor::new(&PrepConfig::default());
+        let out = run(&mut prep, &events);
+        assert_eq!(fmt(&out), fmt(&[sample(1, 3, 1.0), sample(1, 4, 4.0)]));
+        assert_eq!(prep.counters().duplicate_days, 1);
+        assert_eq!(prep.counters().out_of_order_days, 1);
+    }
+
+    #[test]
+    fn non_finite_values_are_imputed_from_history() {
+        let mut first = DiskDay {
+            disk_id: 1,
+            day: 0,
+            features: [2.0; N_FEATURES],
+        };
+        first.features[3] = f32::NAN; // no history at all → 0.0
+        let mut second = DiskDay {
+            disk_id: 1,
+            day: 1,
+            features: [4.0; N_FEATURES],
+        };
+        second.features[5] = f32::INFINITY; // disk history → 2.0
+
+        let mut prep = Preprocessor::new(&PrepConfig::default());
+        let out = run(
+            &mut prep,
+            &[FleetEvent::Sample(first), FleetEvent::Sample(second)],
+        );
+        let rows: Vec<[f32; N_FEATURES]> = out
+            .iter()
+            .map(|e| match e {
+                FleetEvent::Sample(dd) => dd.features,
+                _ => panic!("expected samples"),
+            })
+            .collect();
+        assert_eq!(rows[0][3], 0.0);
+        assert_eq!(rows[1][5], 2.0);
+        assert_eq!(prep.counters().values_imputed, 2);
+    }
+
+    #[test]
+    fn fleet_wide_fallback_covers_a_new_disks_first_sample() {
+        let mut bad = DiskDay {
+            disk_id: 9,
+            day: 1,
+            features: [1.0; N_FEATURES],
+        };
+        bad.features[0] = f32::NAN;
+        let mut prep = Preprocessor::new(&PrepConfig::default());
+        let out = run(&mut prep, &[sample(1, 0, 6.0), FleetEvent::Sample(bad)]);
+        match &out[1] {
+            FleetEvent::Sample(dd) => assert_eq!(dd.features[0], 6.0),
+            other => panic!("expected sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_imputed_under_bounds() {
+        let cfg = PrepConfig {
+            min_value: Some(0.0),
+            max_value: Some(100.0),
+            ..PrepConfig::default()
+        };
+        let mut dd = DiskDay {
+            disk_id: 1,
+            day: 1,
+            features: [50.0; N_FEATURES],
+        };
+        dd.features[2] = -3.0;
+        dd.features[4] = 1e9;
+        let mut prep = Preprocessor::new(&cfg);
+        let out = run(&mut prep, &[sample(1, 0, 40.0), FleetEvent::Sample(dd)]);
+        match &out[1] {
+            FleetEvent::Sample(dd) => {
+                assert_eq!(dd.features[2], 40.0);
+                assert_eq!(dd.features[4], 40.0);
+            }
+            other => panic!("expected sample, got {other:?}"),
+        }
+        assert_eq!(prep.counters().values_out_of_range, 2);
+        assert_eq!(prep.counters().values_imputed, 0);
+    }
+
+    #[test]
+    fn stuck_sensor_rows_are_dropped_after_the_run_threshold() {
+        let cfg = PrepConfig {
+            stuck_run: 2,
+            ..PrepConfig::default()
+        };
+        let mut prep = Preprocessor::new(&cfg);
+        let events: Vec<FleetEvent> = (0..6).map(|d| sample(1, d, 3.0)).collect();
+        let out = run(&mut prep, &events);
+        // day 0 fresh, day 1 first repeat (run 1 < 2) passes, days 2-5 dropped.
+        assert_eq!(out.len(), 2);
+        assert_eq!(prep.counters().stuck_dropped, 4);
+        // A changed row resets the run.
+        let mut out2 = Vec::new();
+        prep.observe(&sample(1, 6, 4.0), &mut out2);
+        assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn survival_recheck_holds_releases_and_cancels_failures() {
+        let cfg = PrepConfig {
+            recheck_days: 2,
+            ..PrepConfig::default()
+        };
+        let mut prep = Preprocessor::new(&cfg);
+        let mut out = Vec::new();
+
+        // Disk 1 fails on day 5; the failure is held.
+        prep.observe(&FleetEvent::Failure { disk_id: 1, day: 5 }, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(prep.n_pending_failures(), 1);
+
+        // Disk 2 keeps the stream moving; day 7 reaches the horizon and
+        // the held failure is released *before* the sample.
+        prep.observe(&sample(2, 6, 1.0), &mut out);
+        assert_eq!(out.len(), 1);
+        prep.observe(&sample(2, 7, 1.0), &mut out);
+        assert_eq!(
+            fmt(&out[1..]),
+            fmt(&[
+                FleetEvent::Failure { disk_id: 1, day: 5 },
+                sample(2, 7, 1.0)
+            ])
+        );
+        assert_eq!(prep.counters().failures_released, 1);
+
+        // Disk 2 "fails", then reports again before the horizon: cancelled.
+        prep.observe(&FleetEvent::Failure { disk_id: 2, day: 8 }, &mut out);
+        prep.observe(&sample(2, 9, 1.0), &mut out);
+        assert_eq!(prep.counters().failures_cancelled, 1);
+        assert_eq!(prep.n_pending_failures(), 0);
+
+        // A held duplicate failure is dropped.
+        prep.observe(&FleetEvent::Failure { disk_id: 3, day: 9 }, &mut out);
+        prep.observe(&FleetEvent::Failure { disk_id: 3, day: 9 }, &mut out);
+        assert_eq!(prep.counters().duplicate_failures, 1);
+
+        // finish() flushes whatever is still held.
+        let mut tail = Vec::new();
+        prep.finish(&mut tail);
+        assert_eq!(
+            fmt(&tail),
+            fmt(&[FleetEvent::Failure { disk_id: 3, day: 9 }])
+        );
+    }
+
+    #[test]
+    fn released_failures_come_out_in_day_then_disk_order() {
+        let cfg = PrepConfig {
+            recheck_days: 1,
+            ..PrepConfig::default()
+        };
+        let mut prep = Preprocessor::new(&cfg);
+        let mut out = Vec::new();
+        prep.observe(&FleetEvent::Failure { disk_id: 7, day: 3 }, &mut out);
+        prep.observe(&FleetEvent::Failure { disk_id: 2, day: 3 }, &mut out);
+        prep.observe(&FleetEvent::Failure { disk_id: 5, day: 2 }, &mut out);
+        assert!(out.is_empty());
+        prep.observe(&sample(9, 10, 1.0), &mut out);
+        assert_eq!(
+            fmt(&out),
+            fmt(&[
+                FleetEvent::Failure { disk_id: 5, day: 2 },
+                FleetEvent::Failure { disk_id: 2, day: 3 },
+                FleetEvent::Failure { disk_id: 7, day: 3 },
+                sample(9, 10, 1.0),
+            ])
+        );
+    }
+
+    #[test]
+    fn state_survives_a_serde_roundtrip() {
+        let mut prep = Preprocessor::new(&PrepConfig::tolerant());
+        let mut out = Vec::new();
+        prep.observe(&sample(1, 0, 5.0), &mut out);
+        prep.observe(&FleetEvent::Failure { disk_id: 1, day: 1 }, &mut out);
+        prep.observe(&sample(2, 1, 6.0), &mut out);
+
+        let json = serde_json::to_string(&prep).expect("serialize");
+        let mut restored: Preprocessor = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(restored.counters(), prep.counters());
+        assert_eq!(restored.n_pending_failures(), prep.n_pending_failures());
+
+        // Both copies must agree on the rest of the stream.
+        let more = [sample(2, 5, 6.5), sample(3, 6, 7.0)];
+        let a = run(&mut prep, &more);
+        let b = run(&mut restored, &more);
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+
+    #[test]
+    fn report_renders_every_rule_line() {
+        let prep = Preprocessor::new(&PrepConfig::default());
+        let report = prep.counters().render();
+        for needle in [
+            "samples",
+            "failures",
+            "values imputed",
+            "duplicate days",
+            "out-of-order days",
+            "stuck-at rows",
+            "failures held",
+            "failures cancelled",
+        ] {
+            assert!(report.contains(needle), "missing `{needle}` in:\n{report}");
+        }
+    }
+}

@@ -16,7 +16,8 @@
 //! exercises the torn-write path end to end).
 
 use crate::fault::{CheckpointFault, FaultInjector, NoFaults};
-use orfpred_core::{OnlineLabeller, OnlineRandomForest};
+use orfpred_core::{AdaptiveState, OnlineLabeller, OnlineRandomForest};
+use orfpred_prep::Preprocessor;
 use orfpred_smart::scale::OnlineMinMax;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
@@ -107,8 +108,18 @@ pub enum Checkpoint {
         /// it also counts checkpoint/shutdown barriers — and the telemetry
         /// store's catch-up replay needs the exact number of *events* to
         /// skip (`daemon`'s `catchup_store`). `None` on older files:
-        /// catch-up then replays from the beginning.
+        /// catch-up then replays from the beginning. With a preprocessing
+        /// stage enabled this counts *raw* events offered to `ingest`
+        /// (before repair/drop/hold), matching what the store replays.
         events_ingested: Option<u64>,
+        /// Ingest-side preprocessing state (imputation memory, held
+        /// failures, repair counters). `None` on older files or when the
+        /// engine runs without a prep stage.
+        prep: Option<Preprocessor>,
+        /// Drift-adaptation loop state (detector windows, labelled-history
+        /// buffers, rebuild bookkeeping). `None` on older files or when the
+        /// engine runs without adaptation.
+        adapt: Option<AdaptiveState>,
     },
 }
 
@@ -265,6 +276,8 @@ mod tests {
             alarms_raised: Some(5),
             next_seq: Some(42),
             events_ingested: Some(41),
+            prep: Some(Preprocessor::new(&orfpred_prep::PrepConfig::tolerant())),
+            adapt: None,
         }
     }
 
@@ -352,6 +365,8 @@ mod tests {
             alarms_raised: None,
             next_seq: None,
             events_ingested: None,
+            prep: None,
+            adapt: None,
         };
         let err = bad.validate().unwrap_err();
         assert!(err.contains("forest expects"), "got: {err}");
@@ -376,6 +391,8 @@ mod tests {
             alarms_raised: None,
             next_seq: None,
             events_ingested: None,
+            prep: None,
+            adapt: None,
         };
         assert!(bad.validate().unwrap_err().contains("newer"));
     }

@@ -114,7 +114,7 @@ fn handle(engine: &Engine, req: Request, default_ckpt: Option<&PathBuf>) -> Vec<
         Request::Score { features } => vec![Response::Score {
             score: engine.score(&features_48(&features)),
         }],
-        Request::Stats => vec![Response::Stats(engine.stats())],
+        Request::Stats => vec![Response::Stats(Box::new(engine.stats()))],
         Request::Checkpoint { path } => {
             let target = path.map(PathBuf::from).or_else(|| default_ckpt.cloned());
             match target {

@@ -48,8 +48,9 @@ use crate::fault::{FaultInjector, NoFaults};
 use crate::stats::{ServeStats, StatsReport};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use orfpred_core::{
-    Alarm, OnlineLabeller, OnlinePredictorConfig, OnlineRandomForest, ReleasedSample,
+    AdaptiveState, Alarm, OnlineLabeller, OnlinePredictorConfig, OnlineRandomForest, ReleasedSample,
 };
+use orfpred_prep::Preprocessor;
 use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use orfpred_smart::scale::OnlineMinMax;
@@ -215,18 +216,32 @@ impl Ord for BySeq {
     }
 }
 
-/// A pending `checkpoint` call: target path plus the caller's wakeup.
+/// A pending `checkpoint` call: target path, the caller's wakeup, and the
+/// ingest-side state captured under the ingest lock at the barrier (the
+/// writer owns everything else the checkpoint needs).
 struct CheckpointRequest {
     path: PathBuf,
     done: std::sync::mpsc::SyncSender<Result<(), String>>,
+    /// Raw events offered to `ingest` before the barrier — the store
+    /// catch-up cursor (pre-prep, so it matches what the store replays).
+    raw_events: u64,
+    /// Preprocessing state at the barrier.
+    prep: Option<Preprocessor>,
 }
 
 /// Mutable ingest-side state, serialized by one mutex so sequence stamping
 /// and channel sends stay atomic (per-disk FIFO order is what the
-/// determinism argument rests on).
+/// determinism argument rests on). The preprocessing stage lives here too:
+/// it must see raw events in arrival order, before sharding.
 struct IngestState {
     next_seq: u64,
     txs: Option<Vec<Sender<ShardMsg>>>,
+    /// Raw events offered to `ingest` (pre-prep); the checkpoint cursor.
+    raw_events: u64,
+    /// Optional repair/hold stage between the raw stream and the shards.
+    prep: Option<Preprocessor>,
+    /// Reusable scratch buffer for prep output (0..n events per raw one).
+    prep_buf: Vec<FleetEvent>,
 }
 
 /// The sharded serving engine. All methods take `&self`; the engine is
@@ -252,7 +267,7 @@ struct WriterFinal {
     alarms: Vec<Alarm>,
     alarms_raised: u64,
     next_seq: u64,
-    events_ingested: u64,
+    adaptive: Option<AdaptiveState>,
 }
 
 impl Engine {
@@ -273,41 +288,71 @@ impl Engine {
         assert!(cfg.n_shards > 0, "need at least one shard");
         assert!(cfg.queue_capacity > 0, "need a positive queue capacity");
         let p = &cfg.predictor;
-        let (scaler, forest, labeller, threshold, alarms_raised, start_seq, events_ingested) =
-            match from {
-                None => (
-                    OnlineMinMax::new_log1p(&p.feature_cols),
-                    OnlineRandomForest::new(p.feature_cols.len(), p.orf.clone(), p.seed),
-                    OnlineLabeller::new(p.window_days),
-                    p.alarm_threshold,
-                    0,
-                    0,
-                    0,
-                ),
-                Some(Checkpoint::Online {
-                    scaler,
-                    forest,
-                    labeller,
-                    alarm_threshold,
-                    alarms_raised,
-                    next_seq,
-                    events_ingested,
-                    version: _,
-                }) => (
-                    scaler,
-                    forest,
-                    labeller.unwrap_or_else(|| OnlineLabeller::new(p.window_days)),
-                    alarm_threshold.unwrap_or(p.alarm_threshold),
-                    alarms_raised.unwrap_or(0),
-                    next_seq.unwrap_or(0),
-                    events_ingested.unwrap_or(0),
-                ),
-            };
+        // A fresh engine (or an older checkpoint without the fields) builds
+        // the prep stage and adaptation loop from the predictor config; a
+        // checkpoint that carries them resumes their exact state.
+        let fresh_prep = || p.prep.as_ref().map(Preprocessor::new);
+        let fresh_adapt = || {
+            p.adapt
+                .as_ref()
+                .map(|a| AdaptiveState::new(a, p.feature_cols.len(), &p.orf, p.seed))
+        };
+        let (
+            scaler,
+            forest,
+            labeller,
+            threshold,
+            alarms_raised,
+            start_seq,
+            raw_events,
+            prep,
+            adaptive,
+        ) = match from {
+            None => (
+                OnlineMinMax::new_log1p(&p.feature_cols),
+                OnlineRandomForest::new(p.feature_cols.len(), p.orf.clone(), p.seed),
+                OnlineLabeller::new(p.window_days),
+                p.alarm_threshold,
+                0,
+                0,
+                0,
+                fresh_prep(),
+                fresh_adapt(),
+            ),
+            Some(Checkpoint::Online {
+                scaler,
+                forest,
+                labeller,
+                alarm_threshold,
+                alarms_raised,
+                next_seq,
+                events_ingested,
+                prep,
+                adapt,
+                version: _,
+            }) => (
+                scaler,
+                forest,
+                labeller.unwrap_or_else(|| OnlineLabeller::new(p.window_days)),
+                alarm_threshold.unwrap_or(p.alarm_threshold),
+                alarms_raised.unwrap_or(0),
+                next_seq.unwrap_or(0),
+                events_ingested.unwrap_or(0),
+                prep.or_else(fresh_prep),
+                adapt.or_else(fresh_adapt),
+            ),
+        };
 
         let n = cfg.n_shards;
         let stats = Arc::new(ServeStats::new(n));
         stats.events_issued.store(start_seq, Ordering::Relaxed);
         stats.events_applied.store(start_seq, Ordering::Relaxed);
+        if let Some(ad) = &adaptive {
+            stats
+                .drift_events
+                .store(ad.drift_events(), Ordering::Relaxed);
+            stats.model_rebuilds.store(ad.rebuilds(), Ordering::Relaxed);
+        }
         let snapshot = Arc::new(EpochCell::new(Arc::new(ModelSnapshot {
             scaler: scaler.clone(),
             forest: forest.freeze(),
@@ -349,7 +394,7 @@ impl Engine {
             alarms_raised,
             n_shards: n,
             snapshot_every: cfg.snapshot_every.max(1),
-            events_ingested,
+            adaptive,
             stats: Arc::clone(&stats),
             snapshot: Arc::clone(&snapshot),
             fresh_alarms: Arc::clone(&fresh_alarms),
@@ -366,6 +411,9 @@ impl Engine {
             ingest: Mutex::new(IngestState {
                 next_seq: start_seq,
                 txs: Some(txs),
+                raw_events,
+                prep,
+                prep_buf: Vec::new(),
             }),
             stats,
             snapshot,
@@ -382,15 +430,54 @@ impl Engine {
         self.n_shards
     }
 
-    /// Feed one stream event. Blocks when the target shard's queue is full
-    /// (backpressure) and returns an error after shutdown.
+    /// Feed one raw stream event. The optional preprocessing stage runs
+    /// here, under the ingest lock, before sequence stamping: one raw event
+    /// becomes 0 (dropped / held) or more (held failures released) stamped
+    /// events. Blocks when the target shard's queue is full (backpressure)
+    /// and returns an error after shutdown.
     pub fn ingest(&self, event: FleetEvent) -> Result<(), ServeError> {
-        // lint: allow(lock_discipline, reason="stamping seq and enqueueing to the shard must be one atomic step: two ingests racing between stamp and send could invert per-disk order and break the N-shard == serial determinism argument (DESIGN §8)")
+        // Preprocessing, stamping seqs and enqueueing to the shards must be
+        // one atomic step: two ingests racing between stamp and send could
+        // invert per-disk order and break the N-shard == serial determinism
+        // argument (DESIGN §8). The sends under this lock live in
+        // `send_prepped`, which carries the lock_discipline justification.
         let mut st = self.ingest.lock();
+        if st.txs.is_none() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let is_sample = matches!(&event, FleetEvent::Sample(_));
+        let mut buf = std::mem::take(&mut st.prep_buf);
+        buf.clear();
+        match st.prep.as_mut() {
+            Some(prep) => prep.observe(&event, &mut buf),
+            None => buf.push(event),
+        }
+        // Raw-side accounting happens even when prep swallows the event:
+        // the checkpoint cursor must match what the telemetry store holds.
+        st.raw_events += 1;
+        if is_sample {
+            self.stats.samples_ingested.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.failures_ingested.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut result = Ok(());
+        for ev in buf.drain(..) {
+            if let Err(e) = self.send_prepped(&mut st, ev) {
+                result = Err(e);
+                break;
+            }
+        }
+        st.prep_buf = buf;
+        result
+    }
+
+    /// Stamp one prepped event with the next global sequence number and
+    /// enqueue it to its shard. Callers hold the ingest lock.
+    fn send_prepped(&self, st: &mut IngestState, event: FleetEvent) -> Result<(), ServeError> {
         let seq = st.next_seq;
-        let (shard, is_sample) = match &event {
-            FleetEvent::Sample(rec) => (shard_of(rec.disk_id, self.n_shards), true),
-            FleetEvent::Failure { disk_id, .. } => (shard_of(*disk_id, self.n_shards), false),
+        let shard = match &event {
+            FleetEvent::Sample(rec) => shard_of(rec.disk_id, self.n_shards),
+            FleetEvent::Failure { disk_id, .. } => shard_of(*disk_id, self.n_shards),
         };
         let txs = st.txs.as_ref().ok_or(ServeError::ShuttingDown)?;
         // lint: allow(panic_path, reason="shard < n_shards: shard_of reduces mod n_shards; stats and txs both have n_shards entries")
@@ -407,11 +494,6 @@ impl Engine {
         self.stats
             .events_issued
             .store(st.next_seq, Ordering::Relaxed);
-        if is_sample {
-            self.stats.samples_ingested.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.stats.failures_ingested.fetch_add(1, Ordering::Relaxed);
-        }
         Ok(())
     }
 
@@ -431,9 +513,17 @@ impl Engine {
         self.snapshot.load()
     }
 
-    /// Point-in-time serving counters.
+    /// Point-in-time serving counters (including the prep stage's repair
+    /// counters when one is configured).
     pub fn stats(&self) -> StatsReport {
-        self.stats.report()
+        let mut report = self.stats.report();
+        report.prep = self
+            .ingest
+            .lock()
+            .prep
+            .as_ref()
+            .map(|p| p.counters().clone());
+        report
     }
 
     /// Drain alarms raised since the last call (in stream order).
@@ -466,6 +556,8 @@ impl Engine {
             self.checkpoints.lock().push_back(CheckpointRequest {
                 path: path.to_path_buf(),
                 done: done_tx,
+                raw_events: st.raw_events,
+                prep: st.prep.clone(),
             });
             for tx in txs {
                 tx.send(ShardMsg::Checkpoint(seq))
@@ -485,9 +577,29 @@ impl Engine {
     /// collected alarms plus the final state (the same state `checkpoint`
     /// would have written). Subsequent calls return `ShuttingDown`.
     pub fn finish(&self) -> Result<Finished, ServeError> {
-        {
-            // lint: allow(lock_discipline, reason="the shutdown barrier must reach every shard at one seq with no ingest interleaved (same atomicity as ingest); sends are non-blocking best-effort to draining queues")
+        let (raw_events, final_prep) = {
+            // The shutdown barrier must reach every shard at one seq with no
+            // ingest interleaved (same atomicity as `ingest`); the sends
+            // under this lock go through `send_prepped`, which carries the
+            // lock_discipline justification.
             let mut st = self.ingest.lock();
+            if st.txs.is_none() {
+                return Err(ServeError::ShuttingDown);
+            }
+            // End-of-stream for the prep stage: failures still held for
+            // their survival re-check enter the stream now, before the
+            // shutdown barrier — exactly like `OnlinePredictor::finish`.
+            let mut buf = std::mem::take(&mut st.prep_buf);
+            buf.clear();
+            if let Some(prep) = st.prep.as_mut() {
+                prep.finish(&mut buf);
+            }
+            for ev in buf.drain(..) {
+                // A dead shard is noticed at join time, like the barrier
+                // sends below.
+                let _ = self.send_prepped(&mut st, ev);
+            }
+            st.prep_buf = buf;
             let txs = st.txs.take().ok_or(ServeError::ShuttingDown)?;
             let seq = st.next_seq;
             for tx in &txs {
@@ -498,8 +610,9 @@ impl Engine {
             self.stats
                 .events_issued
                 .store(st.next_seq, Ordering::Relaxed);
+            (st.raw_events, st.prep.clone())
             // txs drop here: shard channels close once drained.
-        }
+        };
         let mut panicked = false;
         for h in self.shard_handles.lock().drain(..) {
             panicked |= h.join().is_err();
@@ -523,7 +636,9 @@ impl Engine {
                 alarm_threshold: Some(fin.alarm_threshold),
                 alarms_raised: Some(fin.alarms_raised),
                 next_seq: Some(fin.next_seq),
-                events_ingested: Some(fin.events_ingested),
+                events_ingested: Some(raw_events),
+                prep: final_prep,
+                adapt: fin.adaptive,
             },
         })
     }
@@ -643,9 +758,10 @@ struct WriterThread {
     alarms_raised: u64,
     n_shards: usize,
     snapshot_every: u64,
-    /// Samples + failures applied (barriers excluded) — the store
-    /// catch-up cursor persisted in every checkpoint.
-    events_ingested: u64,
+    /// Drift-triggered adaptation loop; `None` runs the writer exactly as
+    /// before. The writer owns it because rebuilds swap the forest —
+    /// mirroring the serial predictor's hook point keeps N-shard == serial.
+    adaptive: Option<AdaptiveState>,
     stats: Arc<ServeStats>,
     snapshot: Arc<EpochCell<ModelSnapshot>>,
     fresh_alarms: Arc<Mutex<Vec<Alarm>>>,
@@ -672,13 +788,15 @@ impl WriterThread {
             // lint: allow(panic_path, reason="the pull loop above only exits with the heap head at next_seq, so pop() is Some")
             match heap.pop().expect("peeked").0 {
                 WriterMsg::Sample { rec, released, .. } => {
-                    self.events_ingested += 1;
                     // Exactly OnlinePredictor::observe_sample's order:
-                    // widen scaler → train on released → score fresh row.
+                    // widen scaler → train on released (adaptation hook
+                    // after the forest update, so a rebuild is visible to
+                    // this event's own score) → score fresh row.
                     self.scaler.update(&rec.features);
                     if let Some(rel) = released {
                         self.scaler.transform_into(&rel.features, &mut scratch);
                         self.forest.update(&scratch, rel.positive);
+                        self.adapt_released(&rel.features, rel.positive);
                     }
                     let t0 = Instant::now();
                     self.scaler.transform_into(&rec.features, &mut scratch);
@@ -701,10 +819,10 @@ impl WriterThread {
                     }
                 }
                 WriterMsg::Failure { flushed, .. } => {
-                    self.events_ingested += 1;
                     for rel in flushed {
                         self.scaler.transform_into(&rel.features, &mut scratch);
                         self.forest.update(&scratch, true);
+                        self.adapt_released(&rel.features, true);
                     }
                 }
                 WriterMsg::Marker {
@@ -733,8 +851,25 @@ impl WriterThread {
             alarms,
             alarms_raised: self.alarms_raised,
             next_seq: self.next_seq,
-            events_ingested: self.events_ingested,
+            adaptive: self.adaptive,
         }
+    }
+
+    /// Feed one released training sample (raw features + final label) to
+    /// the adaptation loop; on a declared shift, run the update policy and
+    /// publish the rebuilt model immediately so the lock-free scoring path
+    /// sees it without waiting for the next scheduled snapshot.
+    fn adapt_released(&mut self, features: &[f32], positive: bool) {
+        let Some(adaptive) = self.adaptive.as_mut() else {
+            return;
+        };
+        if adaptive.on_released(features, positive).is_none() {
+            return;
+        }
+        if let Some(forest) = adaptive.rebuild(&self.scaler) {
+            self.forest = forest;
+        }
+        self.publish();
     }
 
     /// One barrier message per shard arrives with the same sequence number;
@@ -780,7 +915,9 @@ impl WriterThread {
             alarm_threshold: Some(self.alarm_threshold),
             alarms_raised: Some(self.alarms_raised),
             next_seq: Some(self.next_seq + 1),
-            events_ingested: Some(self.events_ingested),
+            events_ingested: Some(req.raw_events),
+            prep: req.prep,
+            adapt: self.adaptive.clone(),
         };
         let result = ck
             .save_atomic_faulted(&req.path, &*self.injector)
@@ -813,6 +950,14 @@ impl WriterThread {
         self.stats
             .trees_replaced
             .store(self.forest.trees_replaced(), Ordering::Relaxed);
+        if let Some(ad) = &self.adaptive {
+            self.stats
+                .drift_events
+                .store(ad.drift_events(), Ordering::Relaxed);
+            self.stats
+                .model_rebuilds
+                .store(ad.rebuilds(), Ordering::Relaxed);
+        }
         self.stats
             .snapshots_published
             .fetch_add(1, Ordering::Relaxed);

@@ -179,8 +179,9 @@ pub enum Response {
         /// Ensemble vote of the latest snapshot.
         score: f32,
     },
-    /// Answer to a `stats` request.
-    Stats(StatsReport),
+    /// Answer to a `stats` request (boxed: the report dwarfs every other
+    /// variant now that it carries the prep counters).
+    Stats(Box<StatsReport>),
     /// Generic acknowledgement (`checkpoint`, `shutdown`; `sample` and
     /// `failure` are not acked individually — alarms are the feedback).
     Ok {

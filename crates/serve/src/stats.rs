@@ -2,6 +2,7 @@
 //! the shards, and the model writer; snapshotted on demand by `stats`
 //! requests.
 
+use orfpred_prep::PrepCounters;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -81,6 +82,12 @@ pub struct ServeStats {
     pub trees_replaced: AtomicU64,
     /// Model snapshots published for the lock-free scoring path.
     pub snapshots_published: AtomicU64,
+    /// Distribution shifts the adaptation loop has declared (mirrored
+    /// from the writer; stays 0 without an adaptation loop).
+    pub drift_events: AtomicU64,
+    /// Forests rebuilt by the long-term update policy (mirrored from the
+    /// writer; stays 0 under `no-update` or without adaptation).
+    pub model_rebuilds: AtomicU64,
     /// In-flight events per shard (sent by ingest, not yet picked up).
     pub shard_depths: Vec<AtomicU64>,
     /// Latency of snapshot scoring (`score` requests) and of the writer's
@@ -108,6 +115,9 @@ impl ServeStats {
             forest_samples_seen: self.forest_samples_seen.load(Ordering::Relaxed),
             trees_replaced: self.trees_replaced.load(Ordering::Relaxed),
             snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            drift_events: self.drift_events.load(Ordering::Relaxed),
+            model_rebuilds: self.model_rebuilds.load(Ordering::Relaxed),
+            prep: None,
             shard_queue_depths: self
                 .shard_depths
                 .iter()
@@ -142,6 +152,13 @@ pub struct StatsReport {
     pub trees_replaced: u64,
     /// Model snapshots published for the lock-free scoring path.
     pub snapshots_published: u64,
+    /// Distribution shifts the adaptation loop has declared.
+    pub drift_events: u64,
+    /// Forests rebuilt by the long-term update policy.
+    pub model_rebuilds: u64,
+    /// Per-rule repair counters of the ingest-side preprocessing stage;
+    /// `None` when the engine runs without one.
+    pub prep: Option<PrepCounters>,
     /// In-flight events per shard.
     pub shard_queue_depths: Vec<u64>,
     /// Observations in the score-latency histogram.

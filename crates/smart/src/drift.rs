@@ -61,31 +61,45 @@ pub fn measure_drift(ds: &Dataset, cols: &[usize], month_days: u16, cap: usize) 
         }
     }
 
+    // Earliest and latest month with any healthy samples. A dataset whose
+    // samples fall in a single (or no) month has no early-vs-late contrast,
+    // so its shift_z is defined as 0.0 rather than a degenerate self-test.
+    let first_m = per_month.iter().position(|r| !r.is_empty());
+    let last_m = per_month.iter().rposition(|r| !r.is_empty());
+
     let mut features: Vec<FeatureDrift> = cols
         .iter()
         .map(|&feature| {
+            // Per-month mean over *finite* values only; a month with no
+            // finite observations (empty or all-NaN sensor) reports NaN.
             let monthly_mean: Vec<f64> = per_month
                 .iter()
                 .map(|rows| {
-                    if rows.is_empty() {
+                    let vals = finite_column(rows, feature);
+                    if vals.is_empty() {
                         f64::NAN
                     } else {
-                        rows.iter().map(|r| f64::from(r[feature])).sum::<f64>() / rows.len() as f64
+                        vals.iter().map(|&v| f64::from(v)).sum::<f64>() / vals.len() as f64
                     }
                 })
                 .collect();
-            let first = per_month
-                .iter()
-                .find(|r| !r.is_empty())
-                .map(|rows| rows.iter().map(|r| r[feature]).collect::<Vec<f32>>())
-                .unwrap_or_default();
-            let last = per_month
-                .iter()
-                .rev()
-                .find(|r| !r.is_empty())
-                .map(|rows| rows.iter().map(|r| r[feature]).collect::<Vec<f32>>())
-                .unwrap_or_default();
-            let shift_z = rank_sum_test(&first, &last).z.abs();
+            let shift_z = match (first_m, last_m) {
+                (Some(a), Some(b)) if a < b => {
+                    // Non-finite values are excluded before the rank-sum
+                    // test (it is undefined — and panics — on NaN input);
+                    // an all-NaN column degenerates to an empty window and
+                    // rank_sum_test reports z = 0.
+                    let first = finite_column(&per_month[a], feature);
+                    let last = finite_column(&per_month[b], feature);
+                    let z = rank_sum_test(&first, &last).z.abs();
+                    if z.is_finite() {
+                        z
+                    } else {
+                        0.0
+                    }
+                }
+                _ => 0.0,
+            };
             FeatureDrift {
                 feature,
                 name: feature_name(feature),
@@ -95,8 +109,16 @@ pub fn measure_drift(ds: &Dataset, cols: &[usize], month_days: u16, cap: usize) 
             }
         })
         .collect();
-    features.sort_by(|a, b| b.shift_z.partial_cmp(&a.shift_z).unwrap());
+    features.sort_by(|a, b| b.shift_z.total_cmp(&a.shift_z));
     DriftReport { months, features }
+}
+
+/// The finite values of column `feature` across `rows`.
+fn finite_column(rows: &[&[f32]], feature: usize) -> Vec<f32> {
+    rows.iter()
+        .filter_map(|r| r.get(feature).copied())
+        .filter(|v| v.is_finite())
+        .collect()
 }
 
 impl DriftReport {
@@ -138,11 +160,163 @@ impl DriftReport {
     }
 }
 
+/// Configuration for the online [`DriftDetector`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftDetectorConfig {
+    /// Feature columns monitored for shift (raw, pre-scaling values).
+    pub cols: Vec<usize>,
+    /// Samples per comparison window (reference and current).
+    pub window: usize,
+    /// Rank-sum |z| at or above which a shift is declared.
+    pub z_threshold: f64,
+    /// Run the comparison every this many updates once the current window
+    /// is full (`0` disables checking entirely).
+    pub check_every: u64,
+}
+
+impl DriftDetectorConfig {
+    /// Monitor `cols` with the default window/threshold/cadence.
+    pub fn new(cols: Vec<usize>) -> Self {
+        Self {
+            cols,
+            window: 256,
+            z_threshold: 6.0,
+            check_every: 64,
+        }
+    }
+}
+
+/// A detected distribution shift.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftEvent {
+    /// Feature column with the strongest shift.
+    pub feature: usize,
+    /// Rank-sum |z| of that column's reference-vs-current comparison.
+    pub z: f64,
+    /// Detector update count at which the shift fired.
+    pub at_update: u64,
+}
+
+/// Streaming counterpart of [`measure_drift`]: a deterministic windowed
+/// shift detector for the healthy population.
+///
+/// Feed it raw (pre-scaling) feature rows of samples known to be healthy —
+/// in the online pipeline these are the labeller's *negative* releases,
+/// the same population [`measure_drift`] samples offline. The first
+/// `window` values per column become the frozen reference; later values
+/// fill a sliding current window. Every `check_every` updates the detector
+/// compares reference vs current per monitored column with the Wilcoxon
+/// rank-sum test; if the strongest |z| reaches `z_threshold` it emits a
+/// [`DriftEvent`] and re-baselines from scratch (both windows refill from
+/// the post-shift stream), so one sustained shift fires once, not every
+/// check.
+///
+/// Everything is ordered and serializable: the detector can be frozen into
+/// a serve-engine checkpoint and resumed bit-exactly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftDetector {
+    cfg: DriftDetectorConfig,
+    /// Per monitored column: the frozen reference window (filling first).
+    reference: Vec<Vec<f32>>,
+    /// Per monitored column: the sliding current window.
+    current: Vec<std::collections::VecDeque<f32>>,
+    updates: u64,
+    shifts_detected: u64,
+}
+
+impl DriftDetector {
+    /// Create a detector; windows start empty.
+    pub fn new(cfg: &DriftDetectorConfig) -> Self {
+        let n = cfg.cols.len();
+        Self {
+            cfg: cfg.clone(),
+            reference: vec![Vec::new(); n],
+            current: vec![std::collections::VecDeque::new(); n],
+            updates: 0,
+            shifts_detected: 0,
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DriftDetectorConfig {
+        &self.cfg
+    }
+
+    /// Total rows observed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Total shifts declared so far.
+    pub fn shifts_detected(&self) -> u64 {
+        self.shifts_detected
+    }
+
+    /// Observe one healthy raw feature row; returns a [`DriftEvent`] when
+    /// this update's check declares a shift. Non-finite values are skipped
+    /// (an all-NaN column simply never fills its windows).
+    pub fn update(&mut self, row: &[f32]) -> Option<DriftEvent> {
+        self.updates += 1;
+        let window = self.cfg.window;
+        for (k, &c) in self.cfg.cols.iter().enumerate() {
+            let Some(v) = row.get(c).copied().filter(|v| v.is_finite()) else {
+                continue;
+            };
+            let Some(reference) = self.reference.get_mut(k) else {
+                continue;
+            };
+            if reference.len() < window {
+                reference.push(v);
+            } else if let Some(cur) = self.current.get_mut(k) {
+                cur.push_back(v);
+                if cur.len() > window {
+                    cur.pop_front();
+                }
+            }
+        }
+        if self.cfg.check_every == 0 || !self.updates.is_multiple_of(self.cfg.check_every) {
+            return None;
+        }
+        let mut best: Option<DriftEvent> = None;
+        for (k, &feature) in self.cfg.cols.iter().enumerate() {
+            let (Some(reference), Some(cur)) = (self.reference.get(k), self.current.get(k)) else {
+                continue;
+            };
+            if reference.len() < window || cur.len() < window {
+                continue;
+            }
+            let cur: Vec<f32> = cur.iter().copied().collect();
+            let z = rank_sum_test(reference, &cur).z.abs();
+            if z.is_finite() && z >= self.cfg.z_threshold && best.is_none_or(|b| z > b.z) {
+                best = Some(DriftEvent {
+                    feature,
+                    z,
+                    at_update: self.updates,
+                });
+            }
+        }
+        if best.is_some() {
+            self.shifts_detected += 1;
+            // Re-baseline from scratch: both windows refill from the
+            // post-shift stream, so one sustained shift fires exactly once
+            // (the window at fire time straddles the regime change and
+            // would re-trigger if kept as the reference).
+            for (reference, cur) in self.reference.iter_mut().zip(self.current.iter_mut()) {
+                reference.clear();
+                cur.clear();
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::attrs::{feature_index, FeatureKind};
     use crate::gen::{FleetConfig, FleetSim, ScalePreset};
+    use crate::record::DiskDay;
+    use orfpred_util::Xoshiro256pp;
 
     #[test]
     fn cumulative_attributes_drift_more_than_instantaneous_ones() {
@@ -188,6 +362,135 @@ mod tests {
         );
         // Rendering mentions the drifting feature.
         assert!(report.render(5).contains("smart_9_raw"));
+    }
+
+    /// Hand-built dataset: `n_disks` healthy disks reporting daily for
+    /// `days` days, constant features except column 0 = `col0(day)`.
+    fn tiny_ds(n_disks: u32, days: u16, col0: impl Fn(u16) -> f32) -> Dataset {
+        let mut records = Vec::new();
+        let horizon = days + 60; // keep every record clear of the final week
+        for day in 0..days {
+            for disk_id in 0..n_disks {
+                let mut features = [1.0f32; crate::attrs::N_FEATURES];
+                features[0] = col0(day);
+                records.push(DiskDay {
+                    disk_id,
+                    day,
+                    features,
+                });
+            }
+        }
+        let disks = (0..n_disks)
+            .map(|disk_id| crate::record::DiskInfo {
+                disk_id,
+                install_day: 0,
+                last_day: horizon,
+                failed: false,
+            })
+            .collect();
+        Dataset {
+            model: "T".into(),
+            duration_days: horizon,
+            records,
+            disks,
+        }
+    }
+
+    #[test]
+    fn all_nan_feature_columns_do_not_panic_or_emit_nan_shift_z() {
+        let ds = tiny_ds(6, 70, |_| f32::NAN);
+        let report = measure_drift(&ds, &[0, 2], 30, 1_000);
+        let f0 = report.features.iter().find(|f| f.feature == 0).unwrap();
+        assert!(f0.shift_z.is_finite());
+        assert_eq!(f0.shift_z, 0.0, "all-NaN column must report zero shift");
+        assert!(f0.monthly_mean.iter().all(|v| v.is_nan()));
+        // The finite column still gets finite means and a finite z.
+        let f2 = report.features.iter().find(|f| f.feature == 2).unwrap();
+        assert!(f2.monthly_mean.iter().take(2).all(|v| !v.is_nan()));
+        assert!(f2.shift_z.is_finite());
+        // Sorting with NaN-free total order must not have panicked (we got
+        // here) and every reported z is finite.
+        assert!(report.features.iter().all(|f| f.shift_z.is_finite()));
+    }
+
+    #[test]
+    fn single_month_dataset_reports_zero_shift() {
+        // 20 days of data — a single 30-day month. There is no early-vs-late
+        // contrast, so shift_z must be exactly 0.0, not NaN or a self-test.
+        let ds = tiny_ds(6, 20, f32::from);
+        let report = measure_drift(&ds, &[0], 30, 1_000);
+        assert_eq!(report.features[0].shift_z, 0.0);
+        assert!(!report.features[0].monthly_mean[0].is_nan());
+    }
+
+    #[test]
+    fn sparse_nan_values_are_excluded_from_windows() {
+        // Column 0 drifts strongly but every third row is NaN; the test
+        // must still run on the finite subset instead of panicking.
+        let ds = {
+            let mut ds = tiny_ds(6, 90, |day| f32::from(day) * 10.0);
+            for (i, rec) in ds.records.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    rec.features[0] = f32::NAN;
+                }
+            }
+            ds
+        };
+        let report = measure_drift(&ds, &[0], 30, 1_000);
+        let f0 = &report.features[0];
+        assert!(
+            f0.shift_z > 3.0,
+            "drift must still be detected: {}",
+            f0.shift_z
+        );
+        // Months 1-3 hold the 90 days of data; later (empty) months are NaN.
+        assert!(f0.monthly_mean.iter().take(3).all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn detector_fires_on_a_sustained_shift_then_rebaselines() {
+        let cfg = DriftDetectorConfig {
+            cols: vec![0],
+            window: 128,
+            z_threshold: 5.0,
+            check_every: 32,
+        };
+        let mut det = DriftDetector::new(&cfg);
+        let mut rng = Xoshiro256pp::seed_from_u64(41);
+        let mut row = [0.0f32; 4];
+        let mut events = Vec::new();
+        for i in 0..2_000u32 {
+            // Regime change at update 1000: mean jumps 0.5 → 5.0.
+            let base = if i < 1_000 { 0.5 } else { 5.0 };
+            row[0] = base + rng.next_f32() * 0.1;
+            if let Some(ev) = det.update(&row) {
+                events.push(ev);
+            }
+        }
+        assert_eq!(events.len(), 1, "one sustained shift fires exactly once");
+        assert_eq!(events[0].feature, 0);
+        assert!(events[0].z >= 5.0);
+        assert!(events[0].at_update > 1_000);
+        assert_eq!(det.shifts_detected(), 1);
+    }
+
+    #[test]
+    fn detector_is_quiet_on_a_stationary_stream_and_roundtrips() {
+        let cfg = DriftDetectorConfig::new(vec![0, 1]);
+        let mut det = DriftDetector::new(&cfg);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..1_500 {
+            let row = [rng.next_f32(), 3.0 + rng.next_f32(), f32::NAN];
+            assert!(
+                det.update(&row).is_none(),
+                "stationary stream must not fire"
+            );
+        }
+        // Serde roundtrip preserves windows and counters bit-exactly.
+        let json = serde_json::to_string(&det).unwrap();
+        let det2: DriftDetector = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&det2).unwrap(), json);
+        assert_eq!(det2.updates(), det.updates());
     }
 
     #[test]

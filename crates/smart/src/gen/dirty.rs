@@ -1,0 +1,230 @@
+//! Telemetry corruption: production-shaped dirt for a clean fleet stream.
+//!
+//! The simulator in this module's siblings emits an idealised stream —
+//! every disk reports every day, every value is finite, every failure
+//! ticket is real. Production collectors are nothing like that (Han et
+//! al., "Robust Data Preprocessing for ML-Based Disk Failure Prediction"):
+//! days go missing, transfers are re-delivered, sensors stick, values
+//! corrupt to NaN or garbage, and a fraction of failure tickets turn out
+//! to be false (the disk keeps serving). [`corrupt_events`] applies
+//! exactly those fault classes to a clean [`FleetEvent`] stream,
+//! deterministically from a seed, so the preprocessing stage
+//! (`orfpred-prep`) can be driven end-to-end against a golden oracle.
+
+use super::FleetEvent;
+use crate::attrs::N_FEATURES;
+use orfpred_util::Xoshiro256pp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Corruption rates for [`corrupt_events`]. All probabilities are per
+/// event (or per disk for `stuck_rate`); `0.0` disables a fault class.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DirtyConfig {
+    /// Seed for the corruption stream (independent of the fleet seed).
+    pub seed: u64,
+    /// Probability a sample is dropped (disk misses a day).
+    pub drop_rate: f64,
+    /// Probability a sample is re-delivered immediately (exact duplicate).
+    pub dup_rate: f64,
+    /// Probability the collector re-sends the disk's *previous* day after
+    /// the current one (a stale, out-of-order repeat).
+    pub stale_rate: f64,
+    /// Probability one attribute value of a sample is clobbered to NaN.
+    pub nan_rate: f64,
+    /// Probability one attribute value is clobbered to an implausible
+    /// negative sentinel (out-of-range garbage).
+    pub garbage_rate: f64,
+    /// Per-disk probability that the disk's sensor sticks partway through
+    /// life and repeats one frozen row from then on.
+    pub stuck_rate: f64,
+    /// Probability a healthy disk's sample is followed by a *spurious*
+    /// failure ticket (a flipped label: the disk keeps reporting).
+    pub flip_rate: f64,
+}
+
+impl DirtyConfig {
+    /// Mild production dirt: occasional gaps, duplicates and bad values.
+    pub fn mild(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.01,
+            dup_rate: 0.01,
+            stale_rate: 0.005,
+            nan_rate: 0.01,
+            garbage_rate: 0.005,
+            stuck_rate: 0.01,
+            flip_rate: 0.0005,
+        }
+    }
+
+    /// Harsh dirt: every fault class elevated — collector outage territory.
+    pub fn harsh(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.05,
+            dup_rate: 0.04,
+            stale_rate: 0.02,
+            nan_rate: 0.05,
+            garbage_rate: 0.02,
+            stuck_rate: 0.05,
+            flip_rate: 0.003,
+        }
+    }
+}
+
+/// Per-disk corruption state.
+struct DiskDirt {
+    /// Day from which the sensor sticks (`u16::MAX` = never).
+    stuck_from: u16,
+    /// The frozen row once stuck.
+    frozen: Option<[f32; N_FEATURES]>,
+    /// The previous clean sample, for stale re-delivery.
+    prev: Option<FleetEvent>,
+}
+
+/// Apply `cfg`'s corruption classes to a clean event stream.
+///
+/// Deterministic: the output depends only on `events` and `cfg`. Per-disk
+/// decisions (stuck sensors) derive from `cfg.seed ^ disk_id`, stream
+/// decisions from a single sequential RNG, so the same input always
+/// yields the same dirty stream.
+pub fn corrupt_events(events: &[FleetEvent], cfg: &DirtyConfig) -> Vec<FleetEvent> {
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x6469_7274_795f_6673);
+    let mut disks: BTreeMap<u32, DiskDirt> = BTreeMap::new();
+    let mut out = Vec::with_capacity(events.len());
+
+    for event in events {
+        match event {
+            FleetEvent::Sample(dd) => {
+                let dirt = disks.entry(dd.disk_id).or_insert_with(|| {
+                    let mut drng = Xoshiro256pp::seed_from_u64(cfg.seed ^ u64::from(dd.disk_id));
+                    let stuck_from = if f64::from(drng.next_f32()) < cfg.stuck_rate {
+                        // Stick somewhere in the first two years of life.
+                        dd.day.saturating_add(1 + (drng.next_u64() % 700) as u16)
+                    } else {
+                        u16::MAX
+                    };
+                    DiskDirt {
+                        stuck_from,
+                        frozen: None,
+                        prev: None,
+                    }
+                });
+
+                if f64::from(rng.next_f32()) < cfg.drop_rate {
+                    continue; // the day never arrives
+                }
+
+                let mut dirty = dd.clone();
+                if dirty.day >= dirt.stuck_from {
+                    // Sensor stuck: repeat the frozen row forever.
+                    let frozen = *dirt.frozen.get_or_insert(dirty.features);
+                    dirty.features = frozen;
+                } else {
+                    if f64::from(rng.next_f32()) < cfg.nan_rate {
+                        let c = (rng.next_u64() as usize) % N_FEATURES;
+                        dirty.features[c] = f32::NAN;
+                    }
+                    if f64::from(rng.next_f32()) < cfg.garbage_rate {
+                        let c = (rng.next_u64() as usize) % N_FEATURES;
+                        dirty.features[c] = -1.0e9;
+                    }
+                }
+
+                out.push(FleetEvent::Sample(dirty.clone()));
+                if f64::from(rng.next_f32()) < cfg.dup_rate {
+                    out.push(FleetEvent::Sample(dirty.clone()));
+                }
+                if f64::from(rng.next_f32()) < cfg.stale_rate {
+                    if let Some(prev) = &dirt.prev {
+                        out.push(prev.clone());
+                    }
+                }
+                if f64::from(rng.next_f32()) < cfg.flip_rate {
+                    // Spurious failure ticket; the disk keeps reporting, so
+                    // a survival re-check can catch the flipped label.
+                    out.push(FleetEvent::Failure {
+                        disk_id: dirty.disk_id,
+                        day: dirty.day,
+                    });
+                }
+                dirt.prev = Some(FleetEvent::Sample(dirty));
+            }
+            FleetEvent::Failure { disk_id, day } => {
+                out.push(FleetEvent::Failure {
+                    disk_id: *disk_id,
+                    day: *day,
+                });
+                if f64::from(rng.next_f32()) < cfg.dup_rate {
+                    // Ticket systems re-file real failures too.
+                    out.push(FleetEvent::Failure {
+                        disk_id: *disk_id,
+                        day: *day,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{FleetConfig, FleetSim, ScalePreset};
+
+    fn clean_events() -> Vec<FleetEvent> {
+        let mut cfg = FleetConfig::sta(ScalePreset::Tiny, 77);
+        cfg.n_good = 30;
+        cfg.n_failed = 6;
+        cfg.duration_days = 90;
+        FleetSim::new(&cfg).collect()
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_actually_corrupts() {
+        let clean = clean_events();
+        let cfg = DirtyConfig::harsh(3);
+        let a = corrupt_events(&clean, &cfg);
+        let b = corrupt_events(&clean, &cfg);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "must be reproducible");
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{clean:?}"),
+            "harsh config must change the stream"
+        );
+        // Dirt classes present: at least one NaN and one duplicate.
+        let has_nan = a.iter().any(|e| match e {
+            FleetEvent::Sample(dd) => dd.features.iter().any(|v| v.is_nan()),
+            _ => false,
+        });
+        assert!(has_nan, "harsh dirt must produce NaN values");
+        assert!(a.len() != clean.len(), "drops/dups must change the length");
+    }
+
+    #[test]
+    fn zero_rates_are_an_identity() {
+        let clean = clean_events();
+        let cfg = DirtyConfig {
+            seed: 5,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            stale_rate: 0.0,
+            nan_rate: 0.0,
+            garbage_rate: 0.0,
+            stuck_rate: 0.0,
+            flip_rate: 0.0,
+        };
+        let dirty = corrupt_events(&clean, &cfg);
+        assert_eq!(format!("{dirty:?}"), format!("{clean:?}"));
+    }
+
+    #[test]
+    fn different_seeds_give_different_dirt() {
+        let clean = clean_events();
+        let a = corrupt_events(&clean, &DirtyConfig::mild(1));
+        let b = corrupt_events(&clean, &DirtyConfig::mild(2));
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

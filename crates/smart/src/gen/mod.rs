@@ -20,10 +20,12 @@
 //!   sub-population, and slow wear-driven error accumulation, which together
 //!   create realistic false-alarm pressure that grows with fleet age.
 
+mod dirty;
 mod disk;
 mod fleet;
 mod profile;
 
+pub use dirty::{corrupt_events, DirtyConfig};
 pub use disk::{DiskState, Fate};
 pub use fleet::{FleetEvent, FleetSim};
 pub use profile::ModelProfile;

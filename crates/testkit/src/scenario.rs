@@ -13,10 +13,13 @@ use crate::driver::{
     serial_reference, Action, DriverConfig,
 };
 use crate::plan::FaultPlan;
-use orfpred_core::OnlinePredictorConfig;
+use orfpred_core::{AdaptConfig, OnlinePredictorConfig, UpdatePolicy};
+use orfpred_prep::PrepConfig;
 use orfpred_serve::CheckpointFault;
 use orfpred_smart::attrs::table2_feature_columns;
-use orfpred_smart::gen::{FleetConfig, FleetEvent, FleetSim, ScalePreset};
+use orfpred_smart::gen::{
+    corrupt_events, DirtyConfig, FleetConfig, FleetEvent, FleetSim, ScalePreset,
+};
 use orfpred_util::Xoshiro256pp;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -84,6 +87,44 @@ pub fn run_scenario(seed: u64, size: u32) -> Result<ScenarioReport, String> {
         1 => 2,
         _ => 7,
     };
+
+    // --- dirty data + prep: about half the seeds corrupt the stream and
+    // route it through the repair stage; the rest keep the raw stream with
+    // no prep, preserving the original clean-path coverage.
+    let events = if rng.index(2) == 1 {
+        let dirt_seed = seed ^ 0x0064_6972_7479; // "dirty"
+        let dirty = if rng.index(3) == 0 {
+            DirtyConfig::harsh(dirt_seed)
+        } else {
+            DirtyConfig::mild(dirt_seed)
+        };
+        predictor.prep = Some(PrepConfig {
+            min_value: Some(0.0),
+            max_value: None,
+            stuck_run: (3 + rng.index(4)) as u16,
+            recheck_days: rng.index(4) as u16,
+        });
+        corrupt_events(&events, &dirty)
+    } else {
+        events
+    };
+
+    // --- adaptation: a quarter of the seeds close the drift loop live, so
+    // sharded-vs-serial equivalence also covers mid-stream forest rebuilds.
+    if rng.index(4) == 0 {
+        let policy = match rng.index(3) {
+            0 => UpdatePolicy::NoUpdate,
+            1 => UpdatePolicy::Replace,
+            _ => UpdatePolicy::Accumulate,
+        };
+        let mut adapt = AdaptConfig::new(policy, predictor.feature_cols.clone());
+        adapt.detector.window = 64;
+        adapt.detector.check_every = 32;
+        adapt.detector.z_threshold = rng.range_f64(4.0, 8.0);
+        adapt.replace_window = 512;
+        adapt.accum_cap = 1_024;
+        predictor.adapt = Some(adapt);
+    }
 
     // --- checkpoint cadence and the resulting action tape.
     let every = (events.len() / (3 + rng.index(4))).max(25);

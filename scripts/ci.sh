@@ -25,9 +25,10 @@ echo "== lint: orfpred invariants =="
 #   cargo run -p orfpred-analyze -- --explain <rule-id>
 cargo run -q -p orfpred-analyze --release -- --deny
 
-echo "== bench compile gate (benches must not rot, store bench included) =="
+echo "== bench compile gate (benches must not rot, store + prep included) =="
 cargo bench --no-run
 cargo bench -p orfpred-bench --bench store --no-run
+cargo bench -p orfpred-bench --bench prep --no-run
 
 echo "== tier-1: full test suite =="
 cargo test -q
@@ -40,7 +41,11 @@ cargo test -q \
     --test fault_protocol \
     --test fault_labeller \
     --test fault_sim \
-    --test fault_store
+    --test fault_store \
+    --test fault_prep
+
+echo "== closed-loop adaptation suite =="
+cargo test -q --test serve_adapt
 
 echo "== store golden-trace property suite =="
 cargo test -q --test store_roundtrip

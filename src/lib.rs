@@ -12,6 +12,8 @@
 //!   (Backblaze-shaped), CSV I/O, labelling and feature selection,
 //! * [`trees`] — offline CART / best-first DT / Random Forest baselines,
 //! * [`svm`] — C-SVC SMO solver (LIBSVM-style baseline),
+//! * [`prep`] — deterministic online preprocessing between ingest and the
+//!   labeller: imputation, dedup, stuck-at and survival re-checks,
 //! * [`core`] — the ORF itself plus the automatic online labeller,
 //! * [`eval`] — FDR/FAR metrics, operating points, monthly & long-term
 //!   evaluation harnesses,
@@ -50,6 +52,7 @@
 
 pub use orfpred_core as core;
 pub use orfpred_eval as eval;
+pub use orfpred_prep as prep;
 pub use orfpred_serve as serve;
 pub use orfpred_smart as smart;
 pub use orfpred_store as store;

@@ -9,7 +9,8 @@
 //! stream — same disks, same days, same float scores, same order.
 
 use orfpred::core::{Alarm, OnlinePredictor, OnlinePredictorConfig};
-use orfpred::serve::{Engine, ServeConfig};
+use orfpred::prep::PrepConfig;
+use orfpred::serve::{Checkpoint, Engine, ServeConfig};
 use orfpred::smart::attrs::table2_feature_columns;
 use orfpred::smart::gen::{FleetConfig, FleetEvent, FleetSim, ScalePreset};
 
@@ -113,6 +114,74 @@ fn published_frozen_snapshot_scores_match_the_serial_predictor_bitwise() {
         }
     }
     assert!(probes > 100, "stream produced too few probe samples");
+}
+
+#[test]
+fn clean_stream_with_default_prep_is_bit_exact_passthrough() {
+    // Acceptance gate for the prep stage: with no faults in the data, an
+    // engine running the default (strict) preprocessing config must be
+    // indistinguishable from today's pipeline — same alarms, same final
+    // checkpoint bytes (once the prep stage's own state, which the
+    // baseline run simply doesn't have, is stripped), zero repairs.
+    let events = fleet_events(1305);
+
+    let mut base_cfg = ServeConfig::new(predictor_cfg());
+    base_cfg.n_shards = 3;
+    let base = Engine::new(&base_cfg);
+    for event in &events {
+        base.ingest(event.clone()).expect("baseline accepts events");
+    }
+    let base_fin = base.finish().expect("clean shutdown");
+
+    let mut prep_cfg = ServeConfig::new(predictor_cfg());
+    prep_cfg.predictor.prep = Some(PrepConfig::default());
+    prep_cfg.n_shards = 3;
+    let prepped = Engine::new(&prep_cfg);
+    for event in &events {
+        prepped
+            .ingest(event.clone())
+            .expect("prep engine accepts events");
+    }
+    prepped.flush();
+    let counters = prepped.stats().prep.expect("prep stage reports counters");
+    assert_eq!(counters.samples_in, counters.samples_out);
+    assert_eq!(counters.failures_in, counters.failures_out);
+    assert!(!counters.any_repairs(), "clean stream repaired nothing");
+    let prep_fin = prepped.finish().expect("clean shutdown");
+
+    assert!(!base_fin.alarms.is_empty(), "non-trivial stream required");
+    assert_eq!(base_fin.alarms, prep_fin.alarms);
+
+    fn strip(ck: Checkpoint) -> Checkpoint {
+        let Checkpoint::Online {
+            scaler,
+            forest,
+            version,
+            labeller,
+            alarm_threshold,
+            alarms_raised,
+            next_seq,
+            events_ingested,
+            ..
+        } = ck;
+        Checkpoint::Online {
+            scaler,
+            forest,
+            version,
+            labeller,
+            alarm_threshold,
+            alarms_raised,
+            next_seq,
+            events_ingested,
+            prep: None,
+            adapt: None,
+        }
+    }
+    assert_eq!(
+        serde_json::to_string(&strip(base_fin.checkpoint)).unwrap(),
+        serde_json::to_string(&strip(prep_fin.checkpoint)).unwrap(),
+        "default prep must be a bit-exact passthrough"
+    );
 }
 
 #[test]

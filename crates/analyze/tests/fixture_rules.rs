@@ -169,6 +169,45 @@ fn lint_toml_entry_suppresses_and_unused_entries_are_noted() {
 }
 
 #[test]
+fn batch_kernel_unsafe_sites_are_inventoried_and_justified() {
+    // The level-order batch kernel is the workspace's densest unsafe code
+    // (unchecked lane gathers); it must sit inside the determinism scope
+    // (crate `trees`) and every one of its unsafe sites must be inventoried
+    // with a `// SAFETY:` justification.
+    assert!(
+        orfpred_analyze::rules::DETERMINISTIC_CRATES.contains(&"trees"),
+        "the kernel crate must stay in the determinism scope"
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analyze sits two levels under the workspace root")
+        .to_path_buf();
+    let files = orfpred_analyze::load_workspace(&root).expect("workspace walks");
+    let allows =
+        orfpred_analyze::load_allowlist(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = analyze(&files, &allows);
+    let kernel: Vec<&orfpred_analyze::UnsafeSite> = report
+        .inventory
+        .iter()
+        .filter(|s| s.path.ends_with("crates/trees/src/level.rs") && !s.in_test)
+        .collect();
+    assert!(
+        !kernel.is_empty(),
+        "the kernel's unchecked lane indexing must appear in the unsafe inventory"
+    );
+    for s in &kernel {
+        assert!(
+            s.safety.is_some(),
+            "{}:{} ({}) lacks a SAFETY justification",
+            s.path,
+            s.line,
+            s.kind
+        );
+    }
+}
+
+#[test]
 fn the_workspace_itself_is_clean_under_the_committed_allowlist() {
     // The CI gate in scripts/ci.sh relies on this invariant; keep it
     // enforced from the test suite too so `cargo test` alone catches a

@@ -406,10 +406,14 @@ fn evaluate(argv: &[String]) -> Result<(), String> {
     let mut rng = orfpred_util::Xoshiro256pp::seed_from_u64(seed);
     let split = orfpred_eval::split::DiskSplit::stratified(&ds, 0.7, &mut rng);
     let frozen = saved.freeze();
+    // Pre-score every record through the frozen batch kernel (bit-identical
+    // to per-row `score`); the metrics pass then indexes by position.
+    let rows: Vec<&[f32]> = ds.records.iter().map(|r| r.features.as_slice()).collect();
+    let scores = frozen.score_rows(&rows);
     let scored = orfpred_eval::metrics::scored_disks_with(
         &ds,
         &split.test,
-        &|_, rec| frozen.score(&rec.features),
+        &|pos, _| scores[pos],
         7,
         0,
         ds.duration_days.saturating_add(1),
@@ -666,6 +670,24 @@ fn model_inspect(argv: &[String]) -> Result<(), String> {
             f.memory_bytes() / f.n_trees()
         ),
     }
+    // The breadth-first batch twin must describe the same forest: its
+    // counts and depth histogram are derived from a different node layout,
+    // so any disagreement flags a compilation bug.
+    let lv = f.level();
+    assert_eq!(lv.n_trees(), f.n_trees(), "level layout tree count");
+    assert_eq!(lv.n_nodes(), f.n_nodes(), "level layout node count");
+    assert_eq!(lv.n_leaves(), f.n_leaves(), "level layout leaf count");
+    assert_eq!(lv.max_depth(), f.max_depth(), "level layout max depth");
+    assert_eq!(
+        lv.depth_histogram(),
+        hist,
+        "level layout depth histogram diverged from preorder"
+    );
+    println!(
+        "batch (level-order) twin: {} bytes ({} per tree), layout verified against preorder",
+        lv.memory_bytes(),
+        lv.memory_bytes() / lv.n_trees()
+    );
     let ranked = f.top_importances(top);
     if !ranked.is_empty() {
         println!("top {} feature importances:", ranked.len());

@@ -155,15 +155,8 @@ pub enum FrozenModel {
 }
 
 impl FrozenModel {
-    /// Risk score of a raw 48-column snapshot.
-    pub fn score(&self, features: &[f32]) -> f32 {
-        match self {
-            FrozenModel::Offline { scaler, forest } => forest.score(&scaler.transform(features)),
-            FrozenModel::Online { scaler, forest } => forest.score(&scaler.transform(features)),
-        }
-    }
-
-    /// Batch-score raw rows: scale once, then run the frozen batch kernel.
+    /// Batch-score raw rows: scale once, then run the frozen batch kernel
+    /// (bit-identical to scaling and scoring each row individually).
     pub fn score_rows(&self, rows: &[&[f32]]) -> Vec<f32> {
         let mut scaled = Matrix::with_capacity(self.forest().n_features(), rows.len());
         match self {
@@ -315,12 +308,11 @@ mod tests {
             let batch = frozen.score_rows(&rows);
             for (i, r) in rows.iter().enumerate() {
                 assert_eq!(
-                    frozen.score(r).to_bits(),
+                    batch[i].to_bits(),
                     model.score(r).to_bits(),
                     "{} row {i}",
                     frozen.kind()
                 );
-                assert_eq!(batch[i].to_bits(), model.score(r).to_bits());
             }
         }
     }

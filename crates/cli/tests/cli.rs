@@ -75,6 +75,13 @@ fn full_workflow_simulate_train_score_eval() {
     assert!(text.contains("offline random forest (frozen)"), "{text}");
     assert!(text.contains("depth histogram"), "{text}");
     assert!(text.contains("frozen footprint"), "{text}");
+    // The breadth-first batch layout must be reported and internally
+    // verified (inspect asserts its counts/histogram match preorder).
+    assert!(
+        text.contains("batch (level-order) twin"),
+        "inspect must report the level layout: {text}"
+    );
+    assert!(text.contains("layout verified against preorder"), "{text}");
     assert!(
         text.contains("smart_"),
         "inspect must name features: {text}"
@@ -149,6 +156,24 @@ fn online_training_path_works() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(String::from_utf8_lossy(&out.stderr).contains("online random forest"));
+
+    // model inspect on the ORF-frozen model: the level-order twin must
+    // agree with the preorder layout (asserted inside inspect) and report
+    // its own footprint.
+    let out = bin()
+        .args(["model", "inspect", "--model", &model])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "model inspect (online) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("online random forest (frozen)"), "{text}");
+    assert!(text.contains("batch (level-order) twin"), "{text}");
+    assert!(text.contains("layout verified against preorder"), "{text}");
+
     std::fs::remove_file(&csv_path).ok();
     std::fs::remove_file(&model_path).ok();
 }

@@ -187,19 +187,24 @@ pub fn run_longterm(ds: &Dataset, cfg: &LongtermConfig) -> LongtermResult {
     let orf_score_fn = |pos: usize, _rec: &orfpred_smart::record::DiskDay| causal_scores[pos];
 
     // ---- No-update RF: trained once on the initial window. ----
+    // The model is fixed for the whole horizon, so every record is
+    // pre-scored once through the frozen batch kernel; tuning and each
+    // month's evaluation then index the same array.
     let initial_labels = training_labels(ds, &tune_split.is_train, w0, cfg.window);
-    let frozen = build_matrix(ds, &initial_labels, &cfg.cols, cfg.lambda, &mut rng).map(|tm| {
-        let model = RandomForest::fit(&tm.x, &tm.y, &cfg.forest, rng.next_u64());
-        FrozenScorer {
-            forest: model.freeze(),
-            scaler: tm.scaler,
-        }
-    });
-    let frozen_tau = frozen.as_ref().map(|scorer| {
+    let frozen_scores =
+        build_matrix(ds, &initial_labels, &cfg.cols, cfg.lambda, &mut rng).map(|tm| {
+            let model = RandomForest::fit(&tm.x, &tm.y, &cfg.forest, rng.next_u64());
+            let scorer = FrozenScorer {
+                forest: model.freeze(),
+                scaler: tm.scaler,
+            };
+            prescore_range(ds, &scorer, 0, ds.duration_days.saturating_add(1))
+        });
+    let frozen_tau = frozen_scores.as_ref().map(|scores| {
         let scored = scored_disks_censored(
             ds,
             &tune_split.test,
-            &|_, rec| scorer.score_raw(&rec.features),
+            &|pos, _| scores[pos],
             cfg.window,
             0,
             w0 + 1,
@@ -262,10 +267,16 @@ pub fn run_longterm(ds: &Dataset, cfg: &LongtermConfig) -> LongtermResult {
             cfg.month_days,
         ));
 
-        // No updating (frozen model, frozen tau).
-        if let (Some(scorer), Some(tau)) = (&frozen, frozen_tau) {
-            result.no_update.push(&monthly_eval_scorer(
-                ds, &all_disks, scorer, tau, cfg, month,
+        // No updating (frozen model, frozen tau, pre-scored records).
+        if let (Some(scores), Some(tau)) = (&frozen_scores, frozen_tau) {
+            result.no_update.push(&monthly_outcome_with(
+                ds,
+                &all_disks,
+                &|pos, _| scores[pos],
+                tau,
+                cfg.window,
+                month,
+                cfg.month_days,
             ));
         } else {
             result.no_update.push(&nan_outcome(month));
@@ -410,24 +421,26 @@ fn nan_outcome(month: usize) -> MonthlyOutcome {
     }
 }
 
-/// Evaluate a fixed scorer+tau on month `month`.
-fn monthly_eval_scorer<S: Scorer>(
-    ds: &Dataset,
-    disks: &[u32],
-    scorer: &S,
-    tau: f32,
-    cfg: &LongtermConfig,
-    month: usize,
-) -> MonthlyOutcome {
-    monthly_outcome_with(
-        ds,
-        disks,
-        &|_, rec| scorer.score_raw(&rec.features),
-        tau,
-        cfg.window,
-        month,
-        cfg.month_days,
-    )
+/// Pre-score every record with `rec.day` in `[from, to)` through the
+/// scorer's batch path ([`Scorer::score_raw_many`] — the frozen
+/// breadth-first kernels for tree scorers). Positions outside the range
+/// stay 0.0; the day-range-filtered consumers
+/// ([`scored_disks_censored`], [`monthly_outcome_with`]) never read them.
+fn prescore_range<S: Scorer>(ds: &Dataset, scorer: &S, from: u16, to: u16) -> Vec<f32> {
+    let mut idx = Vec::new();
+    let mut rows: Vec<&[f32]> = Vec::new();
+    for (pos, rec) in ds.records.iter().enumerate() {
+        if rec.day >= from && rec.day < to {
+            idx.push(pos);
+            rows.push(&rec.features);
+        }
+    }
+    let scores = scorer.score_raw_many(&rows);
+    let mut out = vec![0.0f32; ds.records.len()];
+    for (pos, s) in idx.into_iter().zip(scores) {
+        out[pos] = s;
+    }
+    out
 }
 
 /// Train an RF on `labels`, tune its operating point on the held-out
@@ -453,19 +466,23 @@ fn train_and_eval(
         forest: model.freeze(),
         scaler: tm.scaler,
     };
+    // This month's scorer only ever sees days in [tune_from, month end):
+    // batch-score that span once and index into it.
+    let scores = prescore_range(ds, &scorer, tune_from, month as u16 * cfg.month_days);
+    let score_fn = |pos: usize, _rec: &orfpred_smart::record::DiskDay| scores[pos];
     // Tune on held-out disks over the visible past only (no future leakage,
     // no in-sample deflation).
     let scored = scored_disks_censored(
         ds,
         tune_disks,
-        &|_, rec| scorer.score_raw(&rec.features),
+        &score_fn,
         cfg.window,
         tune_from,
         train_end + 1,
         Some(train_end),
     );
     let tau = scored.tune_for_far(cfg.target_far).tau.max(cfg.tau_floor);
-    monthly_eval_scorer(ds, disks, &scorer, tau, cfg, month)
+    monthly_outcome_with(ds, disks, &score_fn, tau, cfg.window, month, cfg.month_days)
 }
 
 #[cfg(test)]

@@ -158,22 +158,64 @@ pub struct RocPoint {
 
 /// Score the listed disks with `scorer` and reduce to per-disk maxima.
 ///
-/// `window` is the prediction horizon (7 days in the paper). Parallelizes
-/// over disks.
+/// `window` is the prediction horizon (7 days in the paper). Gathers every
+/// eligible sample into one flat batch and scores it via
+/// [`Scorer::score_raw_many`], so frozen scorers run their interleaved
+/// breadth-first kernels; the per-disk maxima are then folded from
+/// contiguous spans of the batch. Bit-identical to scoring row by row with
+/// [`scored_disks_with`] (same eligibility filter, same `>` max fold).
 pub fn score_test_disks<S: Scorer>(
     ds: &Dataset,
     disks: &[u32],
     scorer: &S,
     window: u16,
 ) -> ScoredDisks {
-    scored_disks_with(
-        ds,
-        disks,
-        &|_, rec| scorer.score_raw(&rec.features),
-        window,
-        0,
-        ds.duration_days.saturating_add(1),
-    )
+    let to = ds.duration_days.saturating_add(1);
+    let by_disk = ds.records_by_disk();
+    let mut rows: Vec<&[f32]> = Vec::new();
+    // Per disk: (failed, number of eligible rows pushed).
+    let mut spans: Vec<(bool, usize)> = Vec::with_capacity(disks.len());
+    for &disk_id in disks {
+        let info = &ds.disks[disk_id as usize];
+        let mut n = 0usize;
+        for &pos in &by_disk[disk_id as usize] {
+            let rec = &ds.records[pos];
+            if rec.day >= to {
+                continue;
+            }
+            let in_window = rec.day + window > info.last_day;
+            // Failed disks: only final-week samples matter (FDR).
+            // Good disks: only outside-week samples matter (FAR).
+            if info.failed == in_window {
+                rows.push(&rec.features);
+                n += 1;
+            }
+        }
+        spans.push((info.failed, n));
+    }
+    let scores = scorer.score_raw_many(&rows);
+    let mut out = ScoredDisks::default();
+    let mut offset = 0usize;
+    for (failed, n) in spans {
+        let mut best = f32::NEG_INFINITY;
+        for &s in &scores[offset..offset + n] {
+            if s > best {
+                best = s;
+            }
+        }
+        offset += n;
+        if !best.is_finite() {
+            // Disk had no relevant samples (e.g. installed in the final
+            // week); treat as silent.
+            continue;
+        }
+        if failed {
+            out.failed_window_max.push(best);
+        } else {
+            out.good_outside_max.push(best);
+        }
+    }
+    out
 }
 
 /// Generalised per-disk maxima: scores come from a closure over the record
@@ -588,6 +630,36 @@ mod tests {
         assert!((m2.fdr - 0.5).abs() < 1e-12, "disk 0 detected in month 2");
         assert_eq!(m2.n_good, 2);
         assert!((m2.far - 0.0).abs() < 1e-12, "no spikes in month 2");
+    }
+
+    #[test]
+    fn batched_scoring_matches_the_closure_path_bitwise() {
+        // score_test_disks now flattens rows into one score_raw_many call;
+        // it must reproduce the per-row closure path exactly, including
+        // disk order and the silent-disk (no eligible samples) skip.
+        let mut ds = fixture();
+        // Give disk 3 an install inside the final week → zero eligible rows.
+        ds.disks[3].install_day = 55;
+        ds.records.retain(|r| r.disk_id != 3 || r.day >= 55);
+        let disks = [0u32, 1, 2, 3];
+        let batched = score_test_disks(&ds, &disks, &Passthrough, 7);
+        let closure = scored_disks_with(
+            &ds,
+            &disks,
+            &|_, rec| Passthrough.score_raw(&rec.features),
+            7,
+            0,
+            ds.duration_days.saturating_add(1),
+        );
+        let bits = |v: &[f32]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&batched.failed_window_max),
+            bits(&closure.failed_window_max)
+        );
+        assert_eq!(
+            bits(&batched.good_outside_max),
+            bits(&closure.good_outside_max)
+        );
     }
 
     #[test]

@@ -18,6 +18,15 @@ use orfpred_util::Matrix;
 pub trait Scorer: Sync {
     /// Risk score of a raw 48-column snapshot (higher = riskier).
     fn score_raw(&self, features: &[f32]) -> f32;
+
+    /// Batch scoring: must return exactly what mapping [`Self::score_raw`]
+    /// over `rows` would, bit for bit. The default does just that; the
+    /// frozen tree scorers override it to run the breadth-first interleaved
+    /// batch kernels, which the eval harnesses (monthly / longterm /
+    /// streaming / zoo) all funnel through.
+    fn score_raw_many(&self, rows: &[&[f32]]) -> Vec<f32> {
+        rows.iter().map(|r| self.score_raw(r)).collect()
+    }
 }
 
 /// Offline Random Forest + its scaler.
@@ -105,6 +114,10 @@ impl Scorer for FrozenScorer {
     fn score_raw(&self, features: &[f32]) -> f32 {
         self.forest.score(&self.scaler.transform(features))
     }
+
+    fn score_raw_many(&self, rows: &[&[f32]]) -> Vec<f32> {
+        self.score_raw_batch(rows)
+    }
 }
 
 impl FrozenScorer {
@@ -146,6 +159,10 @@ impl Scorer for FrozenOrfScorer {
         self.scaler.transform_into(features, &mut scaled);
         self.forest.score(&scaled)
     }
+
+    fn score_raw_many(&self, rows: &[&[f32]]) -> Vec<f32> {
+        self.score_raw_batch(rows)
+    }
 }
 
 impl FrozenOrfScorer {
@@ -159,6 +176,16 @@ impl FrozenOrfScorer {
             scaled.push_row(&scaled_row);
         }
         self.forest.score_batch(&scaled)
+    }
+
+    /// Batch-score raw *columns* (one slice per raw feature, equal
+    /// lengths): scale column-wise with the streaming bounds, then run the
+    /// frozen columnar kernel — the store-fed ORF path. Bit-identical to
+    /// the row paths (same scaling expression, same kernel arithmetic).
+    pub fn score_raw_columns(&self, cols: &[&[f32]]) -> Vec<f32> {
+        let scaled = self.scaler.transform_columns(cols);
+        let refs: Vec<&[f32]> = scaled.iter().map(|c| c.as_slice()).collect();
+        self.forest.score_columns(&refs)
     }
 }
 

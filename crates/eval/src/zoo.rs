@@ -235,26 +235,43 @@ pub fn run_zoo(ds: &Dataset, cfg: &ZooConfig) -> Vec<ZooRow> {
     rows
 }
 
-/// Sequential variant of [`score_test_disks`] for `dyn Scorer`.
+/// Batched variant of [`score_test_disks`] for `dyn Scorer`: all eligible
+/// samples go through one [`Scorer::score_raw_many`] call (the frozen
+/// scorers route it to the breadth-first batch kernels), then per-disk
+/// maxima fold over contiguous spans — bit-identical to the old per-row
+/// loop.
 fn score_disks_serial(
     ds: &Dataset,
     disks: &[u32],
     scorer: &dyn Scorer,
 ) -> crate::metrics::ScoredDisks {
     let by_disk = ds.records_by_disk();
-    let mut out = crate::metrics::ScoredDisks::default();
+    let mut rows: Vec<&[f32]> = Vec::new();
+    let mut spans: Vec<(bool, usize)> = Vec::with_capacity(disks.len());
     for &disk_id in disks {
         let info = &ds.disks[disk_id as usize];
-        let mut best = f32::NEG_INFINITY;
+        let mut n = 0usize;
         for &pos in &by_disk[disk_id as usize] {
             let rec = &ds.records[pos];
             let in_window = rec.day + 7 > info.last_day;
             if info.failed == in_window {
-                best = best.max(scorer.score_raw(&rec.features));
+                rows.push(&rec.features);
+                n += 1;
             }
         }
+        spans.push((info.failed, n));
+    }
+    let scores = scorer.score_raw_many(&rows);
+    let mut out = crate::metrics::ScoredDisks::default();
+    let mut offset = 0usize;
+    for (failed, n) in spans {
+        let mut best = f32::NEG_INFINITY;
+        for &s in &scores[offset..offset + n] {
+            best = best.max(s);
+        }
+        offset += n;
         if best.is_finite() {
-            if info.failed {
+            if failed {
                 out.failed_window_max.push(best);
             } else {
                 out.good_outside_max.push(best);

@@ -55,6 +55,7 @@ use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use orfpred_smart::scale::OnlineMinMax;
 use orfpred_trees::FrozenForest;
+use orfpred_util::Matrix;
 use parking_lot::Mutex;
 use std::collections::{BinaryHeap, VecDeque};
 use std::path::{Path, PathBuf};
@@ -123,6 +124,20 @@ impl ModelSnapshot {
         let mut scaled = vec![0.0f32; self.scaler.n_outputs()];
         self.scaler.transform_into(features, &mut scaled);
         self.forest.score(&scaled)
+    }
+
+    /// Score a batch of raw 48-column snapshots through the frozen
+    /// breadth-first batch kernel (the bulk path for catch-up scans and
+    /// offline replay against a published snapshot). Bit-identical to
+    /// mapping [`Self::score`] over `rows`.
+    pub fn score_batch(&self, rows: &[&[f32]]) -> Vec<f32> {
+        let mut scaled_row = vec![0.0f32; self.scaler.n_outputs()];
+        let mut scaled = Matrix::with_capacity(self.scaler.n_outputs(), rows.len());
+        for r in rows {
+            self.scaler.transform_into(r, &mut scaled_row);
+            scaled.push_row(&scaled_row);
+        }
+        self.forest.score_batch(&scaled)
     }
 }
 
@@ -1071,6 +1086,53 @@ mod tests {
         assert!(engine
             .ingest(FleetEvent::Failure { disk_id: 1, day: 0 })
             .is_err());
+    }
+
+    #[test]
+    fn snapshot_batch_scoring_is_bit_identical_to_single_row() {
+        let engine = Engine::new(&cfg(2));
+        for day in 0..60u16 {
+            for disk in 0..12u32 {
+                engine
+                    .ingest(FleetEvent::Sample(rec(
+                        disk,
+                        day,
+                        (disk as f32) * 0.3 + (day as f32) * 0.1,
+                    )))
+                    .unwrap();
+            }
+        }
+        engine
+            .ingest(FleetEvent::Failure {
+                disk_id: 3,
+                day: 60,
+            })
+            .unwrap();
+        engine.flush();
+        let snap = engine.model_snapshot();
+        engine.finish().unwrap();
+        // Batch probes span ordinary, boundary, and non-finite inputs.
+        let mut probes: Vec<[f32; N_FEATURES]> = Vec::new();
+        for i in 0..37 {
+            let mut f = rec(i, 0, (i as f32) * 0.7 - 3.0).features;
+            if i % 11 == 0 {
+                f[0] = f32::NAN;
+            }
+            if i % 13 == 0 {
+                f[2] = f32::INFINITY;
+            }
+            probes.push(f);
+        }
+        let rows: Vec<&[f32]> = probes.iter().map(|f| &f[..]).collect();
+        let batch = snap.score_batch(&rows);
+        assert_eq!(batch.len(), rows.len());
+        for (row, &b) in rows.iter().zip(&batch) {
+            assert_eq!(
+                snap.score(row).to_bits(),
+                b.to_bits(),
+                "snapshot batch diverged from single-row"
+            );
+        }
     }
 
     #[test]

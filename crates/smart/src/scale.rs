@@ -238,6 +238,35 @@ impl OnlineMinMax {
         self.transform_into(row, &mut out);
         out
     }
+
+    /// Columnar transform with the current bounds: `input[c]` holds all
+    /// rows of raw feature `c`; the result holds one scaled column per
+    /// selected feature, in selection order. Each element goes through the
+    /// exact expression [`OnlineMinMax::transform_into`] applies (including
+    /// the finite-span guard), so a transposed batch scales bit-identically
+    /// to row-by-row — the store's columnar ORF scoring path relies on it.
+    pub fn transform_columns(&self, input: &[&[f32]]) -> Vec<Vec<f32>> {
+        let n = input.first().map_or(0, |c| c.len());
+        self.cols
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                let col = input[c];
+                assert_eq!(col.len(), n, "ragged input columns");
+                let span = self.max[j] - self.min[j];
+                col.iter()
+                    .map(|&x| {
+                        let v = if self.log1p { log1p_pos(x) } else { x };
+                        if span > 0.0 && span.is_finite() {
+                            ((v - self.min[j]) / span).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -25,12 +25,12 @@
 //! live `importances()` accessors report them) — the paper's
 //! interpretability hook survives compilation.
 
+use crate::level::LevelForest;
 use orfpred_util::Matrix;
-use rayon::prelude::*;
 
 /// Sentinel in the `feature` array marking a leaf; valid split features are
 /// strictly below it (growers bound `n_features ≤ u16::MAX`).
-const LEAF: u16 = u16::MAX;
+pub(crate) const LEAF: u16 = u16::MAX;
 
 /// One resolved node of a source tree, handed to [`FrozenBuilder::add_tree`]
 /// by a model's `freeze()` implementation.
@@ -130,6 +130,16 @@ impl FrozenBuilder {
                 *v /= total;
             }
         }
+        // Compile the breadth-first twin once at freeze time: every batch
+        // entry point below routes through its interleaved kernels, while
+        // the preorder arrays keep serving the single-row live path.
+        let level = LevelForest::from_preorder(
+            &self.feature,
+            &self.threshold,
+            &self.skip,
+            &self.tree_starts,
+            self.n_features,
+        );
         FrozenForest {
             feature: self.feature,
             threshold: self.threshold,
@@ -137,6 +147,7 @@ impl FrozenBuilder {
             tree_starts: self.tree_starts,
             n_features: self.n_features,
             importances,
+            level,
         }
     }
 }
@@ -159,6 +170,9 @@ pub struct FrozenForest {
     n_features: usize,
     /// Normalized per-feature importances captured at freeze time.
     importances: Vec<f64>,
+    /// The breadth-first twin of the same trees — the batch kernels
+    /// (`score_batch` / `score_rows` / `score_columns`) run on this layout.
+    level: LevelForest,
 }
 
 impl FrozenForest {
@@ -212,74 +226,33 @@ impl FrozenForest {
         sum / self.n_trees() as f32
     }
 
-    /// Batch prediction over the rows of a [`Matrix`] (rayon fan-out; each
-    /// row scores exactly as [`FrozenForest::score`] would).
+    /// Batch prediction over the rows of a [`Matrix`]: the breadth-first
+    /// interleaved kernel ([`LevelForest`]), lane blocks advancing level by
+    /// level with large batches fanned over the available cores. Every row
+    /// scores bit-identically to [`FrozenForest::score`].
     pub fn score_batch(&self, rows: &Matrix) -> Vec<f32> {
-        (0..rows.n_rows())
-            .into_par_iter()
-            .map(|i| self.score(rows.row(i)))
-            .collect()
+        self.level.score_matrix(rows)
     }
 
-    /// Batch prediction over borrowed rows.
+    /// Batch prediction over borrowed rows (same kernel as
+    /// [`Self::score_batch`]).
     pub fn score_rows(&self, rows: &[&[f32]]) -> Vec<f32> {
-        rows.par_iter().map(|r| self.score(r)).collect()
-    }
-
-    /// Walk one tree reading row `i` out of column-major feature storage —
-    /// the same traversal as [`Self::score_tree`] with a transposed gather.
-    ///
-    /// # Safety
-    ///
-    /// Same node-array invariants as [`Self::score_tree`], plus
-    /// `cols.len() == self.n_features` and `i < cols[f].len()` for every
-    /// feature `f` (the public wrapper checks both).
-    // SAFETY: same node-array argument as `score_tree` (lockstep arrays,
-    // feature bound asserted at emit, in-pool `skip` offsets, strictly
-    // advancing `at`); the column gather additionally relies on the
-    // caller-checked `cols.len() == n_features` and `i < cols[f].len()`.
-    #[inline]
-    unsafe fn score_tree_columns(&self, start: usize, cols: &[&[f32]], i: usize) -> f32 {
-        let mut at = start;
-        loop {
-            let f = *self.feature.get_unchecked(at);
-            let thr = *self.threshold.get_unchecked(at);
-            if f == LEAF {
-                return thr;
-            }
-            let v = *cols.get_unchecked(f as usize).get_unchecked(i);
-            at = if v <= thr {
-                at + 1
-            } else {
-                *self.skip.get_unchecked(at) as usize
-            };
-        }
+        self.level.score_rows(rows)
     }
 
     /// Batch prediction over column-major storage (one slice per feature,
     /// equal lengths) — the telemetry-store replay path, which scores
-    /// decoded segments without materializing row vectors. Each row scores
-    /// exactly as [`FrozenForest::score`] would (same tree order, same
-    /// summation), so results are bit-identical to the row paths.
+    /// decoded segments without materializing row vectors. The gather reads
+    /// `cols[f][i]` instead of `row[f]`; routing, tree order, and summation
+    /// are unchanged, so results are bit-identical to the row paths.
     pub fn score_columns(&self, cols: &[&[f32]]) -> Vec<f32> {
-        assert_eq!(cols.len(), self.n_features, "feature dimension mismatch");
-        let n = cols.first().map_or(0, |c| c.len());
-        for c in cols {
-            assert_eq!(c.len(), n, "ragged feature columns");
-        }
-        (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let mut sum = 0.0f32;
-                for t in 0..self.n_trees() {
-                    // SAFETY: dimensions checked above; `tree_starts[t]` for
-                    // t < n_trees is a valid pool offset by construction.
-                    sum +=
-                        unsafe { self.score_tree_columns(self.tree_starts[t] as usize, cols, i) };
-                }
-                sum / self.n_trees() as f32
-            })
-            .collect()
+        self.level.score_columns(cols)
+    }
+
+    /// The breadth-first layout compiled at freeze time (explicit-thread
+    /// batch entry points and layout inspection live there).
+    pub fn level(&self) -> &LevelForest {
+        &self.level
     }
 
     /// Hard prediction at vote threshold `tau`.

@@ -12,7 +12,10 @@
 //! * [`threshold`] — the vendor-style static SMART threshold detector
 //!   (the 3–10 % FDR strawman of §2);
 //! * [`frozen`] — the flat [`frozen::FrozenForest`] scoring representation
-//!   every tree model (offline and online) compiles into via `freeze()`.
+//!   every tree model (offline and online) compiles into via `freeze()`;
+//! * [`level`] — the breadth-first [`level::LevelForest`] twin compiled
+//!   alongside it, whose interleaved lane kernels serve every batch
+//!   scoring path (eval sweeps, CLI score/eval, store replay).
 
 #![warn(missing_docs)]
 
@@ -20,10 +23,12 @@ pub mod cart;
 pub mod forest;
 pub mod frozen;
 pub mod gini;
+pub mod level;
 pub mod sampling;
 pub mod threshold;
 
 pub use cart::{CartConfig, DecisionTree};
 pub use forest::{ForestConfig, RandomForest};
 pub use frozen::{FrozenBuilder, FrozenForest, SourceNode};
+pub use level::LevelForest;
 pub use sampling::downsample_negatives;

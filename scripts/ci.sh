@@ -25,10 +25,11 @@ echo "== lint: orfpred invariants =="
 #   cargo run -p orfpred-analyze -- --explain <rule-id>
 cargo run -q -p orfpred-analyze --release -- --deny
 
-echo "== bench compile gate (benches must not rot, store + prep included) =="
+echo "== bench compile gate (benches must not rot, store + prep + score included) =="
 cargo bench --no-run
 cargo bench -p orfpred-bench --bench store --no-run
 cargo bench -p orfpred-bench --bench prep --no-run
+cargo bench -p orfpred-bench --bench score --no-run
 
 echo "== tier-1: full test suite =="
 cargo test -q
@@ -49,5 +50,8 @@ cargo test -q --test serve_adapt
 
 echo "== store golden-trace property suite =="
 cargo test -q --test store_roundtrip
+
+echo "== batch kernel equivalence suite =="
+cargo test -q --test batch_equiv --test frozen_equiv
 
 echo "ci: all green"

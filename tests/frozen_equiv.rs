@@ -26,6 +26,13 @@ fn assert_bit_identical(
         .collect();
     let rows: Vec<&[f32]> = probes.iter().map(|p| p.as_slice()).collect();
     let batch = frozen.score_rows(&rows);
+    // Columnar leg: the same probes transposed into feature columns must go
+    // through the column-fetching kernel and land on identical bits.
+    let cols: Vec<Vec<f32>> = (0..n_features)
+        .map(|f| probes.iter().map(|p| p[f]).collect())
+        .collect();
+    let col_refs: Vec<&[f32]> = cols.iter().map(|c| c.as_slice()).collect();
+    let columnar = frozen.score_columns(&col_refs);
     for (i, p) in probes.iter().enumerate() {
         let want = live(p);
         let got = frozen.score(p);
@@ -36,10 +43,22 @@ fn assert_bit_identical(
                 want.to_bits()
             ));
         }
+        let level = frozen.level().score(p);
+        if level.to_bits() != want.to_bits() {
+            return Err(format!(
+                "{what}: probe {i}: level-order single-row {level} != live {want}"
+            ));
+        }
         if batch[i].to_bits() != want.to_bits() {
             return Err(format!(
                 "{what}: probe {i}: batch {} != live {want}",
                 batch[i]
+            ));
+        }
+        if columnar[i].to_bits() != want.to_bits() {
+            return Err(format!(
+                "{what}: probe {i}: columnar {} != live {want}",
+                columnar[i]
             ));
         }
     }

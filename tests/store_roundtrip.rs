@@ -172,6 +172,78 @@ fn single_disk_fleet_round_trips_across_extreme_segment_capacities() {
 }
 
 #[test]
+fn segment_columns_score_bit_identical_to_materialized_rows() {
+    use orfpred::eval::prep::{stream_orf, training_labels};
+    use orfpred::eval::scorer::{FrozenOrfScorer, Scorer};
+
+    // Record a fleet, train an ORF on the replayed dataset, freeze it, then
+    // score every segment twice: straight off its columnar storage (the
+    // `feature_cols` → `score_raw_columns` path, no row materialization)
+    // and through materialized rows. Every score must match bit for bit.
+    let mut fleet = FleetConfig::sta(ScalePreset::Tiny, 101);
+    fleet.n_good = 12;
+    fleet.n_failed = 4;
+    fleet.duration_days = 200;
+    let dir = tmp_dir("cols");
+    record_fleet(
+        &dir,
+        &fleet,
+        StoreConfig {
+            segment_rows: 113, // prime: batches straddle segment boundaries
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let store = Store::open(&dir).unwrap();
+    let ds = store.dataset().unwrap();
+
+    let cols = orfpred::smart::attrs::table2_feature_columns();
+    let is_train = vec![true; ds.disks.len()];
+    let labels = training_labels(&ds, &is_train, ds.duration_days, 7);
+    let orf_cfg = orfpred::core::OrfConfig {
+        n_trees: 8,
+        n_tests: 40,
+        min_parent_size: 30.0,
+        warmup_age: 10,
+        ..orfpred::core::OrfConfig::default()
+    };
+    let (forest, scaler) = stream_orf(&ds, &labels, &cols, &orf_cfg, 0xC0);
+    let scorer = FrozenOrfScorer {
+        forest: forest.freeze(),
+        scaler,
+    };
+
+    let mut rows_scored = 0usize;
+    for i in 0..store.n_segments() {
+        let seg = store.segment(i).unwrap();
+        let raw_cols = seg.feature_cols();
+        let columnar = scorer.score_raw_columns(&raw_cols);
+        let materialized: Vec<[f32; orfpred::smart::attrs::N_FEATURES]> =
+            (0..seg.n_rows()).map(|r| seg.record(r).features).collect();
+        let row_refs: Vec<&[f32]> = materialized.iter().map(|f| &f[..]).collect();
+        let batch = scorer.score_raw_batch(&row_refs);
+        assert_eq!(columnar.len(), seg.n_rows(), "segment {i}");
+        for (r, row) in row_refs.iter().enumerate() {
+            let single = scorer.score_raw(row);
+            assert_eq!(
+                columnar[r].to_bits(),
+                single.to_bits(),
+                "segment {i} row {r}: columnar vs single-row"
+            );
+            assert_eq!(
+                batch[r].to_bits(),
+                single.to_bits(),
+                "segment {i} row {r}: row batch vs single-row"
+            );
+        }
+        rows_scored += seg.n_rows();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(rows_scored as u64, store.n_rows(), "all rows covered");
+    assert!(rows_scored > 200, "non-trivial fleet: {rows_scored} rows");
+}
+
+#[test]
 fn dataset_view_equals_the_materialized_simulation() {
     // The batch (Dataset) view and the streaming view come from the same
     // segments; check the batch one against FleetSim::collect directly.

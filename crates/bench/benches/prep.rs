@@ -80,5 +80,56 @@ fn bench_serve_with_prep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prep_stage, bench_serve_with_prep);
+/// Standalone throughput of the windowed derived-feature stage: every
+/// sample pays one history push plus the plan's delta/mean/std folds.
+/// Two shapes — the SMART catalog under the `smart-windowed` plan and the
+/// mce domain — bound the per-row cost of arming a derived plan.
+fn bench_window_stage(c: &mut Criterion) {
+    use orfpred_smart::gen::{MceFleetConfig, MceSim};
+    use orfpred_smart::{DomainSchema, WindowStage};
+
+    let mut mce_cfg = MceFleetConfig::preset(ScalePreset::Tiny, 11);
+    mce_cfg.duration_days = 150;
+    let cases = [
+        (
+            "smart_windowed",
+            DomainSchema::smart_windowed(),
+            clean_events(),
+        ),
+        (
+            "mce",
+            DomainSchema::mce(),
+            MceSim::new(&mce_cfg).collect::<Vec<FleetEvent>>(),
+        ),
+    ];
+    let mut group = c.benchmark_group("window_stage");
+    for (name, schema, stream) in &cases {
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), stream, |b, stream| {
+            b.iter(|| {
+                let mut w = WindowStage::new(schema);
+                let mut widened = 0usize;
+                for e in stream {
+                    match e {
+                        FleetEvent::Sample(rec) => {
+                            let mut row = rec.features.clone();
+                            w.extend(black_box(rec.disk_id), &mut row);
+                            widened += row.len();
+                        }
+                        FleetEvent::Failure { disk_id, .. } => w.forget(*disk_id),
+                    }
+                }
+                widened
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prep_stage,
+    bench_serve_with_prep,
+    bench_window_stage
+);
 criterion_main!(benches);

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! orfpred simulate --out fleet.csv [--dataset sta|stb] [--scale tiny|small] [--seed N]
+//! orfpred schema   [--domain smart|smart-windowed|mce]
 //! orfpred data     record --out store/ (--csv fleet.csv | [--dataset sta|stb] [--scale Z] [--seed N])
-//!                  [--segment-rows R] [--lenient]
+//!                  [--domain smart|smart-windowed|mce] [--segment-rows R] [--lenient]
 //! orfpred data     info   --store store/ [--top K]
-//! orfpred data     verify --store store/
+//! orfpred data     verify --store store/ [--domain NAME]
 //! orfpred train    (--csv fleet.csv | --store store/) --model model.json [--online] [--lambda R] [--seed N]
 //! orfpred score    (--csv fleet.csv | --store store/) --model model.json [--tau T] [--top K]
 //! orfpred eval     (--csv fleet.csv | --store store/) --model model.json [--target-far F]
@@ -22,6 +23,11 @@
 //!
 //! * `simulate` writes a Backblaze-format CSV from the fleet simulator —
 //!   handy for demos and for testing downstream tooling;
+//! * `schema` prints a telemetry domain's full column layout (base and
+//!   windowed derived features) and the fingerprint that stores and
+//!   checkpoints pin; `--domain mce` selects the correctable-memory-error
+//!   domain, `--domain smart-windowed` the SMART catalog with the 5-day
+//!   delta/mean/std plan;
 //! * `data record` captures a fleet (simulated, or parsed from a CSV) into
 //!   a checksummed columnar telemetry store; `data info` prints its
 //!   anatomy (segments, rows, date range, per-column compression);
@@ -63,8 +69,9 @@ mod model;
 
 use model::SavedModel;
 use orfpred_smart::csv::read_dataset_with;
-use orfpred_smart::gen::{FleetConfig, FleetSim, ScalePreset};
+use orfpred_smart::gen::{FleetConfig, FleetSim, MceFleetConfig, MceSim, ScalePreset};
 use orfpred_smart::record::Dataset;
+use orfpred_smart::{ColumnRole, DomainSchema};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
@@ -163,13 +170,14 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: orfpred <simulate|data|train|score|eval|inspect|model|drift|assess> [options]\n\
+            "usage: orfpred <simulate|schema|data|train|score|eval|inspect|model|drift|assess> [options]\n\
              run `orfpred <command> --help` conventions: see crate docs"
         );
         return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
         "simulate" => simulate(&argv[1..]),
+        "schema" => schema_cmd(&argv[1..]),
         "data" => data_cmd(&argv[1..]),
         "train" => train(&argv[1..]),
         "score" => score(&argv[1..]),
@@ -195,12 +203,7 @@ fn main() -> ExitCode {
 /// `--dataset sta|stb`, `--scale tiny|small|medium`, `--seed N`.
 fn fleet_from_args(args: &Args) -> Result<FleetConfig, String> {
     let seed: u64 = args.parse_num("seed", 42)?;
-    let scale = match args.get("scale").unwrap_or("tiny") {
-        "tiny" => ScalePreset::Tiny,
-        "small" => ScalePreset::Small,
-        "medium" => ScalePreset::Medium,
-        other => return Err(format!("unknown scale '{other}'")),
-    };
+    let scale = scale_from_args(args)?;
     match args.get("dataset").unwrap_or("sta") {
         "sta" => Ok(FleetConfig::sta(scale, seed)),
         "stb" => Ok(FleetConfig::stb(scale, seed)),
@@ -208,9 +211,33 @@ fn fleet_from_args(args: &Args) -> Result<FleetConfig, String> {
     }
 }
 
+fn scale_from_args(args: &Args) -> Result<ScalePreset, String> {
+    match args.get("scale").unwrap_or("tiny") {
+        "tiny" => Ok(ScalePreset::Tiny),
+        "small" => Ok(ScalePreset::Small),
+        "medium" => Ok(ScalePreset::Medium),
+        other => Err(format!("unknown scale '{other}'")),
+    }
+}
+
+/// `--domain smart|smart-windowed|mce` (default `smart`).
+fn domain_from_args(args: &Args) -> Result<DomainSchema, String> {
+    let name = args.get("domain").unwrap_or("smart");
+    DomainSchema::for_domain(name)
+        .ok_or_else(|| format!("unknown domain '{name}' (smart|smart-windowed|mce)"))
+}
+
 fn simulate(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     let out = args.require("out")?;
+    if let Some(d) = args.get("domain") {
+        if d != "smart" {
+            return Err(format!(
+                "the Backblaze CSV format is SMART-only; record the '{d}' domain into a \
+                 columnar store with `orfpred data record --domain {d}` instead"
+            ));
+        }
+    }
     let cfg = fleet_from_args(&args)?;
     let ds = FleetSim::collect(&cfg);
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
@@ -243,12 +270,26 @@ fn data_cmd(argv: &[String]) -> Result<(), String> {
 fn data_record(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &["lenient"])?;
     let out = args.require("out")?;
+    let schema = domain_from_args(&args)?;
     let cfg = orfpred_store::StoreConfig {
         segment_rows: args.parse_num("segment-rows", orfpred_store::DEFAULT_SEGMENT_ROWS)?,
+        schema: schema.clone(),
         ..Default::default()
     };
     let meta = if let Some(path) = args.get("csv") {
+        if schema.name != "smart" {
+            return Err(format!(
+                "--csv carries Backblaze SMART rows; it cannot be recorded under the \
+                 '{}' domain",
+                schema.name
+            ));
+        }
         let ds = load_csv(path, args.has("lenient"))?;
+        orfpred_store::record_dataset(std::path::Path::new(out), &ds, cfg)
+    } else if schema.name == "mce" {
+        let seed: u64 = args.parse_num("seed", 42)?;
+        let mce = MceFleetConfig::preset(scale_from_args(&args)?, seed);
+        let ds = MceSim::collect(&mce);
         orfpred_store::record_dataset(std::path::Path::new(out), &ds, cfg)
     } else {
         let fleet = fleet_from_args(&args)?;
@@ -256,9 +297,11 @@ fn data_record(argv: &[String]) -> Result<(), String> {
     }
     .map_err(|e| e.to_string())?;
     eprintln!(
-        "recorded {} rows into {} segments at {out}",
+        "recorded {} rows into {} segments at {out} (domain {}, fingerprint {:016x})",
         meta.total_rows,
-        meta.segments.len()
+        meta.segments.len(),
+        schema.name,
+        schema.fingerprint()
     );
     Ok(())
 }
@@ -276,6 +319,14 @@ fn data_info(argv: &[String]) -> Result<(), String> {
     println!(
         "model {} | {} disks ({} failed) | {} rows in {} segments (≤ {} rows each)",
         info.model, info.n_disks, info.n_failed, info.rows, info.segments, info.segment_rows
+    );
+    let schema = store.schema();
+    println!(
+        "domain {} | {} attributes → {} base features | fingerprint {:016x}",
+        schema.name,
+        schema.n_attributes(),
+        schema.n_base_features(),
+        info.schema_fp
     );
     match (info.first_day, info.last_day) {
         (Some(a), Some(b)) => println!(
@@ -321,17 +372,80 @@ fn data_info(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `orfpred data verify --store DIR`: decode every segment, check every
-/// CRC and ordering invariant. Exit status is the answer.
+/// `orfpred data verify --store DIR [--domain NAME]`: decode every
+/// segment, check every CRC and ordering invariant; with `--domain`, also
+/// check the store was recorded under that telemetry domain (a mismatch is
+/// the store's typed `Corrupt` error, not a silent width pun). Exit status
+/// is the answer.
 fn data_verify(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     let dir = args.require("store")?;
     let store = orfpred_store::Store::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    if args.get("domain").is_some() {
+        let want = domain_from_args(&args)?;
+        store.verify_domain(&want).map_err(|e| e.to_string())?;
+    }
     let report = store.verify().map_err(|e| e.to_string())?;
+    let schema = store.schema();
     println!(
-        "ok: {} segments, {} rows, {} encoded bytes verified",
-        report.segments, report.rows, report.bytes
+        "ok: {} segments, {} rows, {} encoded bytes verified \
+         (domain {}, {} attributes, fingerprint {:016x})",
+        report.segments,
+        report.rows,
+        report.bytes,
+        schema.name,
+        schema.n_attributes(),
+        schema.fingerprint()
     );
+    Ok(())
+}
+
+/// `orfpred schema [--domain smart|smart-windowed|mce]`: print a domain's
+/// column layout — every base and derived feature column with its role —
+/// plus the fingerprint that stores and checkpoints pin.
+fn schema_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let schema = domain_from_args(&args)?;
+    schema.validate()?;
+    println!(
+        "domain {} | {} attributes | {} base + {} derived = {} feature columns",
+        schema.name,
+        schema.n_attributes(),
+        schema.n_base_features(),
+        schema.derived.n_derived(),
+        schema.n_features()
+    );
+    println!("fingerprint {:016x}", schema.fingerprint());
+    if schema.derived.is_empty() {
+        println!("derived plan: empty (window stage is a no-op)");
+    } else {
+        println!(
+            "derived plan: {}-day window over {} base column(s)",
+            schema.derived.window_days,
+            schema.derived.cols.len()
+        );
+    }
+    println!("{:>5} {:>28} {:>12} notes", "col", "feature", "kind");
+    for col in 0..schema.n_features() {
+        let (kind, notes) = match schema.column_role(col) {
+            ColumnRole::Base(ai, k) => {
+                let a = &schema.attributes[ai];
+                let mut notes = format!("id {}", a.id);
+                if a.cumulative {
+                    notes.push_str(", cumulative");
+                }
+                (format!("{k:?}").to_lowercase(), notes)
+            }
+            ColumnRole::Derived(base, stat) => (
+                stat.suffix().to_string(),
+                format!("from col {base} ({})", schema.feature_name(base)),
+            ),
+        };
+        println!(
+            "{col:>5} {:>28} {kind:>12} {notes}",
+            schema.feature_name(col)
+        );
+    }
     Ok(())
 }
 
@@ -438,7 +552,13 @@ fn drift(argv: &[String]) -> Result<(), String> {
     let ds = load_input(&args)?;
     let top: usize = args.parse_num("top", 12)?;
     let cols: Vec<usize> = (0..orfpred_smart::attrs::N_FEATURES).collect();
-    let report = orfpred_smart::drift::measure_drift(&ds, &cols, 30, 5_000);
+    let report = orfpred_smart::drift::measure_drift(
+        &ds,
+        &orfpred_smart::DomainSchema::smart(),
+        &cols,
+        30,
+        5_000,
+    );
     print!("{}", report.render(top));
     Ok(())
 }

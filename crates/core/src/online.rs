@@ -19,6 +19,7 @@ use orfpred_prep::{PrepConfig, Preprocessor};
 use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use orfpred_smart::scale::OnlineMinMax;
+use orfpred_smart::{DomainSchema, WindowStage};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the online predictor.
@@ -30,8 +31,9 @@ pub struct OnlinePredictorConfig {
     pub window_days: usize,
     /// Ensemble vote threshold above which an alarm is raised.
     pub alarm_threshold: f32,
-    /// Columns of the raw 48-feature snapshot used as model inputs
-    /// (typically the Table 2 selection).
+    /// Columns of the full feature row used as model inputs (typically the
+    /// Table 2 selection for SMART). Indices may point at base *or*
+    /// derived (windowed) columns of the domain schema.
     pub feature_cols: Vec<usize>,
     /// Seed for the forest's RNG streams.
     pub seed: u64,
@@ -42,6 +44,12 @@ pub struct OnlinePredictorConfig {
     /// Optional drift-triggered closed-loop adaptation. `None` keeps the
     /// paper's pure-ORF behaviour.
     pub adapt: Option<AdaptConfig>,
+    /// Telemetry domain the pipeline runs on. `None` (and every config
+    /// serialized before the field existed) means the implicit SMART
+    /// domain with an empty derived plan — bit-exact with the pre-schema
+    /// pipeline. A schema with a non-empty derived plan enables the
+    /// sliding-window feature stage between prep and the labeller.
+    pub domain: Option<DomainSchema>,
 }
 
 impl OnlinePredictorConfig {
@@ -55,6 +63,30 @@ impl OnlinePredictorConfig {
             seed,
             prep: None,
             adapt: None,
+            domain: None,
+        }
+    }
+
+    /// Default configuration for an explicit telemetry domain.
+    pub fn for_domain(schema: DomainSchema, feature_cols: Vec<usize>, seed: u64) -> Self {
+        let mut cfg = Self::new(feature_cols, seed);
+        cfg.domain = Some(schema);
+        cfg
+    }
+
+    /// The resolved domain schema (`None` ⇒ implicit SMART).
+    pub fn domain_schema(&self) -> DomainSchema {
+        self.domain.clone().unwrap_or_else(DomainSchema::smart)
+    }
+
+    /// A window stage for this config's derived plan; `None` when the plan
+    /// is empty (the stage would be a strict no-op).
+    pub fn window_stage(&self) -> Option<WindowStage> {
+        let stage = WindowStage::new(&self.domain_schema());
+        if stage.is_noop() {
+            None
+        } else {
+            Some(stage)
         }
     }
 }
@@ -84,6 +116,10 @@ pub struct OnlinePredictor {
     alarms_raised: u64,
     prep: Option<Preprocessor>,
     adaptive: Option<AdaptiveState>,
+    /// Sliding-window derived-feature stage (schema-driven); `None` for
+    /// domains with an empty derived plan, which also keeps checkpoints
+    /// written before the field existed loading unchanged.
+    window: Option<WindowStage>,
 }
 
 impl OnlinePredictor {
@@ -103,6 +139,7 @@ impl OnlinePredictor {
                 .adapt
                 .as_ref()
                 .map(|a| AdaptiveState::new(a, n, &cfg.orf, cfg.seed)),
+            window: cfg.window_stage(),
         }
     }
 
@@ -162,7 +199,28 @@ impl OnlinePredictor {
     /// Like [`OnlinePredictor::observe_sample`], but also returns the score
     /// the model assigned to the fresh sample (evaluation harnesses record
     /// every causal score, alarm or not).
+    ///
+    /// When the domain schema has a non-empty derived plan, the window
+    /// stage extends the base row here — after prep, before the labeller —
+    /// so the labeller queues, the scaler, and the forest all see
+    /// full-width rows. With an empty plan the row passes through
+    /// untouched (the SMART bit-exactness pin).
     pub fn observe_sample_scored(&mut self, rec: &DiskDay) -> (f32, Option<Alarm>) {
+        if let Some(w) = self.window.as_mut() {
+            let mut features = rec.features.clone();
+            w.extend(rec.disk_id, &mut features);
+            let extended = DiskDay {
+                disk_id: rec.disk_id,
+                day: rec.day,
+                features,
+            };
+            return self.observe_extended(&extended);
+        }
+        self.observe_extended(rec)
+    }
+
+    /// Algorithm 2 lines 10–22 on a row already at full feature width.
+    fn observe_extended(&mut self, rec: &DiskDay) -> (f32, Option<Alarm>) {
         // The scaler only ever widens, so updating it before training keeps
         // past and future transforms consistent.
         self.scaler.update(&rec.features);
@@ -202,6 +260,10 @@ impl OnlinePredictor {
             self.forest.update(&self.scratch, true);
             self.adapt_on_released(&released.features, true);
         }
+        // The disk is gone; its window history can never be extended again.
+        if let Some(w) = self.window.as_mut() {
+            w.forget(disk_id);
+        }
     }
 
     /// Feed one labeller release to the adaptation loop; on a drift event
@@ -219,8 +281,10 @@ impl OnlinePredictor {
         }
     }
 
-    /// Score a raw 48-column snapshot with the current model (no state
-    /// change).
+    /// Score a full-width feature row with the current model (no state
+    /// change). For a domain with derived columns the caller supplies them
+    /// (e.g. via [`WindowStage::extend_records`] offline); stateless probes
+    /// may zero-pad.
     pub fn score_row(&self, features: &[f32]) -> f32 {
         let mut scaled = vec![0.0f32; self.scaler.n_outputs()];
         self.scaler.transform_into(features, &mut scaled);
@@ -267,6 +331,12 @@ impl OnlinePredictor {
         self.adaptive.as_ref()
     }
 
+    /// The window stage, when the domain's derived plan is non-empty
+    /// (counters / diagnostics).
+    pub fn window(&self) -> Option<&WindowStage> {
+        self.window.as_ref()
+    }
+
     /// Freeze the current model state for batch scoring: the compiled
     /// forest plus a copy of the streaming scaler. Scoring a raw row with
     /// the pair is bit-identical to [`Self::score_row`] at the freeze point.
@@ -300,7 +370,7 @@ mod tests {
     }
 
     fn rec(disk_id: u32, day: u16, err: f32) -> DiskDay {
-        let mut features = [0.0f32; N_FEATURES];
+        let mut features = vec![0.0f32; N_FEATURES];
         for &c in &cols() {
             features[c] = err;
         }
@@ -401,6 +471,85 @@ mod tests {
             }
         }
         assert_eq!(p.forest().samples_seen(), restored.forest().samples_seen());
+    }
+
+    #[test]
+    fn windowed_domain_extends_rows_and_checkpoints_bit_exactly() {
+        // An mce-domain config whose feature columns include derived
+        // (windowed) indices; the predictor must extend rows internally.
+        let schema = DomainSchema::mce();
+        let n_base = schema.n_base_features();
+        let cols = vec![1usize, 3, n_base, n_base + 1]; // two base, two derived
+        let mut c = OnlinePredictorConfig::for_domain(schema.clone(), cols, 41);
+        c.orf.n_trees = 5;
+        c.orf.n_tests = 10;
+        c.orf.min_parent_size = 10.0;
+        c.orf.min_gain = 0.0;
+        c.orf.warmup_age = 0;
+        let mut p = OnlinePredictor::new(&c);
+        assert!(p.window().is_some(), "mce derived plan enables the stage");
+
+        let mce_rec = |disk: u32, day: u16, v: f32| DiskDay {
+            disk_id: disk,
+            day,
+            features: {
+                let mut f = vec![0.0f32; n_base];
+                f[1] = v;
+                f[3] = v * 0.5;
+                f
+            },
+        };
+        for day in 0..40u16 {
+            for disk in 0..8u32 {
+                p.observe_sample(&mce_rec(
+                    disk,
+                    day,
+                    f32::from(day % 6) * f32::from(disk as u8 + 1),
+                ));
+            }
+        }
+        p.observe_failure(3);
+        assert_eq!(
+            p.window().unwrap().n_tracked(),
+            7,
+            "failed disk's window state is dropped"
+        );
+
+        // Checkpoint mid-stream and continue both pipelines identically.
+        let json = serde_json::to_string(&p).unwrap();
+        let mut restored: OnlinePredictor = serde_json::from_str(&json).unwrap();
+        for day in 40..70u16 {
+            for disk in 0..8u32 {
+                if disk == 3 {
+                    continue;
+                }
+                let r = mce_rec(disk, day, f32::from(day % 9));
+                let (sa, aa) = p.observe_sample_scored(&r);
+                let (sb, ab) = restored.observe_sample_scored(&r);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "day {day} disk {disk}");
+                assert_eq!(aa, ab);
+            }
+        }
+    }
+
+    #[test]
+    fn smart_domain_with_empty_plan_is_bit_exact_with_no_domain() {
+        // Explicit SMART schema (empty derived plan) must not perturb the
+        // pipeline at all relative to the implicit default.
+        let mut a = OnlinePredictor::new(&cfg());
+        let explicit = OnlinePredictorConfig {
+            domain: Some(DomainSchema::smart()),
+            ..cfg()
+        };
+        let mut b = OnlinePredictor::new(&explicit);
+        assert!(b.window().is_none(), "empty plan must not build a stage");
+        train_stream(&mut a, 30, 80);
+        train_stream(&mut b, 30, 80);
+        let probe = rec(999, 81, 13.0);
+        assert_eq!(
+            a.score_row(&probe.features).to_bits(),
+            b.score_row(&probe.features).to_bits()
+        );
     }
 
     #[test]

@@ -447,7 +447,7 @@ mod tests {
     }
 
     fn rec(disk_id: u32, day: u16, score: f32) -> DiskDay {
-        let mut features = [0.0f32; N_FEATURES];
+        let mut features = vec![0.0f32; N_FEATURES];
         features[0] = score;
         DiskDay {
             disk_id,

@@ -35,7 +35,6 @@
 
 #![warn(missing_docs)]
 
-use orfpred_smart::attrs::N_FEATURES;
 use orfpred_smart::gen::FleetEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -163,12 +162,12 @@ impl PrepCounters {
 }
 
 /// Per-disk preprocessing state.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 struct DiskPrep {
     /// Newest day this disk has reported (after repairs).
     last_day: u16,
     /// The disk's last emitted (repaired) attribute row.
-    last_row: [f32; N_FEATURES],
+    last_row: Vec<f32>,
     /// Consecutive bit-identical repeats of `last_row` seen so far.
     run_len: u16,
 }
@@ -203,8 +202,10 @@ impl Preprocessor {
         Self {
             cfg: cfg.clone(),
             disks: BTreeMap::new(),
-            col_last: vec![0.0; N_FEATURES],
-            col_seen: vec![false; N_FEATURES],
+            // Sized lazily from the first row: the stage is width-agnostic
+            // and serves any `DomainSchema` layout.
+            col_last: Vec::new(),
+            col_seen: Vec::new(),
             pending: BTreeMap::new(),
             watermark: 0,
             counters: PrepCounters::default(),
@@ -253,8 +254,8 @@ impl Preprocessor {
         self.watermark = self.watermark.max(dd.day);
         self.release_due(out);
 
-        let prev = self.disks.get(&dd.disk_id).copied();
-        if let Some(st) = prev {
+        let prev = self.disks.get(&dd.disk_id).cloned();
+        if let Some(st) = &prev {
             if dd.day == st.last_day {
                 self.counters.duplicate_days += 1;
                 return;
@@ -266,11 +267,15 @@ impl Preprocessor {
         }
 
         let mut repaired = dd.clone();
+        if self.col_last.len() < repaired.features.len() {
+            self.col_last.resize(repaired.features.len(), 0.0);
+            self.col_seen.resize(repaired.features.len(), false);
+        }
         self.repair_row(&mut repaired.features, prev.as_ref());
 
         // Stuck-at: count consecutive bit-identical repaired rows.
         let mut run_len = 0;
-        if let Some(st) = prev {
+        if let Some(st) = &prev {
             if rows_identical(&st.last_row, &repaired.features) {
                 run_len = st.run_len.saturating_add(1);
             }
@@ -279,7 +284,7 @@ impl Preprocessor {
             dd.disk_id,
             DiskPrep {
                 last_day: repaired.day,
-                last_row: repaired.features,
+                last_row: repaired.features.clone(),
                 run_len,
             },
         );
@@ -342,7 +347,7 @@ impl Preprocessor {
 
     /// Impute non-finite and out-of-range values in place: the disk's last
     /// good value, else the fleet-wide last good value, else `0.0`.
-    fn repair_row(&mut self, row: &mut [f32; N_FEATURES], prev: Option<&DiskPrep>) {
+    fn repair_row(&mut self, row: &mut [f32], prev: Option<&DiskPrep>) {
         for (c, v) in row.iter_mut().enumerate() {
             let bad = if !v.is_finite() {
                 self.counters.values_imputed += 1;
@@ -357,9 +362,7 @@ impl Preprocessor {
             };
             if bad {
                 *v = prev
-                    .map(|st| st.last_row)
-                    .as_ref()
-                    .and_then(|r| r.get(c))
+                    .and_then(|st| st.last_row.get(c))
                     .copied()
                     .or_else(|| {
                         if self.col_seen.get(c).copied().unwrap_or(false) {
@@ -376,22 +379,24 @@ impl Preprocessor {
 
 /// Bitwise row equality — NaN-free by construction (rows are repaired
 /// before they are stored), but bit comparison keeps it total anyway.
-fn rows_identical(a: &[f32; N_FEATURES], b: &[f32; N_FEATURES]) -> bool {
-    a.iter()
-        .zip(b.iter())
-        .all(|(x, y)| x.to_bits() == y.to_bits())
+fn rows_identical(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use orfpred_smart::record::DiskDay;
+    use orfpred_smart::N_FEATURES;
 
     fn sample(disk_id: u32, day: u16, fill: f32) -> FleetEvent {
         FleetEvent::Sample(DiskDay {
             disk_id,
             day,
-            features: [fill; N_FEATURES],
+            features: vec![fill; N_FEATURES],
         })
     }
 
@@ -449,13 +454,13 @@ mod tests {
         let mut first = DiskDay {
             disk_id: 1,
             day: 0,
-            features: [2.0; N_FEATURES],
+            features: vec![2.0; N_FEATURES],
         };
         first.features[3] = f32::NAN; // no history at all → 0.0
         let mut second = DiskDay {
             disk_id: 1,
             day: 1,
-            features: [4.0; N_FEATURES],
+            features: vec![4.0; N_FEATURES],
         };
         second.features[5] = f32::INFINITY; // disk history → 2.0
 
@@ -464,10 +469,10 @@ mod tests {
             &mut prep,
             &[FleetEvent::Sample(first), FleetEvent::Sample(second)],
         );
-        let rows: Vec<[f32; N_FEATURES]> = out
+        let rows: Vec<Vec<f32>> = out
             .iter()
             .map(|e| match e {
-                FleetEvent::Sample(dd) => dd.features,
+                FleetEvent::Sample(dd) => dd.features.clone(),
                 _ => panic!("expected samples"),
             })
             .collect();
@@ -481,7 +486,7 @@ mod tests {
         let mut bad = DiskDay {
             disk_id: 9,
             day: 1,
-            features: [1.0; N_FEATURES],
+            features: vec![1.0; N_FEATURES],
         };
         bad.features[0] = f32::NAN;
         let mut prep = Preprocessor::new(&PrepConfig::default());
@@ -502,7 +507,7 @@ mod tests {
         let mut dd = DiskDay {
             disk_id: 1,
             day: 1,
-            features: [50.0; N_FEATURES],
+            features: vec![50.0; N_FEATURES],
         };
         dd.features[2] = -3.0;
         dd.features[4] = 1e9;

@@ -339,7 +339,13 @@ pub fn roc(opts: &Options) {
 pub fn drift(opts: &Options) {
     for (label, ds) in [("STA", opts.sta()), ("STB", opts.stb())] {
         let cols: Vec<usize> = (0..N_FEATURES).collect();
-        let report = orfpred_smart::drift::measure_drift(&ds, &cols, 30, 5_000);
+        let report = orfpred_smart::drift::measure_drift(
+            &ds,
+            &orfpred_smart::DomainSchema::smart(),
+            &cols,
+            30,
+            5_000,
+        );
         println!("=== {label} ===");
         println!("{}", report.render(12));
         let cum_top = report

@@ -19,13 +19,16 @@ use crate::fault::{CheckpointFault, FaultInjector, NoFaults};
 use orfpred_core::{AdaptiveState, OnlineLabeller, OnlineRandomForest};
 use orfpred_prep::Preprocessor;
 use orfpred_smart::scale::OnlineMinMax;
+use orfpred_smart::{DomainSchema, WindowStage};
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Current checkpoint schema version ([`Checkpoint::Online`]'s `version`
-/// field). v1 files predate the field and deserialize as `None`.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// field). v1 files predate the field and deserialize as `None`; v2 files
+/// predate the domain-schema and window-stage fields, which deserialize as
+/// `None` — the implicit SMART domain with no derived features.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Why a checkpoint could not be saved or loaded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -120,6 +123,15 @@ pub enum Checkpoint {
         /// buffers, rebuild bookkeeping). `None` on older files or when the
         /// engine runs without adaptation.
         adapt: Option<AdaptiveState>,
+        /// The telemetry domain the checkpointed pipeline ran on. `None`
+        /// on v1/v2 files: the implicit SMART domain. Carried so a restore
+        /// against a different domain fails a fingerprint check instead of
+        /// silently misaligning feature columns.
+        schema: Option<DomainSchema>,
+        /// Sliding-window derived-feature state at the barrier (per-disk
+        /// history). `None` on v1/v2 files or when the domain's derived
+        /// plan is empty.
+        window: Option<WindowStage>,
     },
 }
 
@@ -213,6 +225,8 @@ impl Checkpoint {
             version,
             labeller,
             alarm_threshold,
+            schema,
+            window,
             ..
         } = self;
         if let Some(v) = version {
@@ -241,6 +255,22 @@ impl Checkpoint {
             if !t.is_finite() {
                 return Err(format!("alarm threshold {t} is not finite"));
             }
+        }
+        if let Some(s) = schema {
+            s.validate().map_err(|e| format!("domain schema: {e}"))?;
+            if let Some(w) = window {
+                if w.n_base() != s.n_base_features() || w.n_features() != s.n_features() {
+                    return Err(format!(
+                        "window stage is {}→{} columns but the schema says {}→{}",
+                        w.n_base(),
+                        w.n_features(),
+                        s.n_base_features(),
+                        s.n_features()
+                    ));
+                }
+            }
+        } else if window.is_some() {
+            return Err("window state present without a domain schema".into());
         }
         Ok(())
     }
@@ -278,6 +308,8 @@ mod tests {
             events_ingested: Some(41),
             prep: Some(Preprocessor::new(&orfpred_prep::PrepConfig::tolerant())),
             adapt: None,
+            schema: Some(DomainSchema::smart()),
+            window: None,
         }
     }
 
@@ -367,6 +399,8 @@ mod tests {
             events_ingested: None,
             prep: None,
             adapt: None,
+            schema: None,
+            window: None,
         };
         let err = bad.validate().unwrap_err();
         assert!(err.contains("forest expects"), "got: {err}");
@@ -393,7 +427,102 @@ mod tests {
             events_ingested: None,
             prep: None,
             adapt: None,
+            schema: None,
+            window: None,
         };
         assert!(bad.validate().unwrap_err().contains("newer"));
+    }
+
+    #[test]
+    fn v3_checkpoint_with_non_default_domain_round_trips() {
+        let schema = DomainSchema::mce();
+        let mut window = WindowStage::new(&schema);
+        // Give the window real per-disk history so the round trip covers it.
+        for day in 0..4u16 {
+            for disk in [2u32, 9] {
+                let mut row = vec![0.0f32; schema.n_base_features()];
+                row[1] = f32::from(day) * 3.0 + disk as f32;
+                window.extend(disk, &mut row);
+            }
+        }
+        let Checkpoint::Online {
+            scaler,
+            forest,
+            labeller,
+            ..
+        } = tiny();
+        let ck = Checkpoint::Online {
+            scaler,
+            forest,
+            version: Some(CHECKPOINT_VERSION),
+            labeller,
+            alarm_threshold: Some(0.4),
+            alarms_raised: Some(1),
+            next_seq: Some(7),
+            events_ingested: Some(6),
+            prep: None,
+            adapt: None,
+            schema: Some(schema.clone()),
+            window: Some(window),
+        };
+        let path = std::env::temp_dir().join("orfpred_serve_ckpt_v3_domain_test.json");
+        ck.save_atomic(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(
+            serde_json::to_string(&ck).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+        let Checkpoint::Online {
+            schema: s,
+            window: w,
+            ..
+        } = back;
+        let s = s.unwrap();
+        assert_eq!(s.fingerprint(), schema.fingerprint());
+        let w = w.unwrap();
+        assert_eq!(w.n_tracked(), 2, "per-disk history survived");
+        assert_eq!(w.n_features(), schema.n_features());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_checkpoint_without_schema_loads_as_implicit_smart() {
+        // A v2 document: everything tiny() has except the v3 fields.
+        let Checkpoint::Online { scaler, forest, .. } = tiny();
+        let v2 = format!(
+            "{{\"Online\":{{\"scaler\":{},\"forest\":{},\"version\":2,\"alarm_threshold\":0.5}}}}",
+            serde_json::to_string(&scaler).unwrap(),
+            serde_json::to_string(&forest).unwrap()
+        );
+        let loaded: Checkpoint = serde_json::from_str(&v2).unwrap();
+        loaded.validate().unwrap();
+        let Checkpoint::Online { schema, window, .. } = loaded;
+        assert!(
+            schema.is_none(),
+            "v2 files carry no schema (implicit SMART)"
+        );
+        assert!(window.is_none());
+    }
+
+    #[test]
+    fn mismatched_window_and_schema_are_rejected() {
+        let Checkpoint::Online { scaler, forest, .. } = tiny();
+        let bad = Checkpoint::Online {
+            scaler,
+            forest,
+            version: Some(CHECKPOINT_VERSION),
+            labeller: None,
+            alarm_threshold: None,
+            alarms_raised: None,
+            next_seq: None,
+            events_ingested: None,
+            prep: None,
+            adapt: None,
+            // SMART schema but a window stage built for the mce layout.
+            schema: Some(DomainSchema::smart()),
+            window: Some(WindowStage::new(&DomainSchema::mce())),
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("window stage"), "got: {err}");
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::engine::{Engine, Finished, ServeConfig};
-use crate::protocol::{features_48, Request, Response};
+use crate::protocol::{pad_features, Request, Response};
 use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use std::io::{BufRead, BufReader, Write};
@@ -91,10 +91,12 @@ fn handle(engine: &Engine, req: Request, default_ckpt: Option<&PathBuf>) -> Vec<
             day,
             features,
         } => {
+            // Wire samples carry *base* rows: the engine's window stage
+            // appends any derived columns during ingest.
             let rec = DiskDay {
                 disk_id,
                 day,
-                features: features_48(&features),
+                features: pad_features(&features, engine.schema().n_base_features()),
             };
             match engine.ingest(FleetEvent::Sample(rec)) {
                 Ok(()) => Vec::new(),
@@ -111,8 +113,10 @@ fn handle(engine: &Engine, req: Request, default_ckpt: Option<&PathBuf>) -> Vec<
                 }],
             }
         }
+        // Stateless score probes are padded to the *full* width: a client
+        // may supply derived columns itself; missing ones read as zero.
         Request::Score { features } => vec![Response::Score {
-            score: engine.score(&features_48(&features)),
+            score: engine.score(&pad_features(&features, engine.n_features())),
         }],
         Request::Stats => vec![Response::Stats(Box::new(engine.stats()))],
         Request::Checkpoint { path } => {

@@ -54,6 +54,7 @@ use orfpred_prep::Preprocessor;
 use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::DiskDay;
 use orfpred_smart::scale::OnlineMinMax;
+use orfpred_smart::{DomainSchema, WindowStage};
 use orfpred_trees::FrozenForest;
 use orfpred_util::Matrix;
 use parking_lot::Mutex;
@@ -119,14 +120,14 @@ pub struct ModelSnapshot {
 }
 
 impl ModelSnapshot {
-    /// Score a raw 48-column snapshot against this frozen model.
+    /// Score a full-width feature row against this frozen model.
     pub fn score(&self, features: &[f32]) -> f32 {
         let mut scaled = vec![0.0f32; self.scaler.n_outputs()];
         self.scaler.transform_into(features, &mut scaled);
         self.forest.score(&scaled)
     }
 
-    /// Score a batch of raw 48-column snapshots through the frozen
+    /// Score a batch of full-width feature rows through the frozen
     /// breadth-first batch kernel (the bulk path for catch-up scans and
     /// offline replay against a published snapshot). Bit-identical to
     /// mapping [`Self::score`] over `rows`.
@@ -242,6 +243,9 @@ struct CheckpointRequest {
     raw_events: u64,
     /// Preprocessing state at the barrier.
     prep: Option<Preprocessor>,
+    /// Window-stage state at the barrier (per-disk derived-feature
+    /// history); restored so recovery extends rows bit-identically.
+    window: Option<WindowStage>,
 }
 
 /// Mutable ingest-side state, serialized by one mutex so sequence stamping
@@ -255,6 +259,12 @@ struct IngestState {
     raw_events: u64,
     /// Optional repair/hold stage between the raw stream and the shards.
     prep: Option<Preprocessor>,
+    /// Schema-driven sliding-window derived-feature stage, after prep and
+    /// before sharding. It lives under the ingest lock for the same reason
+    /// prep does: per-disk state must see the disk's rows in arrival
+    /// order, which is what keeps N-shard == serial bit-exact (DESIGN §15).
+    /// `None` when the domain's derived plan is empty.
+    window: Option<WindowStage>,
     /// Reusable scratch buffer for prep output (0..n events per raw one).
     prep_buf: Vec<FleetEvent>,
 }
@@ -271,6 +281,9 @@ pub struct Engine {
     shard_handles: Mutex<Vec<JoinHandle<()>>>,
     writer_handle: Mutex<Option<JoinHandle<WriterFinal>>>,
     n_shards: usize,
+    /// The resolved telemetry domain (implicit SMART when the predictor
+    /// config carries none). Scoring clients pad rows to its width.
+    schema: DomainSchema,
 }
 
 /// State the writer thread returns at shutdown.
@@ -306,12 +319,14 @@ impl Engine {
         // A fresh engine (or an older checkpoint without the fields) builds
         // the prep stage and adaptation loop from the predictor config; a
         // checkpoint that carries them resumes their exact state.
+        let schema = p.domain_schema();
         let fresh_prep = || p.prep.as_ref().map(Preprocessor::new);
         let fresh_adapt = || {
             p.adapt
                 .as_ref()
                 .map(|a| AdaptiveState::new(a, p.feature_cols.len(), &p.orf, p.seed))
         };
+        let fresh_window = || p.window_stage();
         let (
             scaler,
             forest,
@@ -322,6 +337,7 @@ impl Engine {
             raw_events,
             prep,
             adaptive,
+            window,
         ) = match from {
             None => (
                 OnlineMinMax::new_log1p(&p.feature_cols),
@@ -333,6 +349,7 @@ impl Engine {
                 0,
                 fresh_prep(),
                 fresh_adapt(),
+                fresh_window(),
             ),
             Some(Checkpoint::Online {
                 scaler,
@@ -344,18 +361,34 @@ impl Engine {
                 events_ingested,
                 prep,
                 adapt,
+                schema: ck_schema,
+                window,
                 version: _,
-            }) => (
-                scaler,
-                forest,
-                labeller.unwrap_or_else(|| OnlineLabeller::new(p.window_days)),
-                alarm_threshold.unwrap_or(p.alarm_threshold),
-                alarms_raised.unwrap_or(0),
-                next_seq.unwrap_or(0),
-                events_ingested.unwrap_or(0),
-                prep.or_else(fresh_prep),
-                adapt.or_else(fresh_adapt),
-            ),
+            }) => {
+                // A checkpoint from a different domain would misalign every
+                // feature column; fail loudly at restore time.
+                if let Some(s) = &ck_schema {
+                    assert_eq!(
+                        s.fingerprint(),
+                        schema.fingerprint(),
+                        "checkpoint domain `{}` does not match the configured domain `{}`",
+                        s.name,
+                        schema.name
+                    );
+                }
+                (
+                    scaler,
+                    forest,
+                    labeller.unwrap_or_else(|| OnlineLabeller::new(p.window_days)),
+                    alarm_threshold.unwrap_or(p.alarm_threshold),
+                    alarms_raised.unwrap_or(0),
+                    next_seq.unwrap_or(0),
+                    events_ingested.unwrap_or(0),
+                    prep.or_else(fresh_prep),
+                    adapt.or_else(fresh_adapt),
+                    window.or_else(fresh_window),
+                )
+            }
         };
 
         let n = cfg.n_shards;
@@ -402,6 +435,7 @@ impl Engine {
 
         let writer = WriterThread {
             rx: wrx,
+            schema: schema.clone(),
             scaler,
             forest,
             alarm_threshold: threshold,
@@ -428,6 +462,7 @@ impl Engine {
                 txs: Some(txs),
                 raw_events,
                 prep,
+                window,
                 prep_buf: Vec::new(),
             }),
             stats,
@@ -437,12 +472,24 @@ impl Engine {
             shard_handles: Mutex::new(shard_handles),
             writer_handle: Mutex::new(Some(writer_handle)),
             n_shards: n,
+            schema,
         }
     }
 
     /// Number of labelling shards.
     pub fn n_shards(&self) -> usize {
         self.n_shards
+    }
+
+    /// The telemetry domain this engine serves (implicit SMART when the
+    /// predictor config carries none).
+    pub fn schema(&self) -> &DomainSchema {
+        &self.schema
+    }
+
+    /// Full feature-row width (base + derived columns) of the domain.
+    pub fn n_features(&self) -> usize {
+        self.schema.n_features()
     }
 
     /// Feed one raw stream event. The optional preprocessing stage runs
@@ -476,7 +523,17 @@ impl Engine {
             self.stats.failures_ingested.fetch_add(1, Ordering::Relaxed);
         }
         let mut result = Ok(());
-        for ev in buf.drain(..) {
+        for mut ev in buf.drain(..) {
+            // The window stage runs after prep and before sharding: rows
+            // grow to full width here, so labeller queues and the writer
+            // only ever see extended rows (mirroring the serial
+            // predictor's hook point in `observe_sample_scored`).
+            if let Some(w) = st.window.as_mut() {
+                match &mut ev {
+                    FleetEvent::Sample(rec) => w.extend(rec.disk_id, &mut rec.features),
+                    FleetEvent::Failure { disk_id, .. } => w.forget(*disk_id),
+                }
+            }
             if let Err(e) = self.send_prepped(&mut st, ev) {
                 result = Err(e);
                 break;
@@ -512,7 +569,7 @@ impl Engine {
         Ok(())
     }
 
-    /// Score a raw 48-column snapshot against the latest published model
+    /// Score a full-width feature row against the latest published model
     /// snapshot. Lock-free with respect to the writer (an epoch-cell load,
     /// not a lock); never blocks ingest.
     pub fn score(&self, features: &[f32]) -> f32 {
@@ -573,6 +630,7 @@ impl Engine {
                 done: done_tx,
                 raw_events: st.raw_events,
                 prep: st.prep.clone(),
+                window: st.window.clone(),
             });
             for tx in txs {
                 tx.send(ShardMsg::Checkpoint(seq))
@@ -592,7 +650,7 @@ impl Engine {
     /// collected alarms plus the final state (the same state `checkpoint`
     /// would have written). Subsequent calls return `ShuttingDown`.
     pub fn finish(&self) -> Result<Finished, ServeError> {
-        let (raw_events, final_prep) = {
+        let (raw_events, final_prep, final_window) = {
             // The shutdown barrier must reach every shard at one seq with no
             // ingest interleaved (same atomicity as `ingest`); the sends
             // under this lock go through `send_prepped`, which carries the
@@ -609,7 +667,15 @@ impl Engine {
             if let Some(prep) = st.prep.as_mut() {
                 prep.finish(&mut buf);
             }
-            for ev in buf.drain(..) {
+            for mut ev in buf.drain(..) {
+                // Late-released events pass through the window stage like
+                // any other (they are failures, so this only drops state).
+                if let Some(w) = st.window.as_mut() {
+                    match &mut ev {
+                        FleetEvent::Sample(rec) => w.extend(rec.disk_id, &mut rec.features),
+                        FleetEvent::Failure { disk_id, .. } => w.forget(*disk_id),
+                    }
+                }
                 // A dead shard is noticed at join time, like the barrier
                 // sends below.
                 let _ = self.send_prepped(&mut st, ev);
@@ -625,7 +691,7 @@ impl Engine {
             self.stats
                 .events_issued
                 .store(st.next_seq, Ordering::Relaxed);
-            (st.raw_events, st.prep.clone())
+            (st.raw_events, st.prep.clone(), st.window.clone())
             // txs drop here: shard channels close once drained.
         };
         let mut panicked = false;
@@ -654,6 +720,8 @@ impl Engine {
                 events_ingested: Some(raw_events),
                 prep: final_prep,
                 adapt: fin.adaptive,
+                schema: Some(self.schema.clone()),
+                window: final_window,
             },
         })
     }
@@ -766,6 +834,9 @@ fn shard_loop(
 /// in global sequence order.
 struct WriterThread {
     rx: Receiver<WriterMsg>,
+    /// The engine's resolved domain, embedded in every checkpoint so a
+    /// restore against a different domain fails its fingerprint check.
+    schema: DomainSchema,
     scaler: OnlineMinMax,
     forest: OnlineRandomForest,
     alarm_threshold: f32,
@@ -933,6 +1004,8 @@ impl WriterThread {
             events_ingested: Some(req.raw_events),
             prep: req.prep,
             adapt: self.adaptive.clone(),
+            schema: Some(self.schema.clone()),
+            window: req.window,
         };
         let result = ck
             .save_atomic_faulted(&req.path, &*self.injector)
@@ -999,7 +1072,7 @@ mod tests {
     }
 
     fn rec(disk_id: u32, day: u16, v: f32) -> DiskDay {
-        let mut features = [0.0f32; N_FEATURES];
+        let mut features = vec![0.0f32; N_FEATURES];
         features[0] = v;
         features[1] = v * 0.5;
         features[2] = v * 2.0;
@@ -1112,7 +1185,7 @@ mod tests {
         let snap = engine.model_snapshot();
         engine.finish().unwrap();
         // Batch probes span ordinary, boundary, and non-finite inputs.
-        let mut probes: Vec<[f32; N_FEATURES]> = Vec::new();
+        let mut probes: Vec<Vec<f32>> = Vec::new();
         for i in 0..37 {
             let mut f = rec(i, 0, (i as f32) * 0.7 - 3.0).features;
             if i % 11 == 0 {

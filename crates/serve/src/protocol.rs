@@ -22,7 +22,6 @@
 
 use crate::stats::StatsReport;
 use orfpred_core::Alarm;
-use orfpred_smart::attrs::N_FEATURES;
 use serde::{Serialize, Value};
 
 /// One parsed request line.
@@ -61,11 +60,11 @@ pub enum Request {
     Shutdown,
 }
 
-/// Copy an arbitrary-length row into the fixed 48-column layout (short
-/// rows are zero-padded, long ones truncated).
-pub fn features_48(row: &[f32]) -> [f32; N_FEATURES] {
-    let mut out = [0.0f32; N_FEATURES];
-    let n = row.len().min(N_FEATURES);
+/// Copy an arbitrary-length row into the serving schema's `width`-column
+/// layout (short rows are zero-padded, long ones truncated).
+pub fn pad_features(row: &[f32], width: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; width];
+    let n = row.len().min(width);
     out[..n].copy_from_slice(&row[..n]);
     out
 }
@@ -287,11 +286,13 @@ mod tests {
 
     #[test]
     fn features_pad_and_truncate() {
-        let padded = features_48(&[1.0, 2.0]);
+        let padded = pad_features(&[1.0, 2.0], 48);
+        assert_eq!(padded.len(), 48);
         assert_eq!(padded[0], 1.0);
         assert_eq!(padded[1], 2.0);
         assert!(padded[2..].iter().all(|&v| v == 0.0));
-        let truncated = features_48(&vec![7.0; 100]);
+        let truncated = pad_features(&vec![7.0; 100], 28);
+        assert_eq!(truncated.len(), 28);
         assert!(truncated.iter().all(|&v| v == 7.0));
     }
 

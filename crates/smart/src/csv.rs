@@ -259,7 +259,7 @@ pub fn read_dataset_with<R: BufRead>(
         abs_day: i64,
         serial: String,
         failed: bool,
-        features: [f32; N_FEATURES],
+        features: Vec<f32>,
     }
 
     /// Parse one data line; `Err` is the row-level reason.
@@ -276,7 +276,7 @@ pub fn read_dataset_with<R: BufRead>(
             return Err(format!("{} fields, header has {n_columns}", fields.len()));
         }
         let abs_day = parse_date(fields[col_date])?;
-        let mut features = [0.0f32; N_FEATURES];
+        let mut features = vec![0.0f32; N_FEATURES];
         for &(csv_col, feat) in feature_cols {
             let s = fields[csv_col].trim();
             if !s.is_empty() {
@@ -381,7 +381,7 @@ pub fn read_dataset_with<R: BufRead>(
         records.push(DiskDay {
             disk_id,
             day,
-            features: r.features,
+            features: r.features.clone(),
         });
     }
     records.sort_by_key(|r| (r.day, r.disk_id));

@@ -8,8 +8,8 @@
 //! attributes (Power-On Hours, Load Cycle Count, …) show strong drift; the
 //! instantaneous ones stay put.
 
-use crate::attrs::{feature_name, ATTRIBUTES};
 use crate::record::Dataset;
+use crate::schema::DomainSchema;
 use crate::select::rank_sum_test;
 use serde::{Deserialize, Serialize};
 
@@ -40,10 +40,18 @@ pub struct DriftReport {
 
 /// Measure drift of `cols` over the healthy population of `ds`.
 ///
-/// Samples within the final week of each disk are excluded (their labels
-/// are unknown/positive); per-month samples are capped at `cap` per feature
-/// to bound the rank-sum cost.
-pub fn measure_drift(ds: &Dataset, cols: &[usize], month_days: u16, cap: usize) -> DriftReport {
+/// Column names and cumulative flags come from `schema`, so the report
+/// cannot silently misalign on a non-SMART domain. Samples within the final
+/// week of each disk are excluded (their labels are unknown/positive);
+/// per-month samples are capped at `cap` per feature to bound the rank-sum
+/// cost.
+pub fn measure_drift(
+    ds: &Dataset,
+    schema: &DomainSchema,
+    cols: &[usize],
+    month_days: u16,
+    cap: usize,
+) -> DriftReport {
     assert!(month_days > 0);
     let n_months = usize::from(ds.duration_days).div_ceil(usize::from(month_days));
     let months: Vec<usize> = (1..=n_months).collect();
@@ -102,8 +110,8 @@ pub fn measure_drift(ds: &Dataset, cols: &[usize], month_days: u16, cap: usize) 
             };
             FeatureDrift {
                 feature,
-                name: feature_name(feature),
-                cumulative: ATTRIBUTES[feature / 2].cumulative,
+                name: schema.feature_name(feature),
+                cumulative: schema.column_cumulative(feature),
                 monthly_mean,
                 shift_z,
             }
@@ -327,7 +335,7 @@ mod tests {
         let ds = FleetSim::collect(&cfg);
         let poh = feature_index(9, FeatureKind::Raw).unwrap();
         let temp = feature_index(194, FeatureKind::Raw).unwrap();
-        let report = measure_drift(&ds, &[poh, temp], 30, 2_000);
+        let report = measure_drift(&ds, &DomainSchema::smart(), &[poh, temp], 30, 2_000);
         let z = |col: usize| {
             report
                 .features
@@ -371,7 +379,10 @@ mod tests {
         let horizon = days + 60; // keep every record clear of the final week
         for day in 0..days {
             for disk_id in 0..n_disks {
-                let mut features = [1.0f32; crate::attrs::N_FEATURES];
+                // Probe row sized by the schema, not a compile-time constant,
+                // so this helper stays correct on any domain layout.
+                let schema = DomainSchema::smart();
+                let mut features = vec![1.0f32; schema.n_features()];
                 features[0] = col0(day);
                 records.push(DiskDay {
                     disk_id,
@@ -399,7 +410,7 @@ mod tests {
     #[test]
     fn all_nan_feature_columns_do_not_panic_or_emit_nan_shift_z() {
         let ds = tiny_ds(6, 70, |_| f32::NAN);
-        let report = measure_drift(&ds, &[0, 2], 30, 1_000);
+        let report = measure_drift(&ds, &DomainSchema::smart(), &[0, 2], 30, 1_000);
         let f0 = report.features.iter().find(|f| f.feature == 0).unwrap();
         assert!(f0.shift_z.is_finite());
         assert_eq!(f0.shift_z, 0.0, "all-NaN column must report zero shift");
@@ -418,7 +429,7 @@ mod tests {
         // 20 days of data — a single 30-day month. There is no early-vs-late
         // contrast, so shift_z must be exactly 0.0, not NaN or a self-test.
         let ds = tiny_ds(6, 20, f32::from);
-        let report = measure_drift(&ds, &[0], 30, 1_000);
+        let report = measure_drift(&ds, &DomainSchema::smart(), &[0], 30, 1_000);
         assert_eq!(report.features[0].shift_z, 0.0);
         assert!(!report.features[0].monthly_mean[0].is_nan());
     }
@@ -436,7 +447,7 @@ mod tests {
             }
             ds
         };
-        let report = measure_drift(&ds, &[0], 30, 1_000);
+        let report = measure_drift(&ds, &DomainSchema::smart(), &[0], 30, 1_000);
         let f0 = &report.features[0];
         assert!(
             f0.shift_z > 3.0,
@@ -501,7 +512,7 @@ mod tests {
             records: Vec::new(),
             disks: Vec::new(),
         };
-        let report = measure_drift(&ds, &[0, 1], 30, 100);
+        let report = measure_drift(&ds, &DomainSchema::smart(), &[0, 1], 30, 100);
         assert_eq!(report.months.len(), 3);
         for f in &report.features {
             assert!(f.monthly_mean.iter().all(|v| v.is_nan()));

@@ -12,7 +12,6 @@
 //! (`orfpred-prep`) can be driven end-to-end against a golden oracle.
 
 use super::FleetEvent;
-use crate::attrs::N_FEATURES;
 use orfpred_util::Xoshiro256pp;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -78,7 +77,7 @@ struct DiskDirt {
     /// Day from which the sensor sticks (`u16::MAX` = never).
     stuck_from: u16,
     /// The frozen row once stuck.
-    frozen: Option<[f32; N_FEATURES]>,
+    frozen: Option<Vec<f32>>,
     /// The previous clean sample, for stale re-delivery.
     prev: Option<FleetEvent>,
 }
@@ -117,17 +116,18 @@ pub fn corrupt_events(events: &[FleetEvent], cfg: &DirtyConfig) -> Vec<FleetEven
                 }
 
                 let mut dirty = dd.clone();
+                let width = dirty.features.len();
                 if dirty.day >= dirt.stuck_from {
                     // Sensor stuck: repeat the frozen row forever.
-                    let frozen = *dirt.frozen.get_or_insert(dirty.features);
-                    dirty.features = frozen;
+                    let frozen = dirt.frozen.get_or_insert_with(|| dirty.features.clone());
+                    dirty.features = frozen.clone();
                 } else {
                     if f64::from(rng.next_f32()) < cfg.nan_rate {
-                        let c = (rng.next_u64() as usize) % N_FEATURES;
+                        let c = (rng.next_u64() as usize) % width;
                         dirty.features[c] = f32::NAN;
                     }
                     if f64::from(rng.next_f32()) < cfg.garbage_rate {
-                        let c = (rng.next_u64() as usize) % N_FEATURES;
+                        let c = (rng.next_u64() as usize) % width;
                         dirty.features[c] = -1.0e9;
                     }
                 }

@@ -239,7 +239,7 @@ impl DiskState {
     ///
     /// `env_glitch` is the calendar-time ambient glitch multiplier supplied
     /// by the fleet (environment drift).
-    pub fn step(&mut self, day: u16, profile: &ModelProfile, env_glitch: f64) -> [f32; N_FEATURES] {
+    pub fn step(&mut self, day: u16, profile: &ModelProfile, env_glitch: f64) -> Vec<f32> {
         debug_assert!(self.active(day), "stepping inactive disk");
         let rng = &mut self.rng;
         let age_days = f64::from(day - self.install_day);
@@ -365,8 +365,8 @@ impl DiskState {
     }
 
     /// Assemble the 48-column feature row from the current counters.
-    fn snapshot(&self, noise: SnapshotNoise, seek_deg: f64, read_deg: f64) -> [f32; N_FEATURES] {
-        let mut f = [0.0f32; N_FEATURES];
+    fn snapshot(&self, noise: SnapshotNoise, seek_deg: f64, read_deg: f64) -> Vec<f32> {
+        let mut f = vec![0.0f32; N_FEATURES];
         let mut set = |attr_idx: usize, norm: f64, raw: f64| {
             // Vendor-normalized values are 1-byte integers on real drives.
             f[2 * attr_idx] = norm.clamp(1.0, 253.0).round() as f32;

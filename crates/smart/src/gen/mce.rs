@@ -1,0 +1,438 @@
+//! Synthetic mcelog-style correctable-memory-error fleet simulator: the
+//! second telemetry domain the stack ships end to end.
+//!
+//! Models a population of DIMMs reporting daily counter snapshots in the
+//! [`DomainSchema::mce`] layout (8 attributes → 16 base columns, normalized
+//! interleaved with raw, exactly like the SMART layout). The failure story
+//! mirrors what memory-reliability studies report: a failing DIMM's
+//! correctable-error *rate* accelerates over its final weeks (often with row
+//! remaps and widening bank spread) before the first uncorrectable error
+//! kills it, while healthy DIMMs emit a low background CE trickle that
+//! scales with temperature and age.
+//!
+//! The event stream contract is identical to [`FleetSim`]'s: for each day,
+//! every active device's [`FleetEvent::Sample`] in ascending device id, then
+//! a [`FleetEvent::Failure`] per device that died that day. Determinism in
+//! the seed is total — the whole Algorithm 2 stack (prep, window stage,
+//! labeller, ORF, serve engine) runs on this stream unchanged.
+//!
+//! [`DomainSchema::mce`]: crate::schema::DomainSchema::mce
+
+use super::fleet::FleetEvent;
+use super::ScalePreset;
+use crate::record::{Dataset, DiskDay, DiskInfo};
+use crate::schema::DomainSchema;
+use orfpred_util::Xoshiro256pp;
+
+/// Configuration of the MCE fleet.
+#[derive(Clone, Debug)]
+pub struct MceFleetConfig {
+    /// Devices that survive the observation window.
+    pub n_good: usize,
+    /// Devices that fail inside the window.
+    pub n_failed: usize,
+    /// Observation window length in days.
+    pub duration_days: u16,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+}
+
+impl MceFleetConfig {
+    /// Preset populations per scale, keeping a Table 1-like good:failed
+    /// ratio so alarm-rate shapes survive down-scaling.
+    pub fn preset(preset: ScalePreset, seed: u64) -> Self {
+        let (n_good, n_failed, duration_days) = match preset {
+            ScalePreset::Tiny => (60, 6, 180),
+            ScalePreset::Small => (600, 40, 365),
+            ScalePreset::Medium => (6_000, 400, 365),
+            ScalePreset::Paper => (30_000, 1_800, 365),
+        };
+        Self {
+            n_good,
+            n_failed,
+            duration_days,
+            seed,
+        }
+    }
+
+    /// Total device count.
+    pub fn n_devices(&self) -> usize {
+        self.n_good + self.n_failed
+    }
+}
+
+/// Per-device simulation state.
+struct DeviceState {
+    device_id: u32,
+    install_day: u16,
+    /// Day the first uncorrectable error kills the device; `None` survives.
+    fail_day: Option<u16>,
+    rng: Xoshiro256pp,
+    /// Background correctable-error rate per hour (device lottery).
+    base_ce_rate: f64,
+    /// Ambient temperature baseline in °C.
+    base_temp: f64,
+    /// Cumulative counters carried day to day.
+    corrected: f64,
+    scrub_corrections: f64,
+    row_remaps: f64,
+    uncorrected: f64,
+}
+
+impl DeviceState {
+    fn active(&self, day: u16) -> bool {
+        day >= self.install_day && self.fail_day.is_none_or(|f| day <= f)
+    }
+
+    /// Days until death, or `u16::MAX` for survivors.
+    fn days_left(&self, day: u16) -> u16 {
+        self.fail_day.map_or(u16::MAX, |f| f.saturating_sub(day))
+    }
+}
+
+/// Day-stepped MCE fleet simulator; iterate for the event stream or call
+/// [`MceSim::collect`] to materialise a [`Dataset`].
+pub struct MceSim {
+    schema: DomainSchema,
+    duration_days: u16,
+    devices: Vec<DeviceState>,
+    day: u16,
+    buffer: std::collections::VecDeque<FleetEvent>,
+}
+
+/// Length of a failing device's CE-rate acceleration ramp in days.
+const RAMP_DAYS: u16 = 21;
+
+impl MceSim {
+    /// Build the fleet. Deterministic in `cfg.seed`.
+    pub fn new(cfg: &MceFleetConfig) -> Self {
+        let master = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x6d63_655f_646f_6d21);
+        let mut setup = master.split(0);
+        let n = cfg.n_devices();
+        let dur = f64::from(cfg.duration_days);
+
+        // Install schedule: most of the fleet at day 0, stragglers spread
+        // over the first third of the window.
+        let mut install_days: Vec<u16> = (0..n)
+            .map(|_| {
+                if setup.bernoulli(0.7) {
+                    0
+                } else {
+                    (setup.next_f64() * dur / 3.0) as u16
+                }
+            })
+            .collect();
+        install_days.sort_unstable();
+
+        // Which devices fail: each needs the full ramp plus some healthy
+        // history inside its observed life.
+        let mut failed_flags = vec![false; n];
+        let mut assigned = 0usize;
+        let mut guard = 0usize;
+        while assigned < cfg.n_failed {
+            let i = setup.index(n);
+            let room = u32::from(install_days[i]) + u32::from(RAMP_DAYS) + 14;
+            if !failed_flags[i] && room < u32::from(cfg.duration_days) {
+                failed_flags[i] = true;
+                assigned += 1;
+            }
+            guard += 1;
+            assert!(
+                guard < 100 * n.max(1),
+                "cannot place {} DIMM failures in a {}-day window",
+                cfg.n_failed,
+                cfg.duration_days
+            );
+        }
+
+        let devices: Vec<DeviceState> = (0..n)
+            .map(|i| {
+                let install = install_days[i];
+                let mut rng = master.split(1 + i as u64);
+                let fail_day = if failed_flags[i] {
+                    let lo = u32::from(install) + u32::from(RAMP_DAYS) + 14;
+                    let hi = u32::from(cfg.duration_days);
+                    Some((lo + rng.next_below(u64::from(hi - lo)) as u32) as u16)
+                } else {
+                    None
+                };
+                DeviceState {
+                    device_id: i as u32,
+                    install_day: install,
+                    fail_day,
+                    base_ce_rate: rng.range_f64(0.005, 0.5),
+                    base_temp: rng.range_f64(35.0, 55.0),
+                    rng,
+                    corrected: 0.0,
+                    scrub_corrections: 0.0,
+                    row_remaps: 0.0,
+                    uncorrected: 0.0,
+                }
+            })
+            .collect();
+
+        Self {
+            schema: DomainSchema::mce(),
+            duration_days: cfg.duration_days,
+            devices,
+            day: 0,
+            buffer: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Per-device metadata (install/last day, failed flag), fixed at
+    /// construction — the roster the store and eval harnesses consume.
+    pub fn disk_infos(&self) -> Vec<DiskInfo> {
+        self.devices
+            .iter()
+            .map(|d| DiskInfo {
+                disk_id: d.device_id,
+                install_day: d.install_day,
+                last_day: d.fail_day.unwrap_or(self.duration_days),
+                failed: d.fail_day.is_some(),
+            })
+            .collect()
+    }
+
+    /// The domain schema the emitted rows follow.
+    pub fn schema(&self) -> &DomainSchema {
+        &self.schema
+    }
+
+    /// Length of the observation window in days.
+    pub fn duration_days(&self) -> u16 {
+        self.duration_days
+    }
+
+    /// Simulate one day, pushing its events into the buffer.
+    fn step_day(&mut self) {
+        let day = self.day;
+        let n_base = self.schema.n_base_features();
+        let mut failures = Vec::new();
+        for dev in &mut self.devices {
+            if !dev.active(day) {
+                continue;
+            }
+            let left = dev.days_left(day);
+            // CE-rate acceleration over the final ramp: exponential in the
+            // remaining days, the signature the windowed features catch.
+            let ramp = if left < RAMP_DAYS {
+                (f64::from(RAMP_DAYS - left) / f64::from(RAMP_DAYS) * 5.0).exp()
+            } else {
+                1.0
+            };
+            let temp = dev.base_temp + 6.0 * (dev.rng.next_f64() - 0.5);
+            let temp_factor = 1.0 + ((temp - 45.0) / 20.0).max(0.0);
+            let ce_rate = dev.base_ce_rate * ramp * temp_factor * dev.rng.range_f64(0.6, 1.4);
+            dev.corrected += ce_rate * 24.0;
+            dev.scrub_corrections += ce_rate * 24.0 * dev.rng.range_f64(0.05, 0.15);
+            // Row remaps and bank spread grow only on the ramp.
+            if left < RAMP_DAYS && dev.rng.bernoulli(0.25) {
+                dev.row_remaps += 1.0;
+            }
+            let bank_spread = if left < RAMP_DAYS {
+                (2.0 + f64::from(RAMP_DAYS - left) * 1.5).min(64.0)
+            } else if dev.corrected > 0.5 {
+                1.0
+            } else {
+                0.0
+            };
+            // The first (and usually last) uncorrectable errors arrive on
+            // the final days and kill the device.
+            if left <= 2 {
+                dev.uncorrected += dev.rng.range_f64(0.5, 2.0).round();
+            }
+            let uptime_hours = f64::from(day - dev.install_day + 1) * 24.0;
+
+            let mut features = vec![0.0f32; n_base];
+            // (raw value, normalized-scale ceiling) per attribute, in
+            // schema order; normalized mimics a 100-to-1 health score.
+            let attrs: [(f64, f64); 8] = [
+                (dev.corrected, 1.0e6),
+                (dev.uncorrected, 10.0),
+                (dev.scrub_corrections, 1.0e5),
+                (dev.row_remaps, 50.0),
+                (bank_spread, 64.0),
+                (ce_rate, 1.0e3),
+                (temp, 150.0),
+                (uptime_hours, 1.0e5),
+            ];
+            for (i, (raw, ceil)) in attrs.iter().enumerate() {
+                let health = 100.0 - 99.0 * (raw / ceil).min(1.0);
+                features[2 * i] = health as f32;
+                features[2 * i + 1] = *raw as f32;
+            }
+            self.buffer.push_back(FleetEvent::Sample(DiskDay {
+                disk_id: dev.device_id,
+                day,
+                features,
+            }));
+            if dev.fail_day == Some(day) {
+                failures.push(dev.device_id);
+            }
+        }
+        for disk_id in failures {
+            self.buffer.push_back(FleetEvent::Failure { disk_id, day });
+        }
+        self.day += 1;
+    }
+
+    /// Materialise the whole stream into a [`Dataset`] (base-width rows;
+    /// run [`WindowStage::extend_records`] for the derived columns).
+    ///
+    /// [`WindowStage::extend_records`]: crate::window::WindowStage::extend_records
+    pub fn collect(cfg: &MceFleetConfig) -> Dataset {
+        let mut sim = Self::new(cfg);
+        let disks = sim.disk_infos();
+        let mut records = Vec::new();
+        for ev in &mut sim {
+            if let FleetEvent::Sample(rec) = ev {
+                records.push(rec);
+            }
+        }
+        let ds = Dataset {
+            model: "MCE-DIMM".to_string(),
+            duration_days: cfg.duration_days,
+            records,
+            disks,
+        };
+        debug_assert_eq!(ds.validate(), Ok(()));
+        ds
+    }
+}
+
+impl Iterator for MceSim {
+    type Item = FleetEvent;
+
+    fn next(&mut self) -> Option<FleetEvent> {
+        while self.buffer.is_empty() {
+            if self.day > self.duration_days {
+                return None;
+            }
+            self.step_day();
+        }
+        self.buffer.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> MceFleetConfig {
+        let mut cfg = MceFleetConfig::preset(ScalePreset::Tiny, 11);
+        cfg.n_good = 30;
+        cfg.n_failed = 5;
+        cfg.duration_days = 120;
+        cfg
+    }
+
+    #[test]
+    fn collect_produces_valid_mce_width_dataset() {
+        let cfg = tiny_cfg();
+        let ds = MceSim::collect(&cfg);
+        ds.validate().unwrap();
+        assert_eq!(ds.n_good(), 30);
+        assert_eq!(ds.n_failed(), 5);
+        let width = DomainSchema::mce().n_base_features();
+        assert!(ds.records.iter().all(|r| r.features.len() == width));
+    }
+
+    #[test]
+    fn stream_is_deterministic_in_seed_and_ordered() {
+        let cfg = tiny_cfg();
+        let a: Vec<FleetEvent> = MceSim::new(&cfg).collect();
+        let b: Vec<FleetEvent> = MceSim::new(&cfg).collect();
+        assert_eq!(a.len(), b.len());
+        let mut prev = (0u16, -1i64);
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (FleetEvent::Sample(p), FleetEvent::Sample(q)) => {
+                    assert_eq!(p.disk_id, q.disk_id);
+                    assert_eq!(p.day, q.day);
+                    for (fa, fb) in p.features.iter().zip(q.features.iter()) {
+                        assert_eq!(fa.to_bits(), fb.to_bits());
+                    }
+                    let key = (p.day, i64::from(p.disk_id));
+                    assert!(key > prev, "sample order violated");
+                    prev = key;
+                }
+                (
+                    FleetEvent::Failure {
+                        disk_id: da,
+                        day: ya,
+                    },
+                    FleetEvent::Failure {
+                        disk_id: db,
+                        day: yb,
+                    },
+                ) => assert_eq!((da, ya), (db, yb)),
+                _ => panic!("event kind mismatch between identical seeds"),
+            }
+        }
+    }
+
+    #[test]
+    fn failing_devices_ramp_their_ce_rate() {
+        let cfg = tiny_cfg();
+        let ds = MceSim::collect(&cfg);
+        let schema = DomainSchema::mce();
+        let rate_col = schema
+            .feature_index(6, crate::attrs::FeatureKind::Raw)
+            .unwrap();
+        for d in ds.disks.iter().filter(|d| d.failed) {
+            let rates: Vec<f32> = ds
+                .disk_records(d.disk_id)
+                .map(|r| r.features[rate_col])
+                .collect();
+            assert!(rates.len() >= usize::from(RAMP_DAYS));
+            let early: f32 = rates[..5].iter().sum::<f32>() / 5.0;
+            let late: f32 = rates[rates.len() - 3..].iter().sum::<f32>() / 3.0;
+            assert!(
+                late > early * 10.0,
+                "device {}: late rate {late} vs early {early}",
+                d.disk_id
+            );
+        }
+    }
+
+    #[test]
+    fn uncorrected_errors_only_appear_near_death() {
+        let cfg = tiny_cfg();
+        let ds = MceSim::collect(&cfg);
+        let schema = DomainSchema::mce();
+        let ue_col = schema
+            .feature_index(2, crate::attrs::FeatureKind::Raw)
+            .unwrap();
+        for d in &ds.disks {
+            for r in ds.disk_records(d.disk_id) {
+                let ue = r.features[ue_col];
+                if d.failed && r.day + 2 >= d.last_day {
+                    continue; // the kill window may hold UEs
+                }
+                assert_eq!(ue, 0.0, "device {} day {} has early UEs", d.disk_id, r.day);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_events_match_disk_infos() {
+        let cfg = tiny_cfg();
+        let mut sim = MceSim::new(&cfg);
+        let infos = sim.disk_infos();
+        let mut failures = Vec::new();
+        for ev in &mut sim {
+            if let FleetEvent::Failure { disk_id, day } = ev {
+                failures.push((disk_id, day));
+            }
+        }
+        failures.sort_unstable();
+        let mut expected: Vec<(u32, u16)> = infos
+            .iter()
+            .filter(|d| d.failed)
+            .map(|d| (d.disk_id, d.last_day))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(failures, expected);
+    }
+}

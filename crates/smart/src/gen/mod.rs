@@ -23,11 +23,13 @@
 mod dirty;
 mod disk;
 mod fleet;
+mod mce;
 mod profile;
 
 pub use dirty::{corrupt_events, DirtyConfig};
 pub use disk::{DiskState, Fate};
 pub use fleet::{FleetEvent, FleetSim};
+pub use mce::{MceFleetConfig, MceSim};
 pub use profile::ModelProfile;
 
 use serde::{Deserialize, Serialize};

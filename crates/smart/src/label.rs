@@ -99,7 +99,7 @@ mod tests {
         DiskDay {
             disk_id,
             day,
-            features: [0.0; N_FEATURES],
+            features: vec![0.0; N_FEATURES],
         }
     }
 

@@ -28,11 +28,15 @@ pub mod gen;
 pub mod label;
 pub mod record;
 pub mod scale;
+pub mod schema;
 pub mod select;
 pub mod summary;
+pub mod window;
 
 pub use attrs::{AttrId, FeatureKind, ATTRIBUTES, N_ATTRIBUTES, N_FEATURES};
 pub use gen::{FleetConfig, FleetEvent, FleetSim, ScalePreset};
 pub use label::{LabelPolicy, Labeled};
 pub use record::{Dataset, DiskDay, DiskInfo};
 pub use scale::MinMaxScaler;
+pub use schema::{AttrSpec, ColumnRole, DerivedKind, DerivedPlan, DomainSchema};
+pub use window::WindowStage;

@@ -2,14 +2,17 @@
 //! in-memory [`Dataset`] container used by the offline baselines and the
 //! evaluation harnesses.
 
-use crate::attrs::N_FEATURES;
 use serde::{Deserialize, Serialize};
 
-/// One daily SMART snapshot of one disk (a row of the Backblaze daily CSV).
+/// One daily telemetry snapshot of one device (for the SMART domain, a row
+/// of the Backblaze daily CSV).
 ///
-/// `features` holds the unscaled values in the layout defined by
-/// [`crate::attrs`]: even columns are vendor-normalized values, odd columns
-/// raw values.
+/// `features` holds the unscaled values in the layout computed by the
+/// domain's [`crate::schema::DomainSchema`]: even base columns are
+/// (vendor-)normalized values, odd base columns raw values, followed by any
+/// derived window columns. Row width is a runtime property of the domain —
+/// the SMART schema yields the same 48 columns the old compile-time layout
+/// hard-wired.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DiskDay {
     /// Dense disk identifier (index into [`Dataset::disks`]).
@@ -17,7 +20,7 @@ pub struct DiskDay {
     /// Days since the start of the observation window.
     pub day: u16,
     /// Unscaled candidate feature values.
-    pub features: [f32; N_FEATURES],
+    pub features: Vec<f32>,
 }
 
 /// Per-disk metadata: observation bounds and final status.
@@ -102,10 +105,18 @@ impl Dataset {
             }
         }
         let mut prev = (0u16, 0u32);
+        let width = self.records.first().map(|r| r.features.len());
         for (pos, r) in self.records.iter().enumerate() {
             let key = (r.day, r.disk_id);
             if pos > 0 && key <= prev {
                 return Err(format!("records not strictly ordered at {pos}"));
+            }
+            if Some(r.features.len()) != width {
+                return Err(format!(
+                    "record {pos} has {} features, dataset rows have {}",
+                    r.features.len(),
+                    width.unwrap_or(0)
+                ));
             }
             prev = key;
             let info = self
@@ -126,6 +137,14 @@ impl Dataset {
     pub fn n_records(&self) -> usize {
         self.records.len()
     }
+
+    /// Feature-row width (0 for an empty dataset). [`validate`] pins every
+    /// row to this width.
+    ///
+    /// [`validate`]: Dataset::validate
+    pub fn n_feature_columns(&self) -> usize {
+        self.records.first().map_or(0, |r| r.features.len())
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +155,7 @@ mod tests {
         let mk = |disk_id, day| DiskDay {
             disk_id,
             day,
-            features: [0.0; N_FEATURES],
+            features: vec![0.0; crate::attrs::N_FEATURES],
         };
         Dataset {
             model: "T".into(),

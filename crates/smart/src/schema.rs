@@ -1,0 +1,483 @@
+//! Runtime domain schema: a serializable description of what one telemetry
+//! row contains, replacing the old compile-time `N_ATTRIBUTES`/`N_FEATURES`
+//! layout so the same ORF/labeller/serve/store stack handles non-SMART
+//! domains (e.g. mcelog-style correctable-error streams).
+//!
+//! A [`DomainSchema`] has two halves:
+//!
+//! 1. **Attributes** ([`AttrSpec`]): the per-device counters/gauges the
+//!    telemetry source reports. Every attribute contributes two *base*
+//!    feature columns in the universal interleaved layout — column
+//!    `2 * attr_index` is the **normalized** (health-score-like) value,
+//!    `2 * attr_index + 1` the **raw** value — exactly the layout
+//!    `crate::attrs` hard-wired for SMART, now computed per domain.
+//! 2. **Derived-feature plan** ([`DerivedPlan`]): sliding-window sequence
+//!    features (per-attribute delta, rolling mean, rolling std over a
+//!    configurable window, default 5 days) appended *after* the base
+//!    columns. The plan only names base columns; [`crate::window`] computes
+//!    the values incrementally per disk.
+//!
+//! The concrete feature count and column layout are therefore *computed*:
+//! `n_features() = 2 * attributes.len() + derived.n_derived()`. A schema
+//! also has a deterministic [`fingerprint`](DomainSchema::fingerprint) that
+//! the store embeds in every segment footer and that checkpoints carry, so
+//! mixed-schema data paths fail with typed errors instead of silent
+//! misalignment.
+
+use crate::attrs::{FeatureKind, ATTRIBUTES};
+use serde::{Deserialize, Serialize};
+
+/// Static description of one telemetry attribute in a domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttrSpec {
+    /// Domain-specific numeric identifier (the SMART ID for disks, a
+    /// counter index for MCE streams).
+    pub id: u16,
+    /// Human-readable name.
+    pub name: String,
+    /// True for attributes that accumulate monotonically over a device's
+    /// life — the model-aging drivers the paper identifies.
+    pub cumulative: bool,
+    /// Lower bound of plausible raw values (used by prep range rules).
+    pub min_plausible: f32,
+    /// Upper bound of plausible raw values (used by prep range rules).
+    pub max_plausible: f32,
+}
+
+/// Which window statistic a derived column carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DerivedKind {
+    /// Day-over-day difference of the base column (0 on a disk's first row).
+    Delta,
+    /// Rolling mean of the base column over the window (including today).
+    Mean,
+    /// Rolling population standard deviation over the window.
+    Std,
+}
+
+impl DerivedKind {
+    /// Short suffix used in feature names (`delta`, `mean`, `std`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            DerivedKind::Delta => "delta",
+            DerivedKind::Mean => "mean",
+            DerivedKind::Std => "std",
+        }
+    }
+}
+
+/// Sliding-window derived-feature plan. The default plan is *empty*
+/// (`cols` names no base columns), which makes the derived stage a strict
+/// no-op — the property that keeps the SMART domain bit-exact with the
+/// pre-schema pipeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DerivedPlan {
+    /// Window length in days (history rows per disk, including today).
+    pub window_days: u16,
+    /// Emit a day-over-day delta column per selected base column.
+    pub delta: bool,
+    /// Emit a rolling-mean column per selected base column.
+    pub mean: bool,
+    /// Emit a rolling-std column per selected base column.
+    pub std: bool,
+    /// Base feature columns the plan applies to (each must be
+    /// `< n_base_features()`); empty disables the stage entirely.
+    pub cols: Vec<usize>,
+}
+
+impl Default for DerivedPlan {
+    fn default() -> Self {
+        Self {
+            window_days: 5,
+            delta: true,
+            mean: true,
+            std: true,
+            cols: Vec::new(),
+        }
+    }
+}
+
+impl DerivedPlan {
+    /// True when the plan produces no derived columns at all.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty() || self.stats_per_col() == 0
+    }
+
+    /// Derived columns produced per selected base column.
+    pub fn stats_per_col(&self) -> usize {
+        usize::from(self.delta) + usize::from(self.mean) + usize::from(self.std)
+    }
+
+    /// Total derived columns the plan produces.
+    pub fn n_derived(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.cols.len() * self.stats_per_col()
+        }
+    }
+
+    /// The statistics emitted per column, in layout order.
+    pub fn kinds(&self) -> Vec<DerivedKind> {
+        let mut k = Vec::with_capacity(3);
+        if self.delta {
+            k.push(DerivedKind::Delta);
+        }
+        if self.mean {
+            k.push(DerivedKind::Mean);
+        }
+        if self.std {
+            k.push(DerivedKind::Std);
+        }
+        k
+    }
+}
+
+/// What a single feature column holds, per the schema.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnRole {
+    /// Base column: `(attribute index, normalized-or-raw)`.
+    Base(usize, FeatureKind),
+    /// Derived column: `(base column it derives from, statistic)`.
+    Derived(usize, DerivedKind),
+}
+
+/// A runtime telemetry-domain description: attributes plus derived plan,
+/// from which the feature count and column layout are computed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DomainSchema {
+    /// Domain name (`"smart"`, `"mce"`); also the feature-name prefix.
+    pub name: String,
+    /// Attribute catalog in column order.
+    pub attributes: Vec<AttrSpec>,
+    /// Sliding-window derived-feature plan.
+    pub derived: DerivedPlan,
+}
+
+impl DomainSchema {
+    /// The implicit disk-SMART domain: the exact 24-attribute catalog and
+    /// 48-column layout of `crate::attrs`, with an empty derived plan.
+    /// Bit-exact with the pre-schema pipeline by construction.
+    pub fn smart() -> Self {
+        DomainSchema {
+            name: "smart".to_string(),
+            attributes: ATTRIBUTES
+                .iter()
+                .map(|a| AttrSpec {
+                    id: a.id,
+                    name: a.name.to_string(),
+                    cumulative: a.cumulative,
+                    min_plausible: 0.0,
+                    // Effectively unbounded. Deliberately finite: the JSON
+                    // layer maps non-finite floats to null, which would not
+                    // round-trip through checkpoints and store manifests.
+                    max_plausible: f32::MAX,
+                })
+                .collect(),
+            derived: DerivedPlan::default(),
+        }
+    }
+
+    /// The SMART domain with the default windowed plan applied to the raw
+    /// columns of the symptom counters (realloc/pending/187/198) — the
+    /// `lstm_5day`-style framing over the attributes that actually ramp.
+    pub fn smart_windowed() -> Self {
+        let mut s = Self::smart();
+        s.name = "smart-windowed".to_string();
+        let mut cols = Vec::new();
+        for id in [5u16, 197, 187, 198] {
+            if let Some(c) = s.feature_index(id, FeatureKind::Raw) {
+                cols.push(c);
+            }
+        }
+        s.derived.cols = cols;
+        s
+    }
+
+    /// An mcelog-style correctable-memory-error domain: 8 DIMM-level
+    /// counters/gauges with the default 5-day windowed plan over the
+    /// error-rate raw columns. The second domain the stack ships end to end.
+    pub fn mce() -> Self {
+        let attr = |id: u16, name: &str, cumulative: bool, hi: f32| AttrSpec {
+            id,
+            name: name.to_string(),
+            cumulative,
+            min_plausible: 0.0,
+            max_plausible: hi,
+        };
+        let attributes = vec![
+            attr(1, "Corrected Errors", true, 1.0e9),
+            attr(2, "Uncorrected Errors", true, 1.0e6),
+            attr(3, "Patrol Scrub Corrections", true, 1.0e9),
+            attr(4, "Row Remaps", true, 1.0e5),
+            attr(5, "Bank Error Spread", false, 64.0),
+            attr(6, "CE Rate Per Hour", false, 1.0e7),
+            attr(7, "DIMM Temperature", false, 150.0),
+            attr(8, "Uptime Hours", true, 1.0e6),
+        ];
+        let mut schema = DomainSchema {
+            name: "mce".to_string(),
+            attributes,
+            derived: DerivedPlan::default(),
+        };
+        // Window the raw columns of the error counters and the CE rate —
+        // the channels where a failing DIMM's acceleration lives.
+        let mut cols = Vec::new();
+        for id in [1u16, 2, 3, 6] {
+            if let Some(c) = schema.feature_index(id, FeatureKind::Raw) {
+                cols.push(c);
+            }
+        }
+        schema.derived.cols = cols;
+        schema
+    }
+
+    /// Parse a `--domain` CLI value.
+    pub fn for_domain(name: &str) -> Option<DomainSchema> {
+        match name {
+            "smart" => Some(Self::smart()),
+            "smart-windowed" => Some(Self::smart_windowed()),
+            "mce" => Some(Self::mce()),
+            _ => None,
+        }
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of base feature columns (normalized + raw per attribute).
+    pub fn n_base_features(&self) -> usize {
+        2 * self.attributes.len()
+    }
+
+    /// Total feature columns: base plus derived.
+    pub fn n_features(&self) -> usize {
+        self.n_base_features() + self.derived.n_derived()
+    }
+
+    /// Index of the attribute with the given id, if present.
+    pub fn attr_index(&self, id: u16) -> Option<usize> {
+        self.attributes.iter().position(|a| a.id == id)
+    }
+
+    /// Base feature column for `(id, kind)`, if the attribute exists.
+    pub fn feature_index(&self, id: u16, kind: FeatureKind) -> Option<usize> {
+        self.attr_index(id).map(|i| match kind {
+            FeatureKind::Normalized => 2 * i,
+            FeatureKind::Raw => 2 * i + 1,
+        })
+    }
+
+    /// What feature column `col < n_features()` holds.
+    pub fn column_role(&self, col: usize) -> ColumnRole {
+        let base = self.n_base_features();
+        assert!(col < self.n_features(), "feature index {col} out of range");
+        if col < base {
+            let kind = if col.is_multiple_of(2) {
+                FeatureKind::Normalized
+            } else {
+                FeatureKind::Raw
+            };
+            ColumnRole::Base(col / 2, kind)
+        } else {
+            let kinds = self.derived.kinds();
+            let per = kinds.len();
+            let d = col - base;
+            ColumnRole::Derived(self.derived.cols[d / per], kinds[d % per])
+        }
+    }
+
+    /// Whether the value in `col` accumulates monotonically over a device's
+    /// life (derived columns never do — deltas and window statistics of a
+    /// cumulative counter are stationary).
+    pub fn column_cumulative(&self, col: usize) -> bool {
+        match self.column_role(col) {
+            ColumnRole::Base(attr, _) => self.attributes[attr].cumulative,
+            ColumnRole::Derived(..) => false,
+        }
+    }
+
+    /// Human-readable label for a feature column, e.g. `smart_187_raw` or
+    /// `mce_1_raw_mean5`.
+    pub fn feature_name(&self, col: usize) -> String {
+        match self.column_role(col) {
+            ColumnRole::Base(attr, kind) => {
+                let suffix = match kind {
+                    FeatureKind::Normalized => "normalized",
+                    FeatureKind::Raw => "raw",
+                };
+                format!("{}_{}_{}", self.name, self.attributes[attr].id, suffix)
+            }
+            ColumnRole::Derived(base_col, kind) => format!(
+                "{}_{}{}",
+                self.feature_name(base_col),
+                kind.suffix(),
+                self.derived.window_days
+            ),
+        }
+    }
+
+    /// Structural validity: at least one attribute, unique ids, a sane
+    /// window, and derived columns that point inside the base layout.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.attributes.is_empty() {
+            return Err("schema has no attributes".into());
+        }
+        for (i, a) in self.attributes.iter().enumerate() {
+            if self.attributes[..i].iter().any(|b| b.id == a.id) {
+                return Err(format!("duplicate attribute id {}", a.id));
+            }
+            if !a.min_plausible.is_finite() || !a.max_plausible.is_finite() {
+                // Non-finite bounds would not survive the JSON layer
+                // (serialized as null, read back as NaN).
+                return Err(format!(
+                    "attribute {} has a non-finite plausible bound",
+                    a.id
+                ));
+            }
+            if a.min_plausible > a.max_plausible {
+                return Err(format!("attribute {} has an empty plausible range", a.id));
+            }
+        }
+        if !self.derived.cols.is_empty() && self.derived.window_days == 0 {
+            return Err("derived plan window must be at least 1 day".into());
+        }
+        let base = self.n_base_features();
+        for &c in &self.derived.cols {
+            if c >= base {
+                return Err(format!("derived plan references column {c} >= {base}"));
+            }
+        }
+        for (i, &c) in self.derived.cols.iter().enumerate() {
+            if self.derived.cols[..i].contains(&c) {
+                return Err(format!("derived plan lists column {c} twice"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic 64-bit fingerprint of the schema (FNV-1a over a
+    /// canonical rendering). Embedded in store segment footers and
+    /// checkpoints; two schemas agree on layout iff fingerprints match.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&[0xff]);
+        for a in &self.attributes {
+            eat(&a.id.to_le_bytes());
+            eat(a.name.as_bytes());
+            eat(&[u8::from(a.cumulative)]);
+            eat(&a.min_plausible.to_bits().to_le_bytes());
+            eat(&a.max_plausible.to_bits().to_le_bytes());
+            eat(&[0xfe]);
+        }
+        eat(&self.derived.window_days.to_le_bytes());
+        eat(&[
+            u8::from(self.derived.delta),
+            u8::from(self.derived.mean),
+            u8::from(self.derived.std),
+        ]);
+        for &c in &self.derived.cols {
+            eat(&(c as u64).to_le_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{self, N_FEATURES};
+
+    #[test]
+    fn smart_schema_reproduces_compile_time_layout() {
+        let s = DomainSchema::smart();
+        s.validate().unwrap();
+        assert_eq!(s.n_attributes(), attrs::N_ATTRIBUTES);
+        assert_eq!(s.n_base_features(), N_FEATURES);
+        assert_eq!(s.n_features(), N_FEATURES, "empty plan adds no columns");
+        for col in 0..N_FEATURES {
+            assert_eq!(s.feature_name(col), attrs::feature_name(col));
+            let (id, kind) = attrs::feature_meta(col);
+            assert_eq!(s.feature_index(id, kind), Some(col));
+            assert_eq!(s.column_cumulative(col), ATTRIBUTES[col / 2].cumulative);
+        }
+    }
+
+    #[test]
+    fn derived_columns_extend_the_layout() {
+        let s = DomainSchema::mce();
+        s.validate().unwrap();
+        assert_eq!(s.n_base_features(), 16);
+        assert_eq!(s.derived.cols.len(), 4);
+        assert_eq!(s.n_features(), 16 + 4 * 3);
+        // Derived names compose base name + stat suffix + window.
+        let first_derived = s.n_base_features();
+        let name = s.feature_name(first_derived);
+        assert!(name.ends_with("delta5"), "got {name}");
+        assert!(name.starts_with("mce_1_raw"), "got {name}");
+        assert!(!s.column_cumulative(first_derived));
+    }
+
+    #[test]
+    fn fingerprints_separate_schemas_and_are_stable() {
+        let smart = DomainSchema::smart();
+        let mce = DomainSchema::mce();
+        assert_eq!(smart.fingerprint(), DomainSchema::smart().fingerprint());
+        assert_ne!(smart.fingerprint(), mce.fingerprint());
+        let mut tweaked = DomainSchema::smart();
+        tweaked.derived.cols = vec![3];
+        assert_ne!(smart.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_schemas() {
+        let mut s = DomainSchema::smart();
+        s.attributes.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = DomainSchema::smart();
+        s.attributes[1].id = s.attributes[0].id;
+        assert!(s.validate().is_err());
+
+        let mut s = DomainSchema::smart();
+        s.derived.cols = vec![N_FEATURES];
+        assert!(s.validate().is_err());
+
+        let mut s = DomainSchema::smart();
+        s.derived.cols = vec![3, 3];
+        assert!(s.validate().is_err());
+
+        let mut s = DomainSchema::smart();
+        s.derived.cols = vec![3];
+        s.derived.window_days = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn for_domain_resolves_known_names() {
+        assert_eq!(DomainSchema::for_domain("smart").unwrap().name, "smart");
+        assert_eq!(DomainSchema::for_domain("mce").unwrap().name, "mce");
+        assert!(DomainSchema::for_domain("smart-windowed")
+            .map(|s| !s.derived.is_empty())
+            .unwrap());
+        assert!(DomainSchema::for_domain("lustre").is_none());
+    }
+
+    #[test]
+    fn schema_serde_round_trips() {
+        let s = DomainSchema::mce();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DomainSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.fingerprint(), back.fingerprint());
+    }
+}

@@ -1,0 +1,299 @@
+//! Deterministic sliding-window derived-feature stage.
+//!
+//! [`WindowStage`] extends each base telemetry row with the derived columns
+//! a [`DomainSchema`]'s [`DerivedPlan`] names: per-attribute day-over-day
+//! delta and rolling mean/std over the last `window_days` rows of the same
+//! disk (including today). State is strictly **per disk**, updated in the
+//! disk's chronological row order, which is what makes the stage safe to
+//! run under the serve engine's ingest lock: every sharding of the fleet
+//! sees each disk's rows in the same order, so N-shard ≡ serial
+//! bit-exactness is preserved (the same argument as the prep stage,
+//! DESIGN.md §13/§15).
+//!
+//! Determinism: all statistics are computed by fixed-order accumulation
+//! (oldest history row to newest) in `f64`, rounded to `f32` once — no
+//! iteration-order or associativity freedom anywhere. With an empty plan
+//! the stage is a strict no-op (rows pass through untouched), the property
+//! pinning the SMART domain to the pre-schema pipeline bit for bit.
+
+use crate::schema::{DerivedPlan, DomainSchema};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-disk window history: the last `<= window_days` values of each
+/// selected base column, oldest first.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct DiskWindow {
+    /// One entry per retained day; each entry holds the selected base
+    /// columns' values in plan order.
+    rows: VecDeque<Vec<f32>>,
+}
+
+/// Incremental derived-feature computer. Serializable so it rides
+/// checkpoints next to the prep state and survives crash recovery.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WindowStage {
+    /// Base row width the stage expects.
+    n_base: usize,
+    /// The plan (columns + statistics + window length).
+    plan: DerivedPlan,
+    /// Per-disk history, keyed by disk id (BTreeMap: checkpoint-stable
+    /// iteration order, same discipline as the labeller queues).
+    disks: BTreeMap<u32, DiskWindow>,
+}
+
+impl WindowStage {
+    /// Build the stage for a schema. With an empty derived plan the stage
+    /// holds no state and [`extend`](Self::extend) is an exact no-op.
+    pub fn new(schema: &DomainSchema) -> Self {
+        WindowStage {
+            n_base: schema.n_base_features(),
+            plan: schema.derived.clone(),
+            disks: BTreeMap::new(),
+        }
+    }
+
+    /// True when the stage produces no derived columns.
+    pub fn is_noop(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Base row width the stage expects.
+    pub fn n_base(&self) -> usize {
+        self.n_base
+    }
+
+    /// Output row width (base + derived).
+    pub fn n_features(&self) -> usize {
+        self.n_base + self.plan.n_derived()
+    }
+
+    /// Number of disks with live window state.
+    pub fn n_tracked(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Extend one base row in place with the plan's derived columns,
+    /// updating the disk's window state. Rows must arrive per disk in
+    /// chronological order (the same contract prep enforces upstream).
+    pub fn extend(&mut self, disk_id: u32, row: &mut Vec<f32>) {
+        if self.plan.is_empty() {
+            return;
+        }
+        debug_assert_eq!(row.len(), self.n_base, "window stage fed a wrong-width row");
+        let win = self.disks.entry(disk_id).or_default();
+        let selected: Vec<f32> = self.plan.cols.iter().map(|&c| row[c]).collect();
+        win.rows.push_back(selected);
+        while win.rows.len() > usize::from(self.plan.window_days.max(1)) {
+            win.rows.pop_front();
+        }
+        let n_hist = win.rows.len();
+        row.reserve(self.plan.n_derived());
+        for (k, _) in self.plan.cols.iter().enumerate() {
+            let cur = f64::from(win.rows[n_hist - 1][k]);
+            if self.plan.delta {
+                let prev = if n_hist >= 2 {
+                    f64::from(win.rows[n_hist - 2][k])
+                } else {
+                    cur
+                };
+                row.push((cur - prev) as f32);
+            }
+            if self.plan.mean || self.plan.std {
+                // Fixed-order (oldest → newest) f64 accumulation: identical
+                // on every shard layout and every replay.
+                let mut sum = 0.0f64;
+                for r in win.rows.iter() {
+                    sum += f64::from(r[k]);
+                }
+                let mean = sum / n_hist as f64;
+                if self.plan.mean {
+                    row.push(mean as f32);
+                }
+                if self.plan.std {
+                    let mut ss = 0.0f64;
+                    for r in win.rows.iter() {
+                        let d = f64::from(r[k]) - mean;
+                        ss += d * d;
+                    }
+                    row.push((ss / n_hist as f64).max(0.0).sqrt() as f32);
+                }
+            }
+        }
+    }
+
+    /// Drop a disk's window state (on failure or decommission).
+    pub fn forget(&mut self, disk_id: u32) {
+        if !self.plan.is_empty() {
+            self.disks.remove(&disk_id);
+        }
+    }
+
+    /// Extend a chronological `(day, disk_id)`-ordered record stream (a
+    /// [`Dataset`]'s records) through a fresh pass of this stage. Because
+    /// the stream visits each disk's rows in chronological order, this is
+    /// bit-identical to feeding the same rows through [`WindowStage::extend`]
+    /// online — the offline reference the eval harnesses use.
+    ///
+    /// [`Dataset`]: crate::record::Dataset
+    pub fn extend_records(
+        schema: &DomainSchema,
+        records: &[crate::record::DiskDay],
+    ) -> Vec<crate::record::DiskDay> {
+        let mut stage = WindowStage::new(schema);
+        records
+            .iter()
+            .map(|r| {
+                let mut rec = r.clone();
+                stage.extend(rec.disk_id, &mut rec.features);
+                rec
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DiskDay;
+
+    fn windowed_schema() -> DomainSchema {
+        let mut s = DomainSchema::mce();
+        s.derived.cols = vec![1, 3];
+        s.derived.window_days = 3;
+        s
+    }
+
+    #[test]
+    fn empty_plan_is_a_strict_noop() {
+        let schema = DomainSchema::smart();
+        let mut stage = WindowStage::new(&schema);
+        assert!(stage.is_noop());
+        let row_in: Vec<f32> = (0..schema.n_base_features()).map(|i| i as f32).collect();
+        let mut row = row_in.clone();
+        stage.extend(7, &mut row);
+        assert_eq!(row, row_in);
+        assert_eq!(stage.n_tracked(), 0);
+        assert_eq!(stage.n_features(), schema.n_base_features());
+    }
+
+    #[test]
+    fn delta_mean_std_match_direct_computation() {
+        let schema = windowed_schema();
+        let mut stage = WindowStage::new(&schema);
+        let n_base = schema.n_base_features();
+        let series = [2.0f32, 5.0, 11.0, 4.0];
+        let mut last = Vec::new();
+        for (day, &v) in series.iter().enumerate() {
+            let mut row = vec![0.0f32; n_base];
+            row[1] = v;
+            row[3] = 10.0 * v;
+            stage.extend(0, &mut row);
+            assert_eq!(row.len(), n_base + 6);
+            if day == 3 {
+                last = row;
+            }
+        }
+        // Day 3, window 3 → history [5, 11, 4] for col 1.
+        let hist = [5.0f64, 11.0, 4.0];
+        let mean = hist.iter().sum::<f64>() / 3.0;
+        let var = hist.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+        assert_eq!(last[n_base], (4.0 - 11.0) as f32); // delta
+        assert_eq!(last[n_base + 1], mean as f32);
+        assert_eq!(last[n_base + 2], var.sqrt() as f32);
+        // Second selected column scales by 10.
+        assert_eq!(last[n_base + 3], 10.0 * (4.0 - 11.0) as f32);
+    }
+
+    #[test]
+    fn first_row_delta_is_zero_and_std_is_zero() {
+        let schema = windowed_schema();
+        let mut stage = WindowStage::new(&schema);
+        let n_base = schema.n_base_features();
+        let mut row = vec![1.0f32; n_base];
+        row[1] = 42.0;
+        stage.extend(3, &mut row);
+        assert_eq!(row[n_base], 0.0);
+        assert_eq!(row[n_base + 1], 42.0);
+        assert_eq!(row[n_base + 2], 0.0);
+    }
+
+    #[test]
+    fn per_disk_state_is_independent_and_forgettable() {
+        let schema = windowed_schema();
+        let mut stage = WindowStage::new(&schema);
+        let n_base = schema.n_base_features();
+        for disk in [0u32, 1] {
+            let mut row = vec![0.0f32; n_base];
+            row[1] = f32::from(disk as u8 + 1) * 100.0;
+            stage.extend(disk, &mut row);
+        }
+        assert_eq!(stage.n_tracked(), 2);
+        // Disk 1's second row deltas against its own history only.
+        let mut row = vec![0.0f32; n_base];
+        row[1] = 250.0;
+        stage.extend(1, &mut row);
+        assert_eq!(row[n_base], 50.0);
+        stage.forget(1);
+        assert_eq!(stage.n_tracked(), 1);
+        // After forget, the next row starts fresh (delta 0).
+        let mut row = vec![0.0f32; n_base];
+        row[1] = 9.0;
+        stage.extend(1, &mut row);
+        assert_eq!(row[n_base], 0.0);
+    }
+
+    #[test]
+    fn extend_records_matches_online_feeding() {
+        let schema = windowed_schema();
+        let n_base = schema.n_base_features();
+        let mut records = Vec::new();
+        for day in 0..6u16 {
+            for disk in 0..3u32 {
+                let mut features = vec![0.0f32; n_base];
+                features[1] = (u32::from(day) * 7 + disk * 13) as f32;
+                features[3] = (u32::from(day) + disk) as f32;
+                records.push(DiskDay {
+                    disk_id: disk,
+                    day,
+                    features,
+                });
+            }
+        }
+        let batch = WindowStage::extend_records(&schema, &records);
+        let mut online = WindowStage::new(&schema);
+        for (orig, ext) in records.iter().zip(&batch) {
+            let mut row = orig.features.clone();
+            online.extend(orig.disk_id, &mut row);
+            let same = row
+                .iter()
+                .zip(ext.features.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "batch and online extension diverged");
+        }
+    }
+
+    #[test]
+    fn window_state_serde_round_trips() {
+        let schema = windowed_schema();
+        let mut stage = WindowStage::new(&schema);
+        let n_base = schema.n_base_features();
+        for day in 0..4u16 {
+            let mut row = vec![0.0f32; n_base];
+            row[1] = f32::from(day) * 3.0;
+            stage.extend(5, &mut row);
+        }
+        let json = serde_json::to_string(&stage).unwrap();
+        let mut back: WindowStage = serde_json::from_str(&json).unwrap();
+        // Restored stage continues bit-identically.
+        let mut a = vec![0.0f32; n_base];
+        a[1] = 100.0;
+        let mut b = a.clone();
+        stage.extend(5, &mut a);
+        back.extend(5, &mut b);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -34,7 +34,7 @@ pub mod writer;
 
 pub use fault::{NoStoreFaults, SegmentFault, StoreFaultInjector};
 pub use reader::{ColumnStat, Events, Records, Store, StoreInfo, VerifyReport};
-pub use segment::{Segment, SegmentBuilder, LOGICAL_ROW_BYTES};
+pub use segment::{logical_row_bytes, Segment, SegmentBuilder};
 pub use writer::{
     record_dataset, record_fleet, SegmentMeta, StoreConfig, StoreMeta, StoreWriter,
     DEFAULT_SEGMENT_ROWS, META_FILE, STORE_VERSION,
@@ -227,6 +227,12 @@ mod tests {
         assert_eq!(info.rows, meta.total_rows);
         assert_eq!(info.segments, meta.segments.len());
         assert_eq!(info.columns.len(), orfpred_smart::N_FEATURES);
+        assert_eq!(info.schema_name, "smart");
+        assert_eq!(info.n_attributes, orfpred_smart::N_ATTRIBUTES);
+        assert_eq!(
+            info.schema_fp,
+            orfpred_smart::DomainSchema::smart().fingerprint()
+        );
         assert!(info.disk_bytes > 0);
         assert!(
             info.disk_bytes < info.logical_bytes,
@@ -236,6 +242,48 @@ mod tests {
         );
         let col_sum: u64 = info.columns.iter().map(|c| c.encoded_bytes).sum();
         assert!(col_sum > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_schema_appends_are_refused_with_a_typed_error() {
+        use orfpred_smart::DomainSchema;
+        let fleet = tiny_fleet();
+        let ds = FleetSim::collect(&fleet);
+        let dir = tmp_dir("mixed");
+        let mce = DomainSchema::mce();
+        let mut w = StoreWriter::create(
+            &dir,
+            "MCE-NODE",
+            ds.duration_days,
+            &ds.disks,
+            StoreConfig {
+                schema: mce.clone(),
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        // SMART-width rows must be refused by an mce-schema store.
+        let err = w.append(&ds.records[0]).unwrap_err();
+        match err {
+            StoreError::InvalidInput { detail } => {
+                assert!(detail.contains("mixed-schema"), "got: {detail}")
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        // A correctly sized row is accepted and the schema survives reopen.
+        let mut rec = ds.records[0].clone();
+        rec.features = vec![1.0; mce.n_base_features()];
+        w.append(&rec).unwrap();
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.schema().name, "mce");
+        store.verify_domain(&mce).unwrap();
+        assert!(matches!(
+            store.verify_domain(&DomainSchema::smart()),
+            Err(StoreError::InvalidInput { .. })
+        ));
+        store.verify().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -9,12 +9,12 @@
 //! of day *d* (ascending disk id), then all failures of day *d* — which is
 //! what makes replay-from-store bit-identical to replay-from-sim.
 
-use crate::segment::{Footer, Segment, LOGICAL_ROW_BYTES, N_BLOCKS, SEG_MAGIC};
+use crate::segment::{logical_row_bytes, Footer, Segment, SEG_MAGIC};
 use crate::writer::{StoreMeta, META_FILE, STORE_VERSION};
 use crate::StoreError;
 use orfpred_smart::gen::FleetEvent;
 use orfpred_smart::record::{Dataset, DiskDay};
-use orfpred_smart::N_FEATURES;
+use orfpred_smart::DomainSchema;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -37,6 +37,8 @@ fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
 pub struct Store {
     dir: PathBuf,
     meta: StoreMeta,
+    /// Resolved domain schema (manifest's, or implicit SMART for v1).
+    schema: DomainSchema,
 }
 
 impl Store {
@@ -90,14 +92,51 @@ impl Store {
                 ));
             }
         }
+        let schema = match &meta.schema {
+            Some(s) => {
+                s.validate()
+                    .map_err(|e| corrupt(&meta_path, format!("manifest schema invalid: {e}")))?;
+                s.clone()
+            }
+            None => DomainSchema::smart(),
+        };
         Ok(Store {
             dir: dir.to_path_buf(),
             meta,
+            schema,
         })
     }
 
     pub fn meta(&self) -> &StoreMeta {
         &self.meta
+    }
+
+    /// The domain schema the store's rows follow (implicit SMART when the
+    /// manifest predates embedded schemas).
+    pub fn schema(&self) -> &DomainSchema {
+        &self.schema
+    }
+
+    /// Typed error when the store's layout disagrees with `domain` — the
+    /// check behind `orfpred data verify --domain`. Fingerprints cover
+    /// attribute ids/names/plausibility bits and the derived-feature plan,
+    /// so a rename or window change is caught, not just a width change.
+    pub fn verify_domain(&self, domain: &DomainSchema) -> Result<(), StoreError> {
+        let (store_fp, domain_fp) = (self.schema.fingerprint(), domain.fingerprint());
+        if store_fp != domain_fp {
+            return Err(StoreError::InvalidInput {
+                detail: format!(
+                    "store was recorded under schema `{}` (fingerprint {store_fp:016x}, \
+                     {} features) but domain `{}` expects fingerprint {domain_fp:016x} \
+                     ({} features)",
+                    self.schema.name,
+                    self.schema.n_base_features(),
+                    domain.name,
+                    domain.n_base_features()
+                ),
+            });
+        }
+        Ok(())
     }
 
     pub fn dir(&self) -> &Path {
@@ -128,6 +167,29 @@ impl Store {
             return Err(corrupt(
                 &path,
                 format!("segment holds {} rows, manifest says {want}", seg.n_rows()),
+            ));
+        }
+        if seg.schema_fp() != self.schema.fingerprint() {
+            return Err(corrupt(
+                &path,
+                format!(
+                    "segment schema fingerprint {:016x} does not match the store's \
+                     `{}` schema ({:016x})",
+                    seg.schema_fp(),
+                    self.schema.name,
+                    self.schema.fingerprint()
+                ),
+            ));
+        }
+        if seg.n_features() != self.schema.n_base_features() {
+            return Err(corrupt(
+                &path,
+                format!(
+                    "segment rows have {} feature columns, schema `{}` has {} base columns",
+                    seg.n_features(),
+                    self.schema.name,
+                    self.schema.n_base_features()
+                ),
             ));
         }
         Ok(seg)
@@ -242,15 +304,17 @@ impl Store {
             segments: self.n_segments(),
             rows,
             bytes,
+            schema_fp: self.schema.fingerprint(),
         })
     }
 
     /// Footer-only summary (no row decode): sizes, date range, and
     /// per-column encoded bytes + modes for the `data info` report.
     pub fn info(&self) -> Result<StoreInfo, StoreError> {
-        let mut columns: Vec<ColumnStat> = (0..N_FEATURES)
+        let n_features = self.schema.n_base_features();
+        let mut columns: Vec<ColumnStat> = (0..n_features)
             .map(|c| ColumnStat {
-                name: orfpred_smart::attrs::feature_name(c),
+                name: self.schema.feature_name(c),
                 encoded_bytes: 0,
                 raw_segments: 0,
                 int_segments: 0,
@@ -272,6 +336,18 @@ impl Store {
                     ),
                 ));
             }
+            if footer.schema_fp != self.schema.fingerprint()
+                || footer.n_features as usize != n_features
+            {
+                return Err(corrupt(
+                    &path,
+                    format!(
+                        "segment footer schema (fingerprint {:016x}, {} features) \
+                         disagrees with the store's `{}` schema",
+                        footer.schema_fp, footer.n_features, self.schema.name
+                    ),
+                ));
+            }
             disk_bytes += bytes.len() as u64;
             disk_id_bytes += footer.block_bytes(0);
             day_bytes += footer.block_bytes(1);
@@ -287,7 +363,6 @@ impl Store {
                     col.raw_segments += 1;
                 }
             }
-            debug_assert_eq!(footer.block_ends.len(), N_BLOCKS);
         }
         let m = &self.meta;
         Ok(StoreInfo {
@@ -301,10 +376,13 @@ impl Store {
             duration_days: m.duration_days,
             model: m.model.clone(),
             disk_bytes,
-            logical_bytes: m.total_rows * LOGICAL_ROW_BYTES,
+            logical_bytes: m.total_rows * logical_row_bytes(n_features),
             disk_id_bytes,
             day_bytes,
             columns,
+            schema_name: self.schema.name.clone(),
+            schema_fp: self.schema.fingerprint(),
+            n_attributes: self.schema.n_attributes(),
         })
     }
 }
@@ -316,6 +394,8 @@ pub struct VerifyReport {
     pub rows: u64,
     /// Encoded bytes decoded and CRC-verified.
     pub bytes: u64,
+    /// Schema fingerprint every segment matched.
+    pub schema_fp: u64,
 }
 
 /// Per-feature-column stats for `data info`.
@@ -350,6 +430,12 @@ pub struct StoreInfo {
     pub disk_id_bytes: u64,
     pub day_bytes: u64,
     pub columns: Vec<ColumnStat>,
+    /// Domain schema name (`smart` for v1 manifests).
+    pub schema_name: String,
+    /// Schema fingerprint all segments were written under.
+    pub schema_fp: u64,
+    /// Attributes (not feature columns) in the schema.
+    pub n_attributes: usize,
 }
 
 /// Streaming record iterator: one decoded segment resident at a time.

@@ -4,21 +4,27 @@
 //!
 //! ```text
 //! +----------------+  offset 0
-//! | magic          |  8 B  "ORFSEG1\n"
+//! | magic          |  8 B  "ORFSEG2\n"
 //! +----------------+
-//! | body           |  N_BLOCKS encoded column blocks, back to back:
+//! | body           |  2 + n_features encoded column blocks, back to back:
 //! |                |    block 0          disk-id dictionary + per-row indices
 //! |                |    block 1          day column, zigzag-delta varints
-//! |                |    blocks 2..50     one per SMART feature column, each
+//! |                |    blocks 2..      one per schema feature column, each
 //! |                |                     a mode byte then the payload
 //! +----------------+
 //! | footer         |  row count u32, block count u32, per-block end
-//! |                |  offsets u64×N (relative to body start), body CRC32
+//! |                |  offsets u64×N (relative to body start), schema
+//! |                |  fingerprint u64, feature count u32, body CRC32
 //! +----------------+
 //! | trailer        |  footer length u32, footer CRC32, tail magic
 //! |                |  "ORFSEGF\n" — fixed 16 B so readers can find the
 //! +----------------+  footer from the end of the file
 //! ```
+//!
+//! The column count is no longer a compile-time constant: each segment
+//! records its own feature width plus the [`DomainSchema`] fingerprint it
+//! was written under, so a reader can refuse to mix layouts before
+//! decoding a single row.
 //!
 //! The body CRC covers magic + body; the footer CRC covers the footer
 //! bytes. A torn write (any prefix of the file) fails the trailer or CRC
@@ -37,18 +43,22 @@ use crate::crc::crc32;
 use crate::varint;
 use crate::StoreError;
 use orfpred_smart::record::DiskDay;
-use orfpred_smart::N_FEATURES;
+use orfpred_smart::DomainSchema;
 use std::path::Path;
 
-/// Leading magic: format name + version.
-pub const SEG_MAGIC: &[u8; 8] = b"ORFSEG1\n";
+/// Leading magic: format name + version (v2 added the schema fingerprint
+/// and feature count to the footer).
+pub const SEG_MAGIC: &[u8; 8] = b"ORFSEG2\n";
 /// Trailing magic: lets a reader distinguish truncation from bad version.
 pub const SEG_TAIL_MAGIC: &[u8; 8] = b"ORFSEGF\n";
-/// Blocks per segment: disk-id dictionary, day column, then one block per
-/// feature column.
-pub const N_BLOCKS: usize = 2 + N_FEATURES;
 /// Fixed trailer width: footer length + footer CRC + tail magic.
 pub const TRAILER_LEN: usize = 4 + 4 + 8;
+
+/// Blocks in a segment with `n_features` feature columns: disk-id
+/// dictionary, day column, then one block per feature column.
+pub fn n_blocks(n_features: usize) -> usize {
+    2 + n_features
+}
 
 /// Feature-column payload is delta-coded integers (the common case for
 /// SMART counters).
@@ -58,8 +68,10 @@ const MODE_INT_DELTA: u8 = 0;
 const MODE_RAW_F32: u8 = 1;
 
 /// Logical (uncompressed row-struct) bytes per record: disk id + day +
-/// 48 × f32. Used for the compression ratios `data info` reports.
-pub const LOGICAL_ROW_BYTES: u64 = 4 + 2 + (N_FEATURES as u64) * 4;
+/// `n_features` × f32. Used for the compression ratios `data info` reports.
+pub fn logical_row_bytes(n_features: usize) -> u64 {
+    4 + 2 + (n_features as u64) * 4
+}
 
 fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
     StoreError::Corrupt {
@@ -75,6 +87,9 @@ pub struct SegmentBuilder {
     disk_ids: Vec<u32>,
     days: Vec<u16>,
     cols: Vec<Vec<f32>>,
+    /// Fingerprint of the [`DomainSchema`] the rows were written under,
+    /// stamped into the footer.
+    schema_fp: u64,
 }
 
 impl Default for SegmentBuilder {
@@ -84,12 +99,24 @@ impl Default for SegmentBuilder {
 }
 
 impl SegmentBuilder {
+    /// Builder for the default SMART layout.
     pub fn new() -> Self {
+        Self::for_schema(&DomainSchema::smart())
+    }
+
+    /// Builder sized and fingerprinted for an arbitrary domain layout.
+    pub fn for_schema(schema: &DomainSchema) -> Self {
         Self {
             disk_ids: Vec::new(),
             days: Vec::new(),
-            cols: vec![Vec::new(); N_FEATURES],
+            cols: vec![Vec::new(); schema.n_base_features()],
+            schema_fp: schema.fingerprint(),
         }
+    }
+
+    /// Feature columns per row this builder encodes.
+    pub fn n_features(&self) -> usize {
+        self.cols.len()
     }
 
     pub fn n_rows(&self) -> usize {
@@ -106,8 +133,13 @@ impl SegmentBuilder {
         Some((*self.days.first()?, *self.days.last()?))
     }
 
-    /// Append one record (columns grow in lockstep).
+    /// Append one record (columns grow in lockstep). The caller validates
+    /// the row width against the schema before pushing ([`StoreWriter`]
+    /// refuses mixed-schema appends with a typed error).
+    ///
+    /// [`StoreWriter`]: crate::StoreWriter
     pub fn push(&mut self, rec: &DiskDay) {
+        debug_assert_eq!(rec.features.len(), self.cols.len(), "row width mismatch");
         self.disk_ids.push(rec.disk_id);
         self.days.push(rec.day);
         for (col, &v) in self.cols.iter_mut().zip(rec.features.iter()) {
@@ -119,10 +151,11 @@ impl SegmentBuilder {
     /// (magic + body + footer + trailer).
     pub fn encode(&self) -> Vec<u8> {
         let n = self.n_rows();
+        let n_blocks = n_blocks(self.cols.len());
         let mut out = Vec::with_capacity(64 + n * 8);
         out.extend_from_slice(SEG_MAGIC);
         let body_start = out.len();
-        let mut block_ends: Vec<u64> = Vec::with_capacity(N_BLOCKS);
+        let mut block_ends: Vec<u64> = Vec::with_capacity(n_blocks);
 
         // Block 0: disk-id dictionary. Sorted unique ids as ascending
         // deltas, then one dictionary index per row.
@@ -182,10 +215,12 @@ impl SegmentBuilder {
         // Footer.
         let footer_start = out.len();
         out.extend_from_slice(&(n as u32).to_le_bytes());
-        out.extend_from_slice(&(N_BLOCKS as u32).to_le_bytes());
+        out.extend_from_slice(&(n_blocks as u32).to_le_bytes());
         for &e in &block_ends {
             out.extend_from_slice(&e.to_le_bytes());
         }
+        out.extend_from_slice(&self.schema_fp.to_le_bytes());
+        out.extend_from_slice(&(self.cols.len() as u32).to_le_bytes());
         out.extend_from_slice(&body_crc.to_le_bytes());
         let footer_len = (out.len() - footer_start) as u32;
         let footer_crc = crc32(&out[footer_start..]);
@@ -219,6 +254,10 @@ pub struct Footer {
     /// Per-block end offsets relative to body start; block `i` spans
     /// `[ends[i-1], ends[i])`.
     pub block_ends: Vec<u64>,
+    /// Fingerprint of the [`DomainSchema`] the segment was written under.
+    pub schema_fp: u64,
+    /// Feature columns per row (cross-checked against the block count).
+    pub n_features: u32,
     pub body_crc: u32,
     /// Total body length in bytes (equals the last block end).
     pub body_len: u64,
@@ -235,7 +274,7 @@ impl Footer {
             ));
         }
         if &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
-            return Err(corrupt(path, "bad segment magic (not an ORFSEG1 file)"));
+            return Err(corrupt(path, "bad segment magic (not an ORFSEG2 file)"));
         }
         let tail = &bytes[bytes.len() - 8..];
         if tail != SEG_TAIL_MAGIC {
@@ -261,13 +300,15 @@ impl Footer {
         }
         let n_rows = le_u32(&footer[0..4]);
         let n_blocks = le_u32(&footer[4..8]) as usize;
-        if n_blocks != N_BLOCKS {
+        if n_blocks < 2 {
             return Err(corrupt(
                 path,
-                format!("segment has {n_blocks} blocks, schema expects {N_BLOCKS}"),
+                format!("segment has {n_blocks} blocks, need at least disk-id + day"),
             ));
         }
-        if footer.len() != 8 + 8 * n_blocks + 4 {
+        // n_rows u32 + n_blocks u32 + ends u64×N + schema_fp u64 +
+        // n_features u32 + body_crc u32.
+        if footer.len() != 8 + 8 * n_blocks + 8 + 4 + 4 {
             return Err(corrupt(path, "footer length inconsistent with block count"));
         }
         let mut block_ends = Vec::with_capacity(n_blocks);
@@ -280,6 +321,19 @@ impl Footer {
             }
             prev = e;
             block_ends.push(e);
+        }
+        let tail = 8 + 8 * n_blocks;
+        let schema_fp = le_u64(&footer[tail..tail + 8]);
+        let n_features = le_u32(&footer[tail + 8..tail + 12]);
+        if n_features as usize != n_blocks - 2 {
+            return Err(corrupt(
+                path,
+                format!(
+                    "footer says {n_features} feature columns but the segment has {} \
+                     feature blocks",
+                    n_blocks - 2
+                ),
+            ));
         }
         let body_crc = le_u32(&footer[footer.len() - 4..]);
         let body_len = (footer_start - SEG_MAGIC.len()) as u64;
@@ -295,16 +349,18 @@ impl Footer {
         Ok(Footer {
             n_rows,
             block_ends,
+            schema_fp,
+            n_features,
             body_crc,
             body_len,
         })
     }
 
-    /// Encoded byte size of block `i` (`i < N_BLOCKS`, which `parse`
-    /// guarantees equals `block_ends.len()`).
+    /// Encoded byte size of block `i` (`i < block_ends.len()`, which
+    /// `parse` pinned to the footer's block count).
     pub fn block_bytes(&self, i: usize) -> u64 {
         let start = if i == 0 { 0 } else { self.block_ends[i - 1] };
-        // lint: allow(panic_path, reason="parse() rejects any footer whose block count differs from N_BLOCKS, and callers iterate i in 0..N_BLOCKS")
+        // lint: allow(panic_path, reason="parse() cross-checks the block count against the footer length, and callers iterate i in 0..block_ends.len()")
         self.block_ends[i] - start
     }
 }
@@ -356,6 +412,8 @@ pub struct Segment {
     disk_ids: Vec<u32>,
     days: Vec<u16>,
     cols: Vec<Vec<f32>>,
+    /// Schema fingerprint the segment was written under (from the footer).
+    schema_fp: u64,
 }
 
 impl Segment {
@@ -368,12 +426,13 @@ impl Segment {
             return Err(corrupt(path, "body CRC mismatch"));
         }
         let n = footer.n_rows as usize;
+        let n_features = footer.n_features as usize;
         let body = bytes;
         let block = |i: usize| -> (usize, usize) {
             let start = if i == 0 { 0 } else { footer.block_ends[i - 1] };
             (
                 SEG_MAGIC.len() + start as usize,
-                // lint: allow(panic_path, reason="called with i in 0..N_BLOCKS only; parse() pinned block_ends.len() to N_BLOCKS")
+                // lint: allow(panic_path, reason="called with i in 0..n_blocks only; parse() pinned block_ends.len() to the footer's block count")
                 SEG_MAGIC.len() + footer.block_ends[i] as usize,
             )
         };
@@ -428,8 +487,8 @@ impl Segment {
         cur.finish(path, "day block")?;
 
         // Feature blocks.
-        let mut cols = Vec::with_capacity(N_FEATURES);
-        for c in 0..N_FEATURES {
+        let mut cols = Vec::with_capacity(n_features);
+        for c in 0..n_features {
             let (start, end) = block(2 + c);
             let mut cur = Cursor {
                 bytes: body,
@@ -440,8 +499,8 @@ impl Segment {
             let mut col = Vec::with_capacity(n);
             match mode {
                 MODE_INT_DELTA => {
-                    // Hot loop of the whole replay path (48 columns × rows
-                    // of these): inline the one-byte varint fast path —
+                    // Hot loop of the whole replay path (every feature
+                    // column × rows): inline the one-byte varint fast path —
                     // slow-moving counters delta to 0 or small values, so
                     // almost every code is a single byte.
                     let mut prev = 0i64;
@@ -488,11 +547,22 @@ impl Segment {
             disk_ids,
             days,
             cols,
+            schema_fp: footer.schema_fp,
         })
     }
 
     pub fn n_rows(&self) -> usize {
         self.disk_ids.len()
+    }
+
+    /// Feature columns per row.
+    pub fn n_features(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Fingerprint of the schema the segment was written under.
+    pub fn schema_fp(&self) -> u64 {
+        self.schema_fp
     }
 
     pub fn disk_ids(&self) -> &[u32] {
@@ -503,9 +573,9 @@ impl Segment {
         &self.days
     }
 
-    /// One decoded feature column (all rows of feature `c < N_FEATURES`).
+    /// One decoded feature column (all rows of feature `c < n_features()`).
     pub fn feature_col(&self, c: usize) -> &[f32] {
-        // lint: allow(panic_path, reason="decode() always builds exactly N_FEATURES columns; c is a schema feature index by contract")
+        // lint: allow(panic_path, reason="decode() builds exactly n_features columns; c is a schema feature index by contract")
         &self.cols[c]
     }
 
@@ -518,7 +588,7 @@ impl Segment {
     /// Materialize row `i < n_rows()` as a [`DiskDay`] (gathers across
     /// columns).
     pub fn record(&self, i: usize) -> DiskDay {
-        let mut features = [0.0f32; N_FEATURES];
+        let mut features = vec![0.0f32; self.cols.len()];
         for (f, col) in features.iter_mut().zip(self.cols.iter()) {
             // lint: allow(panic_path, reason="i < n_rows() by contract and decode() gives every column exactly n_rows entries")
             *f = col[i];
@@ -536,6 +606,7 @@ impl Segment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use orfpred_smart::N_FEATURES;
     use std::path::PathBuf;
 
     fn p() -> PathBuf {
@@ -546,7 +617,7 @@ mod tests {
         let mut rows = Vec::new();
         for day in 0..5u16 {
             for disk in [0u32, 3, 7] {
-                let mut features = [0.0f32; N_FEATURES];
+                let mut features = vec![0.0f32; N_FEATURES];
                 for (i, f) in features.iter_mut().enumerate() {
                     *f = match i % 4 {
                         0 => (u64::from(day) * 100 + u64::from(disk)) as f32, // counter
@@ -598,7 +669,7 @@ mod tests {
         ];
         let mut b = SegmentBuilder::new();
         for (i, &v) in specials.iter().enumerate() {
-            let mut features = [v; N_FEATURES];
+            let mut features = vec![v; N_FEATURES];
             features[0] = i as f32; // keep one clean counter column
             b.push(&DiskDay {
                 disk_id: i as u32,
@@ -619,6 +690,31 @@ mod tests {
         let bytes = b.encode();
         let seg = Segment::decode(&bytes, &p()).unwrap();
         assert_eq!(seg.n_rows(), 0);
+        assert_eq!(seg.n_features(), N_FEATURES);
+        assert_eq!(seg.schema_fp(), DomainSchema::smart().fingerprint());
+    }
+
+    #[test]
+    fn non_smart_widths_round_trip_with_their_fingerprint() {
+        let schema = DomainSchema::mce();
+        let width = schema.n_base_features();
+        assert_ne!(width, N_FEATURES, "mce must exercise a different width");
+        let mut b = SegmentBuilder::for_schema(&schema);
+        for day in 0..3u16 {
+            let features: Vec<f32> = (0..width).map(|c| (c as f32) + f32::from(day)).collect();
+            b.push(&DiskDay {
+                disk_id: 1,
+                day,
+                features,
+            });
+        }
+        let bytes = b.encode();
+        let seg = Segment::decode(&bytes, &p()).unwrap();
+        assert_eq!(seg.n_rows(), 3);
+        assert_eq!(seg.n_features(), width);
+        assert_eq!(seg.schema_fp(), schema.fingerprint());
+        assert_eq!(seg.record(2).features.len(), width);
+        assert_eq!(seg.record(2).features[width - 1], (width - 1) as f32 + 2.0);
     }
 
     #[test]

@@ -7,14 +7,16 @@ use crate::segment::SegmentBuilder;
 use crate::StoreError;
 use orfpred_smart::gen::{FleetConfig, FleetEvent, FleetSim};
 use orfpred_smart::record::{Dataset, DiskDay, DiskInfo};
+use orfpred_smart::DomainSchema;
 use serde::{Deserialize, Serialize};
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// On-disk manifest format version.
-pub const STORE_VERSION: u32 = 1;
+/// On-disk manifest format version (v2 added the embedded domain schema;
+/// v1 manifests are read as the implicit SMART layout).
+pub const STORE_VERSION: u32 = 2;
 /// Manifest file name inside a store directory.
 pub const META_FILE: &str = "store.json";
 /// Default rows per segment (~6.5 MB logical per segment; encoded far
@@ -55,6 +57,9 @@ pub struct StoreMeta {
     pub segments: Vec<SegmentMeta>,
     /// Fleet roster: dense ids, install/last days, failure flags.
     pub disks: Vec<DiskInfo>,
+    /// Domain schema the rows were recorded under. `None` (v1 manifests)
+    /// means the implicit SMART layout.
+    pub schema: Option<DomainSchema>,
 }
 
 /// Writer configuration.
@@ -62,6 +67,8 @@ pub struct StoreMeta {
 pub struct StoreConfig {
     /// Rows per segment before rotation.
     pub segment_rows: u32,
+    /// Domain schema the rows are recorded under (defaults to SMART).
+    pub schema: DomainSchema,
     /// Fault-injection points ([`NoStoreFaults`] in production).
     pub injector: Arc<dyn StoreFaultInjector>,
 }
@@ -70,6 +77,7 @@ impl Default for StoreConfig {
     fn default() -> Self {
         Self {
             segment_rows: DEFAULT_SEGMENT_ROWS,
+            schema: DomainSchema::smart(),
             injector: Arc::new(NoStoreFaults),
         }
     }
@@ -101,6 +109,7 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
 pub struct StoreWriter {
     dir: PathBuf,
     meta: StoreMeta,
+    schema: DomainSchema,
     builder: SegmentBuilder,
     injector: Arc<dyn StoreFaultInjector>,
     last_key: Option<(u16, u32)>,
@@ -119,6 +128,11 @@ impl StoreWriter {
         if cfg.segment_rows == 0 {
             return Err(StoreError::InvalidInput {
                 detail: "segment_rows must be at least 1".into(),
+            });
+        }
+        if let Err(e) = cfg.schema.validate() {
+            return Err(StoreError::InvalidInput {
+                detail: format!("invalid domain schema: {e}"),
             });
         }
         for (i, d) in disks.iter().enumerate() {
@@ -143,11 +157,13 @@ impl StoreWriter {
             total_rows: 0,
             segments: Vec::new(),
             disks: disks.to_vec(),
+            schema: Some(cfg.schema.clone()),
         };
         let w = StoreWriter {
             dir: dir.to_path_buf(),
             meta,
-            builder: SegmentBuilder::new(),
+            builder: SegmentBuilder::for_schema(&cfg.schema),
+            schema: cfg.schema,
             injector: cfg.injector,
             last_key: None,
         };
@@ -159,6 +175,18 @@ impl StoreWriter {
     /// `(day, disk_id)` order — the invariant every reader and the replay
     /// oracle rely on — and reference a disk in the roster.
     pub fn append(&mut self, rec: &DiskDay) -> Result<(), StoreError> {
+        if rec.features.len() != self.schema.n_base_features() {
+            return Err(StoreError::InvalidInput {
+                detail: format!(
+                    "record has {} feature columns but the store's `{}` schema has {} \
+                     base columns (the store holds raw telemetry; derived window \
+                     columns are computed downstream — mixed-schema appends are refused)",
+                    rec.features.len(),
+                    self.schema.name,
+                    self.schema.n_base_features()
+                ),
+            });
+        }
         if rec.disk_id as usize >= self.meta.disks.len() {
             return Err(StoreError::InvalidInput {
                 detail: format!(
@@ -264,7 +292,7 @@ impl StoreWriter {
         });
         self.meta.total_rows += rows;
         self.write_meta()?;
-        self.builder = SegmentBuilder::new();
+        self.builder = SegmentBuilder::for_schema(&self.schema);
         Ok(())
     }
 

@@ -18,8 +18,10 @@ use orfpred_prep::PrepConfig;
 use orfpred_serve::CheckpointFault;
 use orfpred_smart::attrs::table2_feature_columns;
 use orfpred_smart::gen::{
-    corrupt_events, DirtyConfig, FleetConfig, FleetEvent, FleetSim, ScalePreset,
+    corrupt_events, DirtyConfig, FleetConfig, FleetEvent, FleetSim, MceFleetConfig, MceSim,
+    ScalePreset,
 };
+use orfpred_smart::DomainSchema;
 use orfpred_util::Xoshiro256pp;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -45,6 +47,8 @@ pub struct ScenarioReport {
     /// The schedule as planned (faults that never fired stay listed here —
     /// e.g. a kill on a sequence number the fleet never reached).
     pub faults_planned: Vec<String>,
+    /// Telemetry domain the scenario drove (`"smart"` or `"mce"`).
+    pub domain: &'static str,
 }
 
 /// Scratch directory for one scenario run; includes the pid so parallel
@@ -71,12 +75,36 @@ pub fn run_scenario(seed: u64, size: u32) -> Result<ScenarioReport, String> {
     fleet.duration_days = (60 + size).min(170) as u16;
     fleet.n_good = 10 + (size as usize / 5).min(22);
     fleet.n_failed = 3 + rng.index(4);
-    let events: Vec<FleetEvent> = FleetSim::new(&fleet).collect();
+
+    // --- domain: a quarter of the seeds drive the mce domain instead of
+    // SMART. The DIMM simulator emits base-width rows and the engine's
+    // window stage appends the derived delta/mean/std columns at ingest,
+    // so kills, delays, torn checkpoints, and shard rotations all land on
+    // the derived-feature path too.
+    let domain = if rng.index(4) == 0 { "mce" } else { "smart" };
+    let events: Vec<FleetEvent> = if domain == "mce" {
+        let mut m = MceFleetConfig::preset(ScalePreset::Tiny, seed);
+        // An mce failure ramp needs ~35 observed days; keep the SMART
+        // scenario's population scaling.
+        m.duration_days = fleet.duration_days.max(80);
+        m.n_good = fleet.n_good;
+        m.n_failed = fleet.n_failed;
+        MceSim::new(&m).collect()
+    } else {
+        FleetSim::new(&fleet).collect()
+    };
 
     // --- pipeline: small forest, occasionally edge-case labelling windows
     // (W = 1 exercises the queue-length-1 paths end to end).
-    let mut predictor =
-        OnlinePredictorConfig::new(table2_feature_columns(), seed.wrapping_mul(7919) ^ 3);
+    let mut predictor = if domain == "mce" {
+        let schema = DomainSchema::mce();
+        let nb = schema.n_base_features();
+        // Columns straddling the base/derived boundary.
+        let cols = vec![1, 3, 5, nb, nb + 1, nb + 2, nb + 4];
+        OnlinePredictorConfig::for_domain(schema, cols, seed.wrapping_mul(7919) ^ 3)
+    } else {
+        OnlinePredictorConfig::new(table2_feature_columns(), seed.wrapping_mul(7919) ^ 3)
+    };
     predictor.orf.n_trees = 4 + rng.index(5);
     predictor.orf.min_parent_size = 30.0;
     predictor.orf.warmup_age = rng.index(12) as u64;
@@ -230,5 +258,6 @@ pub fn run_scenario(seed: u64, size: u32) -> Result<ScenarioReport, String> {
         checkpoints_taken: outcome.checkpoints_taken,
         faults_fired: plan.fired(),
         faults_planned: planned,
+        domain,
     })
 }

@@ -48,6 +48,9 @@ cargo test -q \
 echo "== closed-loop adaptation suite =="
 cargo test -q --test serve_adapt
 
+echo "== pluggable-domain equivalence suite (schema + window stage) =="
+cargo test -q --test domain_equiv
+
 echo "== store golden-trace property suite =="
 cargo test -q --test store_roundtrip
 

@@ -1,0 +1,208 @@
+//! Pluggable-domain equivalence oracle: the mce (correctable-memory-error)
+//! domain — a *windowed* schema whose derived delta/mean/std columns are
+//! computed incrementally per device — must produce bit-identical alarm
+//! streams whether events flow through the serial [`OnlinePredictor`] or
+//! through the sharded serving [`Engine`] at any shard count, and whether
+//! the run is uninterrupted or crash-recovered from a checkpoint.
+//!
+//! This is the schema-layer analogue of `serve_equiv.rs`: the window stage
+//! runs under the ingest lock *before* records are sharded, so every
+//! device's history is consulted in arrival order regardless of how many
+//! shards later chew on the extended rows. If the stage ever migrated past
+//! the shard boundary these tests would catch it as a cross-shard-count
+//! divergence.
+
+use orfpred::core::{Alarm, OnlinePredictor, OnlinePredictorConfig};
+use orfpred::serve::{Checkpoint, Engine, ServeConfig};
+use orfpred::smart::gen::{FleetEvent, MceFleetConfig, MceSim, ScalePreset};
+use orfpred::smart::DomainSchema;
+use std::path::PathBuf;
+
+fn mce_events(seed: u64) -> Vec<FleetEvent> {
+    let mut cfg = MceFleetConfig::preset(ScalePreset::Tiny, seed);
+    cfg.n_good = 30;
+    cfg.n_failed = 5;
+    cfg.duration_days = 120;
+    MceSim::new(&cfg).collect()
+}
+
+/// Feature columns that straddle the base/derived boundary: two normalized
+/// base columns plus the first two derived (windowed) columns, so the
+/// forest's splits genuinely depend on the window stage's output.
+fn mce_cols() -> Vec<usize> {
+    let schema = DomainSchema::mce();
+    let n_base = schema.n_base_features();
+    assert!(
+        schema.n_features() > n_base,
+        "mce schema must carry derived columns for this test to bite"
+    );
+    vec![0, 2, n_base, n_base + 1, n_base + 2]
+}
+
+fn predictor_cfg(seed: u64) -> OnlinePredictorConfig {
+    let mut p = OnlinePredictorConfig::for_domain(DomainSchema::mce(), mce_cols(), seed);
+    p.orf.n_trees = 8;
+    p.orf.min_parent_size = 30.0;
+    p.orf.warmup_age = 10;
+    p.orf.lambda_neg = 0.2;
+    p.alarm_threshold = 0.5;
+    p
+}
+
+fn serve_cfg(seed: u64, n_shards: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(predictor_cfg(seed));
+    cfg.n_shards = n_shards;
+    cfg
+}
+
+fn serial_alarms(events: &[FleetEvent], seed: u64) -> Vec<Alarm> {
+    let mut predictor = OnlinePredictor::new(&predictor_cfg(seed));
+    events.iter().filter_map(|e| predictor.observe(e)).collect()
+}
+
+fn sharded_alarms(events: &[FleetEvent], seed: u64, n_shards: usize) -> Vec<Alarm> {
+    let engine = Engine::new(&serve_cfg(seed, n_shards));
+    for e in events {
+        engine.ingest(e.clone()).unwrap();
+    }
+    let fin = engine.finish().unwrap();
+    fin.alarms
+}
+
+fn assert_same_alarms(a: &[Alarm], b: &[Alarm], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: alarm counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.disk_id, y.disk_id, "{what}: alarm {i} disk");
+        assert_eq!(x.day, y.day, "{what}: alarm {i} day");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{what}: alarm {i} score bits"
+        );
+    }
+}
+
+fn tmp_ck(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "orfpred_domain_equiv_{tag}_{}.json",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn mce_domain_sharded_engine_matches_serial_predictor_bit_for_bit() {
+    for seed in [7u64, 4242] {
+        let events = mce_events(seed);
+        let serial = serial_alarms(&events, seed);
+        assert!(
+            !serial.is_empty(),
+            "seed {seed}: stream must raise alarms for the comparison to mean anything"
+        );
+        for n_shards in [1usize, 2, 4] {
+            let sharded = sharded_alarms(&events, seed, n_shards);
+            assert_same_alarms(
+                &serial,
+                &sharded,
+                &format!("seed {seed}, {n_shards} shard(s) vs serial"),
+            );
+        }
+    }
+}
+
+#[test]
+fn windowed_rows_are_identical_across_shard_counts() {
+    // Stronger than alarm equality: the *extended feature rows* the window
+    // stage produces must be bit-identical across shard counts. Compare the
+    // full per-disk window state captured in the final checkpoints.
+    let events = mce_events(91);
+    let mut checkpoints = Vec::new();
+    for n_shards in [1usize, 3] {
+        let engine = Engine::new(&serve_cfg(91, n_shards));
+        for e in &events {
+            engine.ingest(e.clone()).unwrap();
+        }
+        let fin = engine.finish().unwrap();
+        checkpoints.push(serde_json::to_string(&fin.checkpoint).unwrap());
+    }
+    assert_eq!(
+        checkpoints[0], checkpoints[1],
+        "final checkpoints (window state included) must be byte-identical across shard counts"
+    );
+}
+
+#[test]
+fn mce_domain_crash_recovery_replays_identically_across_shard_counts() {
+    let events = mce_events(1337);
+    let half = events.len() / 2;
+    let ck_a = tmp_ck("uninterrupted");
+    let ck_b = tmp_ck("interrupted");
+
+    // Run A: straight through at 4 shards, with a mid-stream checkpoint
+    // call (the barrier consumes a sequence number, matching run B's cut).
+    let engine_a = Engine::new(&serve_cfg(1337, 4));
+    for e in &events[..half] {
+        engine_a.ingest(e.clone()).unwrap();
+    }
+    engine_a.checkpoint(&ck_a).unwrap();
+    for e in &events[half..] {
+        engine_a.ingest(e.clone()).unwrap();
+    }
+    let fin_a = engine_a.finish().unwrap();
+    assert!(!fin_a.alarms.is_empty(), "stream must raise alarms");
+
+    // Run B: same first half, checkpoint, crash. A fresh engine restores at
+    // a *different* shard count — per-device window state must ride along
+    // in the checkpoint or the derived columns diverge immediately.
+    let engine_b1 = Engine::new(&serve_cfg(1337, 4));
+    for e in &events[..half] {
+        engine_b1.ingest(e.clone()).unwrap();
+    }
+    engine_b1.checkpoint(&ck_b).unwrap();
+    let mut alarms_b = engine_b1.take_alarms();
+    drop(engine_b1); // crash: in-flight work after the barrier is lost
+
+    let restored = Checkpoint::load(&ck_b).unwrap();
+    let engine_b2 = Engine::restore(&serve_cfg(1337, 2), restored);
+    for e in &events[half..] {
+        engine_b2.ingest(e.clone()).unwrap();
+    }
+    let fin_b = engine_b2.finish().unwrap();
+    alarms_b.extend(fin_b.alarms);
+
+    assert_same_alarms(&fin_a.alarms, &alarms_b, "uninterrupted vs crash-recovered");
+    assert_eq!(
+        serde_json::to_string(&fin_a.checkpoint).unwrap(),
+        serde_json::to_string(&fin_b.checkpoint).unwrap(),
+        "final checkpoints (window state included) must be byte-identical after crash recovery"
+    );
+    std::fs::remove_file(&ck_a).ok();
+    std::fs::remove_file(&ck_b).ok();
+}
+
+#[test]
+fn restoring_an_mce_checkpoint_into_a_smart_engine_is_refused() {
+    let events = mce_events(5);
+    let engine = Engine::new(&serve_cfg(5, 2));
+    for e in &events[..events.len() / 4] {
+        engine.ingest(e.clone()).unwrap();
+    }
+    let path = tmp_ck("mismatch");
+    engine.checkpoint(&path).unwrap();
+    engine.finish().unwrap();
+    let ck = Checkpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // A SMART-configured engine must refuse the mce checkpoint instead of
+    // silently scoring 28-wide rows with a 48-wide scaler.
+    let mut smart_p =
+        OnlinePredictorConfig::new(orfpred::smart::attrs::table2_feature_columns(), 5);
+    smart_p.orf.n_trees = 8;
+    let smart_cfg = ServeConfig::new(smart_p);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Engine::restore(&smart_cfg, ck)
+    }));
+    assert!(
+        result.is_err(),
+        "restoring a checkpoint from a different domain must be refused"
+    );
+}

@@ -57,3 +57,19 @@ fn a_single_pinned_scenario_reports_its_schedule() {
         "every scenario plans at least one fault"
     );
 }
+
+#[test]
+fn mce_domain_scenarios_hold_the_oracle() {
+    // Seeds whose derivation lands on the mce domain (the rotation picks
+    // it for a quarter of seeds): the differential oracle must hold with
+    // the window stage appending derived columns under faults too.
+    for (seed, size) in [(1u64, 40u32), (5, 40), (7, 80)] {
+        let report =
+            run_scenario(seed, size).unwrap_or_else(|e| panic!("mce scenario seed {seed}: {e}"));
+        assert_eq!(
+            report.domain, "mce",
+            "seed {seed} must derive the mce domain"
+        );
+        assert!(report.checkpoints_taken > 0, "seed {seed} must checkpoint");
+    }
+}

@@ -38,6 +38,7 @@ fn record_with_plan(
         StoreConfig {
             segment_rows: 64,
             injector: Arc::clone(plan) as Arc<dyn orfpred::store::StoreFaultInjector>,
+            ..StoreConfig::default()
         },
     )
 }

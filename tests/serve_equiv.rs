@@ -175,6 +175,8 @@ fn clean_stream_with_default_prep_is_bit_exact_passthrough() {
             events_ingested,
             prep: None,
             adapt: None,
+            schema: None,
+            window: None,
         }
     }
     assert_eq!(

@@ -218,7 +218,7 @@ fn segment_columns_score_bit_identical_to_materialized_rows() {
         let seg = store.segment(i).unwrap();
         let raw_cols = seg.feature_cols();
         let columnar = scorer.score_raw_columns(&raw_cols);
-        let materialized: Vec<[f32; orfpred::smart::attrs::N_FEATURES]> =
+        let materialized: Vec<Vec<f32>> =
             (0..seg.n_rows()).map(|r| seg.record(r).features).collect();
         let row_refs: Vec<&[f32]> = materialized.iter().map(|f| &f[..]).collect();
         let batch = scorer.score_raw_batch(&row_refs);

@@ -12,7 +12,7 @@
 //! * [`RuleId::PanicPath`] — serving/store library code must not take
 //!   implicit panic paths (`unwrap`, `expect`, `panic!`, bare indexing): a
 //!   panicking shard or writer thread silently poisons the engine;
-//! * [`RuleId::LockDiscipline`] — in `crates/serve`, a lock guard held
+//! * [`RuleId::LockDiscipline`] — in `crates/serve` and `crates/fleet`, a lock guard held
 //!   across a channel send or file I/O is a latent deadlock/stall; the
 //!   few intentional sites (sequence-stamp + send atomicity) must say so.
 //!
@@ -64,7 +64,7 @@ impl RuleId {
                 "nondeterminism — hasher/clock/env/thread dependence in a deterministic crate\n\
                  \n\
                  Scope: crates/core, crates/trees, crates/smart, crates/store, crates/eval,\n\
-                 crates/prep (non-test code). These crates back the repo's equivalence guarantees:\n\
+                 crates/prep, crates/fleet (non-test code). These crates back the repo's equivalence guarantees:\n\
                  N-shard serving == serial replay (DESIGN \u{a7}8), bit-exact store replay\n\
                  (\u{a7}11), golden-trace fault recovery (\u{a7}9). The paper's online setting\n\
                  (streaming ORF) is only auditable if the same sample stream reproduces\n\
@@ -98,7 +98,8 @@ impl RuleId {
             RuleId::PanicPath => {
                 "panic_path — implicit panics in serving/store library code\n\
                  \n\
-                 Scope: crates/serve, crates/store, crates/prep (non-test code). A panic\n\
+                 Scope: crates/serve, crates/store, crates/prep, crates/fleet (non-test\n\
+                 code). A panic\n\
                  in a shard or writer thread kills the engine mid-stream; the store and\n\
                  the preprocessing stage must degrade gracefully on corrupt input\n\
                  (typed StoreError/CheckpointError, repair-and-count) instead of dying.\n\
@@ -116,7 +117,8 @@ impl RuleId {
             RuleId::LockDiscipline => {
                 "lock_discipline — lock guard held across a send or file I/O\n\
                  \n\
-                 Scope: crates/serve (non-test code). A Mutex/RwLock guard held across\n\
+                 Scope: crates/serve, crates/fleet (non-test code). A Mutex/RwLock\n\
+                 guard held across\n\
                  a blocking channel send or a file write couples lock hold time to\n\
                  backpressure or disk latency: scoring/ingest stalls, and two such\n\
                  sites can deadlock. Flagged when a `let`-bound guard (an initializer\n\
@@ -200,11 +202,12 @@ pub struct Report {
 }
 
 /// Crates whose non-test code must be deterministic.
-pub const DETERMINISTIC_CRATES: [&str; 6] = ["core", "trees", "smart", "store", "eval", "prep"];
+pub const DETERMINISTIC_CRATES: [&str; 7] =
+    ["core", "trees", "smart", "store", "eval", "prep", "fleet"];
 /// Crates under the panic-path rule.
-pub const PANIC_CRATES: [&str; 3] = ["serve", "store", "prep"];
+pub const PANIC_CRATES: [&str; 4] = ["serve", "store", "prep", "fleet"];
 /// Crates under the lock-discipline rule.
-pub const LOCK_CRATES: [&str; 1] = ["serve"];
+pub const LOCK_CRATES: [&str; 2] = ["serve", "fleet"];
 
 /// Run every applicable rule over `files`, apply inline annotations and
 /// the `lint.toml` allowlist, and return the surviving diagnostics.

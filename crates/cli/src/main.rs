@@ -19,6 +19,7 @@
 //!                  [--prep] [--stuck-run K] [--recheck-days D] [--max-value X]
 //!                  [--drift-policy no-update|replace|accumulate]
 //!                  [--drift-z Z] [--drift-window W] [--drift-check-every E]
+//!                  [--tenant SPEC]...
 //! ```
 //!
 //! * `simulate` writes a Backblaze-format CSV from the fleet simulator —
@@ -60,7 +61,11 @@
 //!   duplicate handling, failure re-checks; the extra knobs tune it), and
 //!   `--drift-policy` closes the loop: a detected distribution shift in
 //!   the released healthy population triggers the chosen long-term update
-//!   policy live, republishing the model through the snapshot path.
+//!   policy live, republishing the model through the snapshot path. One or
+//!   more `--tenant name[,key=value]...` flags switch to the multi-tenant
+//!   fleet daemon instead (per-tenant engines, request routing by the
+//!   `"tenant"` field, the ORFB binary wire protocol, live resharding);
+//!   see `README.md` ("Serving a fleet of models").
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -114,6 +119,16 @@ impl Args {
             .rev()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value a repeatable flag was given, in order (`--tenant A
+    /// --tenant B`).
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
@@ -616,6 +631,36 @@ fn serve(argv: &[String]) -> Result<(), String> {
     use orfpred_serve::{DaemonConfig, ServeConfig};
 
     let args = Args::parse(argv, &["prep"])?;
+
+    // One or more --tenant specs select the multi-tenant fleet daemon;
+    // the single-tenant tuning flags below are ignored in that mode (each
+    // tenant carries its own knobs in its spec).
+    let tenant_specs = args.get_all("tenant");
+    if !tenant_specs.is_empty() {
+        let mut tenants = Vec::new();
+        for spec in tenant_specs {
+            tenants.push(orfpred_fleet::parse_tenant_spec(spec)?);
+        }
+        let mut cfg = orfpred_fleet::FleetDaemonConfig::new(tenants);
+        cfg.listen = args.get("listen").map(str::to_string);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let fins = orfpred_fleet::run(&cfg, stdin.lock(), stdout.lock())?;
+        eprintln!("serve: clean shutdown, {} tenants", fins.len());
+        for f in &fins {
+            eprintln!(
+                "serve: tenant `{}`: {} events, {} alarms, {} drift events, {} rebuilds, {} reshards",
+                f.tenant,
+                f.counters.events,
+                f.counters.alarms,
+                f.counters.drift_events,
+                f.counters.model_rebuilds,
+                f.counters.reshards,
+            );
+        }
+        return Ok(());
+    }
+
     let mut predictor = OnlinePredictorConfig::new(
         orfpred_smart::attrs::table2_feature_columns(),
         args.parse_num("seed", 42u64)?,

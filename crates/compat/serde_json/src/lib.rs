@@ -11,6 +11,7 @@
 
 pub use serde::Value;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::io::{Read, Write};
 
 /// JSON error: a message, optionally with the byte offset it occurred at.
@@ -80,14 +81,76 @@ fn write_float(out: &mut String, f: f64) {
 
 // --------------------------------------------------------------- parsing
 
+/// A borrowed JSON value tree: the zero-copy twin of [`Value`].
+///
+/// Escape-free strings (the overwhelmingly common case on machine-written
+/// protocol lines — every object key, every `type` tag) are `Cow::Borrowed`
+/// slices of the input; only strings that actually contain escapes allocate.
+/// This is the serving daemon's ingest hot path: parsing one event line
+/// allocates nothing beyond the `Vec` spines of arrays and objects, where
+/// the owned [`Value`] path used to allocate a `String` per field name and
+/// per string value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueRef<'a> {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (no `.`/exponent in the source).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String; borrowed from the input unless it contained escapes.
+    Str(Cow<'a, str>),
+    /// Array of values.
+    Arr(Vec<ValueRef<'a>>),
+    /// Object as ordered key/value pairs (source order).
+    Obj(Vec<(Cow<'a, str>, ValueRef<'a>)>),
+}
+
+impl ValueRef<'_> {
+    /// Convert into the owned [`Value`] tree.
+    pub fn into_owned(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Float(f) => Value::Float(f),
+            ValueRef::Str(s) => Value::Str(s.into_owned()),
+            ValueRef::Arr(items) => {
+                Value::Arr(items.into_iter().map(ValueRef::into_owned).collect())
+            }
+            ValueRef::Obj(fields) => Value::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.into_owned(), v.into_owned()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Look up a field of an object by name (`None` on non-objects too).
+    pub fn get(&self, name: &str) -> Option<&Self> {
+        match self {
+            ValueRef::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
 struct Parser<'a> {
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, msg: impl std::fmt::Display) -> Error {
@@ -117,7 +180,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+    fn expect_literal(&mut self, lit: &str, v: ValueRef<'a>) -> Result<ValueRef<'a>, Error> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -126,13 +189,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_value(&mut self) -> Result<Value, Error> {
+    fn parse_value(&mut self) -> Result<ValueRef<'a>, Error> {
         self.skip_ws();
         match self.peek() {
-            Some(b'n') => self.expect_literal("null", Value::Null),
-            Some(b't') => self.expect_literal("true", Value::Bool(true)),
-            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
-            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'n') => self.expect_literal("null", ValueRef::Null),
+            Some(b't') => self.expect_literal("true", ValueRef::Bool(true)),
+            Some(b'f') => self.expect_literal("false", ValueRef::Bool(false)),
+            Some(b'"') => self.parse_string().map(ValueRef::Str),
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
@@ -141,13 +204,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_array(&mut self) -> Result<Value, Error> {
+    fn parse_array(&mut self) -> Result<ValueRef<'a>, Error> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Value::Arr(items));
+            return Ok(ValueRef::Arr(items));
         }
         loop {
             items.push(self.parse_value()?);
@@ -158,20 +221,20 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Value::Arr(items));
+                    return Ok(ValueRef::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
             }
         }
     }
 
-    fn parse_object(&mut self) -> Result<Value, Error> {
+    fn parse_object(&mut self) -> Result<ValueRef<'a>, Error> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Obj(fields));
+            return Ok(ValueRef::Obj(fields));
         }
         loop {
             self.skip_ws();
@@ -187,22 +250,51 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Value::Obj(fields));
+                    return Ok(ValueRef::Obj(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
             }
         }
     }
 
-    fn parse_string(&mut self) -> Result<String, Error> {
+    /// Parse one string token. The fast path scans for the closing quote
+    /// and, when no `\` escape occurs, returns a borrowed slice of the
+    /// input (the input is `&str`, so the slice between two ASCII quotes
+    /// is valid UTF-8 by construction). Only strings that actually contain
+    /// escapes take the allocating decode loop below.
+    fn parse_string(&mut self) -> Result<Cow<'a, str>, Error> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = self
+                        .src
+                        .get(start..self.pos)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                b'\\' => break,
+                _ => self.pos += 1,
+            }
+        }
+        if self.peek().is_none() {
+            return Err(self.err("unterminated string"));
+        }
+        // Slow path: seed the buffer with the escape-free prefix and decode
+        // escape sequences from here on.
+        let mut out = self
+            .src
+            .get(start..self.pos)
+            .ok_or_else(|| self.err("invalid UTF-8"))?
+            .to_string();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(Cow::Owned(out));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -280,7 +372,7 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn parse_number(&mut self) -> Result<Value, Error> {
+    fn parse_number(&mut self) -> Result<ValueRef<'a>, Error> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -300,15 +392,15 @@ impl<'a> Parser<'a> {
             .map_err(|_| self.err("bad number"))?;
         if is_float {
             text.parse::<f64>()
-                .map(Value::Float)
+                .map(ValueRef::Float)
                 .map_err(|_| self.err(format!("bad number `{text}`")))
         } else {
             match text.parse::<i128>() {
-                Ok(i) => Ok(Value::Int(i)),
+                Ok(i) => Ok(ValueRef::Int(i)),
                 // Magnitude beyond i128 (never produced by us): degrade.
                 Err(_) => text
                     .parse::<f64>()
-                    .map(Value::Float)
+                    .map(ValueRef::Float)
                     .map_err(|_| self.err(format!("bad number `{text}`"))),
             }
         }
@@ -317,15 +409,23 @@ impl<'a> Parser<'a> {
 
 // ------------------------------------------------------------ public API
 
-/// Parse a JSON string into a raw [`Value`] tree.
-pub fn value_from_str(s: &str) -> Result<Value, Error> {
-    let mut p = Parser::new(s.as_bytes());
+/// Parse a JSON string into a borrowed [`ValueRef`] tree.
+///
+/// Escape-free strings borrow from `s`; this is the allocation-light path
+/// for protocol-line parsing where fields are inspected and dropped.
+pub fn value_ref_from_str(s: &str) -> Result<ValueRef<'_>, Error> {
+    let mut p = Parser::new(s);
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing characters after JSON value"));
     }
     Ok(v)
+}
+
+/// Parse a JSON string into a raw [`Value`] tree.
+pub fn value_from_str(s: &str) -> Result<Value, Error> {
+    value_ref_from_str(s).map(ValueRef::into_owned)
 }
 
 /// Render a raw [`Value`] tree compactly.
@@ -503,6 +603,49 @@ mod tests {
     fn trailing_garbage_is_rejected() {
         assert!(value_from_str("1 2").is_err());
         assert!(value_from_str("{\"a\":1}x").is_err());
+    }
+
+    #[test]
+    fn escape_free_strings_borrow_from_input() {
+        let line = r#"{"type":"sample","id":"disk-42","name":"日本語"}"#;
+        let v = value_ref_from_str(line).unwrap();
+        let ValueRef::Obj(fields) = &v else {
+            panic!("object expected");
+        };
+        for (k, fv) in fields {
+            assert!(
+                matches!(k, Cow::Borrowed(_)),
+                "key `{k}` must borrow from the input line"
+            );
+            let ValueRef::Str(s) = fv else {
+                panic!("string field expected");
+            };
+            assert!(
+                matches!(s, Cow::Borrowed(_)),
+                "escape-free value `{s}` must borrow from the input line"
+            );
+        }
+        assert_eq!(v.get("type"), Some(&ValueRef::Str(Cow::Borrowed("sample"))));
+        assert_eq!(v.get("name"), Some(&ValueRef::Str(Cow::Borrowed("日本語"))));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn escaped_strings_fall_back_to_owned() {
+        let v = value_ref_from_str(r#""pre\nfix""#).unwrap();
+        let ValueRef::Str(s) = &v else {
+            panic!("string expected");
+        };
+        assert!(matches!(s, Cow::Owned(_)));
+        assert_eq!(s.as_ref(), "pre\nfix");
+    }
+
+    #[test]
+    fn value_ref_into_owned_matches_value_parse() {
+        let line = r#"{"a":[1,2.5,null,true],"b":"x\ty","c":-7}"#;
+        let owned = value_from_str(line).unwrap();
+        let borrowed = value_ref_from_str(line).unwrap().into_owned();
+        assert_eq!(owned, borrowed);
     }
 
     #[test]

@@ -133,6 +133,10 @@ fn handle(engine: &Engine, req: Request, default_ckpt: Option<&PathBuf>) -> Vec<
                 },
             }
         }
+        Request::Reshard { .. } => vec![Response::Error {
+            message: "live resharding requires the multi-tenant daemon (orfpredd --tenant ...)"
+                .into(),
+        }],
         Request::Shutdown => vec![Response::Ok {
             what: "shutdown".into(),
         }],
@@ -204,7 +208,9 @@ pub fn run(
                 shutdown = matches!(req, Request::Shutdown);
                 handle(&engine, req, cfg.checkpoint_path.as_ref())
             }
-            Err(message) => vec![Response::Error { message }],
+            Err(e) => vec![Response::Error {
+                message: e.to_string(),
+            }],
         };
         drain_alarms(&engine, &mut output)?;
         write_responses(&mut output, &responses)?;
@@ -253,7 +259,9 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, default_ckpt: Optio
                             message: "shutdown is only accepted on the primary input".into(),
                         }],
                         Ok(req) => handle(&engine, req, default_ckpt.as_ref()),
-                        Err(message) => vec![Response::Error { message }],
+                        Err(e) => vec![Response::Error {
+                            message: e.to_string(),
+                        }],
                     };
                     if write_responses(&mut writer, &responses).is_err() || writer.flush().is_err()
                     {

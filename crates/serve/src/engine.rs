@@ -650,6 +650,24 @@ impl Engine {
     /// collected alarms plus the final state (the same state `checkpoint`
     /// would have written). Subsequent calls return `ShuttingDown`.
     pub fn finish(&self) -> Result<Finished, ServeError> {
+        self.shutdown(true)
+    }
+
+    /// Shut down *without* end-of-stream semantics: the prep stage keeps
+    /// any failures it is still holding for their survival re-check, so
+    /// the returned checkpoint can seed a successor engine that continues
+    /// the stream bit-identically (live re-sharding). `finish()` on the
+    /// same stream point would release held failures early and diverge
+    /// from a serial run that kept going.
+    ///
+    /// The barrier consumes one sequence number — exactly like
+    /// `checkpoint()` — so a reference run that calls `checkpoint()` where
+    /// a fleet run suspends sees the same seq stream afterwards.
+    pub fn suspend(&self) -> Result<Finished, ServeError> {
+        self.shutdown(false)
+    }
+
+    fn shutdown(&self, flush_prep: bool) -> Result<Finished, ServeError> {
         let (raw_events, final_prep, final_window) = {
             // The shutdown barrier must reach every shard at one seq with no
             // ingest interleaved (same atomicity as `ingest`); the sends
@@ -659,28 +677,30 @@ impl Engine {
             if st.txs.is_none() {
                 return Err(ServeError::ShuttingDown);
             }
-            // End-of-stream for the prep stage: failures still held for
-            // their survival re-check enter the stream now, before the
-            // shutdown barrier — exactly like `OnlinePredictor::finish`.
-            let mut buf = std::mem::take(&mut st.prep_buf);
-            buf.clear();
-            if let Some(prep) = st.prep.as_mut() {
-                prep.finish(&mut buf);
-            }
-            for mut ev in buf.drain(..) {
-                // Late-released events pass through the window stage like
-                // any other (they are failures, so this only drops state).
-                if let Some(w) = st.window.as_mut() {
-                    match &mut ev {
-                        FleetEvent::Sample(rec) => w.extend(rec.disk_id, &mut rec.features),
-                        FleetEvent::Failure { disk_id, .. } => w.forget(*disk_id),
-                    }
+            if flush_prep {
+                // End-of-stream for the prep stage: failures still held for
+                // their survival re-check enter the stream now, before the
+                // shutdown barrier — exactly like `OnlinePredictor::finish`.
+                let mut buf = std::mem::take(&mut st.prep_buf);
+                buf.clear();
+                if let Some(prep) = st.prep.as_mut() {
+                    prep.finish(&mut buf);
                 }
-                // A dead shard is noticed at join time, like the barrier
-                // sends below.
-                let _ = self.send_prepped(&mut st, ev);
+                for mut ev in buf.drain(..) {
+                    // Late-released events pass through the window stage like
+                    // any other (they are failures, so this only drops state).
+                    if let Some(w) = st.window.as_mut() {
+                        match &mut ev {
+                            FleetEvent::Sample(rec) => w.extend(rec.disk_id, &mut rec.features),
+                            FleetEvent::Failure { disk_id, .. } => w.forget(*disk_id),
+                        }
+                    }
+                    // A dead shard is noticed at join time, like the barrier
+                    // sends below.
+                    let _ = self.send_prepped(&mut st, ev);
+                }
+                st.prep_buf = buf;
             }
-            st.prep_buf = buf;
             let txs = st.txs.take().ok_or(ServeError::ShuttingDown)?;
             let seq = st.next_seq;
             for tx in &txs {

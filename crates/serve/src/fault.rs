@@ -88,6 +88,24 @@ pub trait FaultInjector: Send + Sync + std::fmt::Debug {
     fn mangle_line(&self, _idx: u64, _line: &str) -> Option<String> {
         None
     }
+
+    /// Called by the *multi-tenant* daemon before processing primary-input
+    /// line `idx`. Returning `Some((tenant, n_shards))` live-reshards that
+    /// tenant first (an empty tenant name addresses the fleet's default
+    /// tenant, the single-tenant convention). Lets fault plans exercise the
+    /// reshard drain-barrier at exact stream positions.
+    fn reshard_event(&self, _idx: u64) -> Option<(String, usize)> {
+        None
+    }
+
+    /// Called by the *multi-tenant* daemon before processing primary-input
+    /// line `idx`. Returning `Some(tenant)` kills that tenant on the spot —
+    /// engine torn down, undrained state lost, no checkpoint written (an
+    /// empty name addresses the default tenant). Crash-recovery tests
+    /// restart the daemon afterwards and compare against a clean run.
+    fn kill_tenant(&self, _idx: u64) -> Option<String> {
+        None
+    }
 }
 
 /// The production injector: every hook is a no-op.
@@ -110,5 +128,7 @@ mod tests {
             CheckpointFault::None
         );
         assert!(inj.mangle_line(5, "{\"type\":\"stats\"}").is_none());
+        assert!(inj.reshard_event(0).is_none());
+        assert!(inj.kill_tenant(0).is_none());
     }
 }

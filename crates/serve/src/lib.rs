@@ -41,5 +41,5 @@ pub use daemon::{run, DaemonConfig};
 pub use engine::{shard_of, Engine, Finished, ModelSnapshot, ServeConfig, ServeError};
 pub use epoch::EpochCell;
 pub use fault::{CheckpointFault, FaultInjector, NoFaults};
-pub use protocol::{pad_features, Request, Response};
+pub use protocol::{pad_features, ProtocolError, Request, Response, MAX_FRAME_LEN};
 pub use stats::{LatencyHistogram, ServeStats, StatsReport};

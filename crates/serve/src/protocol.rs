@@ -23,6 +23,83 @@
 use crate::stats::StatsReport;
 use orfpred_core::Alarm;
 use serde::{Serialize, Value};
+use serde_json::ValueRef;
+
+/// Hard cap on one wire unit: a JSON line or a binary frame payload.
+/// Anything larger is rejected with [`ProtocolError::Oversized`] before any
+/// decoding work — a garbled length prefix must not allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Typed decode error shared by both wire formats (line-JSON and the
+/// length-prefixed binary frames in `orfpred-fleet`). Every variant renders
+/// to a stable human-readable message via `Display`, which is what goes
+/// into the `{"type":"error"}` / `ERROR` frame reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolError {
+    /// A line or frame exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Claimed or actual size of the unit.
+        len: usize,
+        /// The cap it violated.
+        max: usize,
+    },
+    /// Bytes that don't decode as the wire format at all (bad JSON, bad
+    /// magic, truncated frame, non-object request...).
+    Garbled(String),
+    /// A syntactically valid unit with an unknown request tag or frame
+    /// opcode.
+    UnknownType(String),
+    /// A required field is missing, mistyped, or out of range.
+    BadField {
+        /// Field (JSON key or frame slot) that failed.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Binary session opened with an incompatible wire version.
+    Version {
+        /// Version this daemon speaks.
+        ours: u16,
+        /// Version the client offered.
+        theirs: u16,
+    },
+    /// Binary session opened against a tenant whose domain schema
+    /// fingerprint doesn't match the client's.
+    SchemaMismatch {
+        /// Fingerprint of the tenant's schema.
+        expected: u64,
+        /// Fingerprint the client sent.
+        got: u64,
+    },
+    /// The request names a tenant this daemon does not host.
+    UnknownTenant(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::Garbled(why) => write!(f, "garbled input: {why}"),
+            ProtocolError::UnknownType(tag) => write!(f, "unknown request type `{tag}`"),
+            ProtocolError::BadField { field, reason } => write!(f, "`{field}` {reason}"),
+            ProtocolError::Version { ours, theirs } => {
+                write!(
+                    f,
+                    "wire version mismatch: daemon speaks v{ours}, client sent v{theirs}"
+                )
+            }
+            ProtocolError::SchemaMismatch { expected, got } => write!(
+                f,
+                "schema fingerprint mismatch: tenant has {expected:#018x}, client sent {got:#018x}"
+            ),
+            ProtocolError::UnknownTenant(name) => write!(f, "unknown tenant `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,6 +133,12 @@ pub enum Request {
         /// Target file, if overriding the daemon default.
         path: Option<String>,
     },
+    /// Change the tenant's shard count without a restart (multi-tenant
+    /// daemon only; the single-tenant daemon refuses it).
+    Reshard {
+        /// New shard count (≥ 1).
+        n_shards: usize,
+    },
     /// Drain and exit.
     Shutdown,
 }
@@ -69,66 +152,120 @@ pub fn pad_features(row: &[f32], width: usize) -> Vec<f32> {
     out
 }
 
-fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
-    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
-}
-
-fn num_u64(v: Option<&Value>, what: &str) -> Result<u64, String> {
+fn num_u64(v: Option<&ValueRef<'_>>, what: &'static str) -> Result<u64, ProtocolError> {
     match v {
-        Some(Value::Int(i)) => u64::try_from(*i).map_err(|_| format!("`{what}` out of range")),
-        _ => Err(format!("`{what}` must be a non-negative integer")),
+        Some(ValueRef::Int(i)) => u64::try_from(*i).map_err(|_| ProtocolError::BadField {
+            field: what,
+            reason: "out of range",
+        }),
+        _ => Err(ProtocolError::BadField {
+            field: what,
+            reason: "must be a non-negative integer",
+        }),
     }
 }
 
-fn floats(v: Option<&Value>, what: &str) -> Result<Vec<f32>, String> {
-    let Some(Value::Arr(items)) = v else {
-        return Err(format!("`{what}` must be an array of numbers"));
+fn floats(v: Option<&ValueRef<'_>>, what: &'static str) -> Result<Vec<f32>, ProtocolError> {
+    let Some(ValueRef::Arr(items)) = v else {
+        return Err(ProtocolError::BadField {
+            field: what,
+            reason: "must be an array of numbers",
+        });
     };
     items
         .iter()
         .map(|item| match item {
-            Value::Int(i) => Ok(*i as f32),
-            Value::Float(f) => Ok(*f as f32),
-            Value::Null => Ok(f32::NAN),
-            _ => Err(format!("`{what}` must contain only numbers")),
+            ValueRef::Int(i) => Ok(*i as f32),
+            ValueRef::Float(f) => Ok(*f as f32),
+            ValueRef::Null => Ok(f32::NAN),
+            _ => Err(ProtocolError::BadField {
+                field: what,
+                reason: "must contain only numbers",
+            }),
         })
         .collect()
 }
 
 impl Request {
     /// Parse one protocol line.
-    pub fn parse(line: &str) -> Result<Self, String> {
-        let v = serde_json::value_from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
-        let Value::Obj(fields) = &v else {
-            return Err("request must be a JSON object".into());
-        };
-        let Some(Value::Str(tag)) = field(fields, "type") else {
-            return Err("request needs a string `type` field".into());
-        };
-        match tag.as_str() {
-            "sample" => Ok(Request::Sample {
-                disk_id: num_u64(field(fields, "disk_id"), "disk_id")? as u32,
-                day: num_u64(field(fields, "day"), "day")? as u16,
-                features: floats(field(fields, "features"), "features")?,
-            }),
-            "failure" => Ok(Request::Failure {
-                disk_id: num_u64(field(fields, "disk_id"), "disk_id")? as u32,
-                day: num_u64(field(fields, "day"), "day")? as u16,
-            }),
-            "score" => Ok(Request::Score {
-                features: floats(field(fields, "features"), "features")?,
-            }),
-            "stats" => Ok(Request::Stats),
-            "checkpoint" => Ok(Request::Checkpoint {
-                path: match field(fields, "path") {
-                    Some(Value::Str(s)) => Some(s.clone()),
-                    None | Some(Value::Null) => None,
-                    _ => return Err("`path` must be a string".into()),
-                },
-            }),
-            "shutdown" => Ok(Request::Shutdown),
-            other => Err(format!("unknown request type `{other}`")),
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
+        Self::parse_with_tenant(line).map(|(_, req)| req)
+    }
+
+    /// Parse one protocol line, also extracting the optional `tenant`
+    /// routing field used by the multi-tenant daemon. Field values borrow
+    /// from `line` during parsing — the hot ingest path allocates only the
+    /// `features` vector (and the tenant name when present).
+    pub fn parse_with_tenant(line: &str) -> Result<(Option<String>, Self), ProtocolError> {
+        if line.len() > MAX_FRAME_LEN {
+            return Err(ProtocolError::Oversized {
+                len: line.len(),
+                max: MAX_FRAME_LEN,
+            });
         }
+        let v = serde_json::value_ref_from_str(line)
+            .map_err(|e| ProtocolError::Garbled(format!("bad JSON: {e}")))?;
+        if !matches!(v, ValueRef::Obj(_)) {
+            return Err(ProtocolError::Garbled(
+                "request must be a JSON object".into(),
+            ));
+        }
+        let Some(ValueRef::Str(tag)) = v.get("type") else {
+            return Err(ProtocolError::BadField {
+                field: "type",
+                reason: "must be a string",
+            });
+        };
+        let tenant = match v.get("tenant") {
+            Some(ValueRef::Str(name)) => Some(name.clone().into_owned()),
+            None | Some(ValueRef::Null) => None,
+            Some(_) => {
+                return Err(ProtocolError::BadField {
+                    field: "tenant",
+                    reason: "must be a string",
+                })
+            }
+        };
+        let req = match tag.as_ref() {
+            "sample" => Request::Sample {
+                disk_id: num_u64(v.get("disk_id"), "disk_id")? as u32,
+                day: num_u64(v.get("day"), "day")? as u16,
+                features: floats(v.get("features"), "features")?,
+            },
+            "failure" => Request::Failure {
+                disk_id: num_u64(v.get("disk_id"), "disk_id")? as u32,
+                day: num_u64(v.get("day"), "day")? as u16,
+            },
+            "score" => Request::Score {
+                features: floats(v.get("features"), "features")?,
+            },
+            "stats" => Request::Stats,
+            "checkpoint" => Request::Checkpoint {
+                path: match v.get("path") {
+                    Some(ValueRef::Str(s)) => Some(s.clone().into_owned()),
+                    None | Some(ValueRef::Null) => None,
+                    _ => {
+                        return Err(ProtocolError::BadField {
+                            field: "path",
+                            reason: "must be a string",
+                        })
+                    }
+                },
+            },
+            "reshard" => {
+                let n = num_u64(v.get("n_shards"), "n_shards")? as usize;
+                if n == 0 {
+                    return Err(ProtocolError::BadField {
+                        field: "n_shards",
+                        reason: "must be at least 1",
+                    });
+                }
+                Request::Reshard { n_shards: n }
+            }
+            "shutdown" => Request::Shutdown,
+            other => return Err(ProtocolError::UnknownType(other.to_string())),
+        };
+        Ok((tenant, req))
     }
 
     /// Render as a protocol line (no trailing newline); handy for clients
@@ -162,6 +299,10 @@ impl Request {
                 }
                 f
             }
+            Request::Reshard { n_shards } => vec![
+                ("type".into(), Value::Str("reshard".into())),
+                ("n_shards".into(), Value::Int(*n_shards as i128)),
+            ],
             Request::Shutdown => vec![("type".into(), Value::Str("shutdown".into()))],
         };
         serde_json::value_to_string(&Value::Obj(obj))
@@ -254,6 +395,7 @@ mod tests {
             Request::Checkpoint {
                 path: Some("/tmp/x.json".into()),
             },
+            Request::Reshard { n_shards: 6 },
             Request::Shutdown,
         ];
         for r in reqs {
@@ -315,12 +457,62 @@ mod tests {
         for r in rs {
             let line = r.to_line();
             assert!(!line.contains('\n'));
-            let v = serde_json::value_from_str(&line).unwrap();
-            let Value::Obj(fields) = v else {
-                panic!("object")
-            };
-            assert!(field(&fields, "type").is_some());
+            let v = serde_json::value_ref_from_str(&line).unwrap();
+            assert!(v.get("type").is_some());
         }
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert!(matches!(
+            Request::parse("not json"),
+            Err(ProtocolError::Garbled(_))
+        ));
+        assert!(matches!(
+            Request::parse("[1,2]"),
+            Err(ProtocolError::Garbled(_))
+        ));
+        assert!(matches!(
+            Request::parse("{\"type\":\"frobnicate\"}"),
+            Err(ProtocolError::UnknownType(t)) if t == "frobnicate"
+        ));
+        assert!(matches!(
+            Request::parse("{\"type\":\"sample\",\"disk_id\":-1,\"day\":0,\"features\":[]}"),
+            Err(ProtocolError::BadField {
+                field: "disk_id",
+                ..
+            })
+        ));
+        let oversized = format!(
+            "{{\"type\":\"score\",\"features\":[{}1]}}",
+            "0,".repeat(MAX_FRAME_LEN / 2)
+        );
+        assert!(matches!(
+            Request::parse(&oversized),
+            Err(ProtocolError::Oversized {
+                max: MAX_FRAME_LEN,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn tenant_field_is_extracted_and_optional() {
+        let (tenant, req) = Request::parse_with_tenant(
+            "{\"type\":\"failure\",\"tenant\":\"sta\",\"disk_id\":7,\"day\":3}",
+        )
+        .unwrap();
+        assert_eq!(tenant.as_deref(), Some("sta"));
+        assert_eq!(req, Request::Failure { disk_id: 7, day: 3 });
+        let (tenant, _) = Request::parse_with_tenant("{\"type\":\"stats\"}").unwrap();
+        assert_eq!(tenant, None);
+        assert!(matches!(
+            Request::parse_with_tenant("{\"type\":\"stats\",\"tenant\":3}"),
+            Err(ProtocolError::BadField {
+                field: "tenant",
+                ..
+            })
+        ));
     }
 
     #[test]

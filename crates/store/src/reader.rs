@@ -228,6 +228,19 @@ impl Store {
         }
     }
 
+    /// Stream the event sequence starting after a catch-up cursor: the
+    /// first `skip` events (already covered by a restored checkpoint's
+    /// `events_ingested` count) are consumed and discarded, the rest are
+    /// yielded in [`Self::events`] order. One daemon tenant calls this with
+    /// its own cursor, so every tenant replays exactly the store tail it
+    /// missed.
+    pub fn events_from(
+        &self,
+        skip: u64,
+    ) -> impl Iterator<Item = Result<FleetEvent, StoreError>> + '_ {
+        self.events().skip(skip as usize)
+    }
+
     /// Materialize the whole store as a [`Dataset`] (validated). Only for
     /// stores that fit in memory — replay via [`events`](Self::events) for
     /// the rest.

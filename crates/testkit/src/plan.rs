@@ -37,6 +37,13 @@ pub struct FaultPlan {
     ckpt_faults: Mutex<HashMap<PathBuf, CheckpointFault>>,
     /// Pending input-line replacements, keyed by 0-based line index.
     mangles: Mutex<HashMap<u64, String>>,
+    /// Pending live reshards (multi-tenant daemon), keyed by 0-based
+    /// primary-input line index: (tenant name, new shard count). An empty
+    /// tenant name addresses the fleet's default tenant.
+    reshards: Mutex<HashMap<u64, (String, usize)>>,
+    /// Pending tenant kills (multi-tenant daemon), keyed by 0-based
+    /// primary-input line index.
+    tenant_kills: Mutex<HashMap<u64, String>>,
     /// Pending telemetry-store segment faults, keyed by segment index.
     store_faults: Mutex<HashMap<u64, SegmentFault>>,
     /// Human-readable log of every fault that fired, in firing order.
@@ -71,6 +78,23 @@ impl FaultPlan {
     /// Replace daemon input line `idx` (0-based) with `replacement`.
     pub fn mangle_at(&self, idx: u64, replacement: &str) {
         self.mangles.lock().insert(idx, replacement.to_string());
+    }
+
+    /// Live-reshard `tenant` to `n_shards` shards just before the
+    /// multi-tenant daemon processes primary-input line `idx` (0-based).
+    /// An empty tenant name addresses the fleet's default tenant.
+    pub fn reshard_at(&self, idx: u64, tenant: &str, n_shards: usize) {
+        assert!(n_shards > 0, "a zero shard count can never apply");
+        self.reshards
+            .lock()
+            .insert(idx, (tenant.to_string(), n_shards));
+    }
+
+    /// Kill `tenant` (engine torn down, undrained state lost, no checkpoint
+    /// written) just before the multi-tenant daemon processes primary-input
+    /// line `idx` (0-based). An empty name addresses the default tenant.
+    pub fn kill_tenant_at(&self, idx: u64, tenant: &str) {
+        self.tenant_kills.lock().insert(idx, tenant.to_string());
     }
 
     /// Fire `fault` when the telemetry-store writer seals segment
@@ -112,6 +136,8 @@ impl FaultPlan {
             && self.delays.lock().is_empty()
             && self.ckpt_faults.lock().is_empty()
             && self.mangles.lock().is_empty()
+            && self.reshards.lock().is_empty()
+            && self.tenant_kills.lock().is_empty()
             && self.store_faults.lock().is_empty()
     }
 
@@ -164,6 +190,20 @@ impl FaultInjector for FaultPlan {
         self.log(format!("mangled input line {idx}"));
         Some(replacement)
     }
+
+    fn reshard_event(&self, idx: u64) -> Option<(String, usize)> {
+        let (tenant, n) = self.reshards.lock().remove(&idx)?;
+        self.log(format!(
+            "reshard tenant `{tenant}` to {n} shards at line {idx}"
+        ));
+        Some((tenant, n))
+    }
+
+    fn kill_tenant(&self, idx: u64) -> Option<String> {
+        let tenant = self.tenant_kills.lock().remove(&idx)?;
+        self.log(format!("kill tenant `{tenant}` at line {idx}"));
+        Some(tenant)
+    }
 }
 
 impl StoreFaultInjector for FaultPlan {
@@ -192,6 +232,8 @@ mod tests {
             CheckpointFault::CrashBeforeRename,
         );
         plan.mangle_at(2, "garbage");
+        plan.reshard_at(4, "sta", 3);
+        plan.kill_tenant_at(5, "stb");
         plan.store_fault_at(1, SegmentFault::TornWrite { keep: 10 });
         assert!(!plan.all_consumed());
 
@@ -211,6 +253,12 @@ mod tests {
         assert_eq!(plan.mangle_line(2, "ok").as_deref(), Some("garbage"));
         assert!(plan.mangle_line(2, "ok").is_none(), "mangle is one-shot");
 
+        assert!(plan.reshard_event(3).is_none());
+        assert_eq!(plan.reshard_event(4), Some(("sta".to_string(), 3)));
+        assert!(plan.reshard_event(4).is_none(), "reshard is one-shot");
+        assert_eq!(plan.kill_tenant(5).as_deref(), Some("stb"));
+        assert!(plan.kill_tenant(5).is_none(), "tenant kill is one-shot");
+
         assert_eq!(plan.segment_fault(0), SegmentFault::None);
         assert_eq!(plan.segment_fault(1), SegmentFault::TornWrite { keep: 10 });
         assert_eq!(
@@ -220,7 +268,7 @@ mod tests {
         );
 
         assert!(plan.all_consumed());
-        assert_eq!(plan.n_fired(), 5);
+        assert_eq!(plan.n_fired(), 7);
     }
 
     #[test]

@@ -25,11 +25,12 @@ echo "== lint: orfpred invariants =="
 #   cargo run -p orfpred-analyze -- --explain <rule-id>
 cargo run -q -p orfpred-analyze --release -- --deny
 
-echo "== bench compile gate (benches must not rot, store + prep + score included) =="
+echo "== bench compile gate (benches must not rot, store + prep + score + fleet included) =="
 cargo bench --no-run
 cargo bench -p orfpred-bench --bench store --no-run
 cargo bench -p orfpred-bench --bench prep --no-run
 cargo bench -p orfpred-bench --bench score --no-run
+cargo bench -p orfpred-bench --bench fleet --no-run
 
 echo "== tier-1: full test suite =="
 cargo test -q
@@ -56,5 +57,9 @@ cargo test -q --test store_roundtrip
 
 echo "== batch kernel equivalence suite =="
 cargo test -q --test batch_equiv --test frozen_equiv
+
+echo "== fleet: multi-tenant serving equivalence suite =="
+cargo test -q -p orfpred-fleet
+cargo test -q --test fleet_equiv
 
 echo "ci: all green"

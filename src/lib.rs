@@ -17,8 +17,11 @@
 //! * [`core`] — the ORF itself plus the automatic online labeller,
 //! * [`eval`] — FDR/FAR metrics, operating points, monthly & long-term
 //!   evaluation harnesses,
-//! * [`serve`] — sharded online serving engine (`orfpredd` daemon) with
-//!   checkpoint/restore and live metrics,
+//! * [`serve`] — sharded online serving engine with checkpoint/restore
+//!   and live metrics,
+//! * [`fleet`] — multi-tenant serving engine (`orfpredd` daemon): many
+//!   per-tenant engines behind one daemon, a binary wire protocol, and
+//!   live re-sharding,
 //! * [`store`] — append-only columnar telemetry store: checksummed
 //!   segments, delta/dictionary encodings, bit-identical replay,
 //! * [`util`] — deterministic RNG streams, distributions, streaming stats.
@@ -52,6 +55,7 @@
 
 pub use orfpred_core as core;
 pub use orfpred_eval as eval;
+pub use orfpred_fleet as fleet;
 pub use orfpred_prep as prep;
 pub use orfpred_serve as serve;
 pub use orfpred_smart as smart;

@@ -1,0 +1,745 @@
+//! Cross-crate graph rules (DESIGN.md §17): an interprocedural call graph
+//! built from the [`crate::parse`] item index, and the three analyses
+//! that need it —
+//!
+//! * [`RuleId::LockOrder`] — the lock-acquisition graph over `serve` and
+//!   `fleet`; any cycle is a potential deadlock and is reported with its
+//!   full acquisition path;
+//! * [`RuleId::CheckpointCoverage`] — every declared field of a
+//!   checkpoint carrier type must appear in at least one non-test
+//!   construction/match, and no non-test group may elide fields with `..`;
+//! * [`RuleId::WireExhaustive`] — every ORFB opcode const and wire-enum
+//!   variant must be handled by `encode` and `decode`, and every variant
+//!   must be exercised by the fleet equivalence-test corpus.
+//!
+//! Soundness caveats (documented per rule in DESIGN.md §17): call targets
+//! resolve by *name* with field/param type hints, falling back to every
+//! same-named method — an over-approximation that can add spurious edges
+//! but never hides a real one; lock classes are the final path segment
+//! before `.lock()`/`.read()`/`.write()`, so two different locks stored
+//! in same-named fields merge; closure bodies belong to their enclosing
+//! function.
+
+use crate::parse::{parse_files, CallTarget, ParsedFile, GUARD_CALLS};
+use crate::rules::{RuleId, SourceFile, Violation, LOCK_CRATES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Types whose field groups the checkpoint rule audits. Exact names —
+/// `CheckpointRequest` / `CheckpointError` are not carriers.
+pub const CHECKPOINT_CARRIERS: [&str; 1] = ["Checkpoint"];
+
+/// The wire frame enums audited by [`RuleId::WireExhaustive`].
+pub const WIRE_ENUMS: [&str; 2] = ["ClientFrame", "ServerFrame"];
+
+/// Run the three graph rules over the workspace. `corpus` holds the
+/// integration-test files the wire rule checks coverage against; when it
+/// is empty the corpus check is skipped (unit-test fixtures and broken
+/// checkouts still get the encode/decode checks).
+pub fn run_graph_rules(files: &[SourceFile], corpus: &[SourceFile]) -> Vec<Violation> {
+    let texts: Vec<&str> = files.iter().map(|f| f.text.as_str()).collect();
+    let parsed = parse_files(&texts);
+    let corpus_texts: Vec<&str> = corpus.iter().map(|f| f.text.as_str()).collect();
+    let corpus_parsed = parse_files(&corpus_texts);
+
+    let mut out = Vec::new();
+    out.extend(rule_lock_order(files, &parsed));
+    out.extend(rule_checkpoint_coverage(files, &parsed));
+    out.extend(rule_wire_exhaustive(files, &parsed, corpus, &corpus_parsed));
+    out
+}
+
+// ----- the call graph ----------------------------------------------------
+
+/// A function in the workspace-wide index: `(file index, fn index)`.
+type FnId = (usize, usize);
+
+struct CallGraph<'a> {
+    files: &'a [SourceFile],
+    parsed: &'a [ParsedFile],
+    /// Every fn, in (file, item) order.
+    fns: Vec<FnId>,
+    /// `Type::method` → fn ids.
+    by_type_method: BTreeMap<(String, String), Vec<usize>>,
+    /// method name → fn ids (any self type) — the fallback.
+    by_method: BTreeMap<String, Vec<usize>>,
+    /// free fn name → fn ids.
+    by_free: BTreeMap<String, Vec<usize>>,
+    /// field name → base types it is declared with, workspace-wide.
+    field_types: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl<'a> CallGraph<'a> {
+    fn build(files: &'a [SourceFile], parsed: &'a [ParsedFile]) -> Self {
+        let mut g = CallGraph {
+            files,
+            parsed,
+            fns: Vec::new(),
+            by_type_method: BTreeMap::new(),
+            by_method: BTreeMap::new(),
+            by_free: BTreeMap::new(),
+            field_types: BTreeMap::new(),
+        };
+        for (fi, pf) in parsed.iter().enumerate() {
+            for (ki, f) in pf.fns.iter().enumerate() {
+                let id = g.fns.len();
+                g.fns.push((fi, ki));
+                match &f.self_type {
+                    Some(ty) => {
+                        g.by_type_method
+                            .entry((ty.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                        g.by_method.entry(f.name.clone()).or_default().push(id);
+                    }
+                    None => g.by_free.entry(f.name.clone()).or_default().push(id),
+                }
+            }
+            for s in &pf.structs {
+                for fd in &s.fields {
+                    if !fd.base_type.is_empty() {
+                        g.field_types
+                            .entry(fd.name.clone())
+                            .or_default()
+                            .insert(fd.base_type.clone());
+                    }
+                }
+            }
+            for e in &pf.enums {
+                for v in &e.variants {
+                    for fd in &v.fields {
+                        if !fd.base_type.is_empty() {
+                            g.field_types
+                                .entry(fd.name.clone())
+                                .or_default()
+                                .insert(fd.base_type.clone());
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn item(&self, id: usize) -> (&'a SourceFile, &'a crate::parse::FnItem) {
+        let (fi, ki) = self.fns[id];
+        (&self.files[fi], &self.parsed[fi].fns[ki])
+    }
+
+    /// When a name is declared in several crates (two `Lexer`s, say),
+    /// keep the caller's own crate's candidates if it has any — Rust name
+    /// resolution is local, so a bare name almost always means the
+    /// caller's own type; cross-crate calls go through a hint or qualify
+    /// a type the caller's crate doesn't declare, and then survive.
+    fn prefer_crate(&self, caller: usize, mut ids: Vec<usize>) -> Vec<usize> {
+        let home = &self.item(caller).0.crate_name;
+        let own: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&id| &self.item(id).0.crate_name == home)
+            .collect();
+        if !own.is_empty() {
+            ids = own;
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Resolve a call site inside fn `caller` to candidate callees.
+    ///
+    /// Precision ladder (DESIGN.md §17): `self.m()` → the enclosing impl
+    /// type's `m`; `Q::m()` → `Q`'s `m` (`Self` maps to the enclosing
+    /// type); `recv.m()` → `m` on the types hinted for `recv` by the
+    /// caller's params or any same-named field; free `f()` → free fns
+    /// named `f`. A type hint is *authoritative*: when the hinted type
+    /// declares no such method the receiver is external (`AtomicU64`,
+    /// `Vec`, ...) and the call resolves to nothing — otherwise every
+    /// atomic `.store(..)`/`.load(..)` would alias workspace methods of
+    /// the same name. Only hint-less method calls fall back to every
+    /// same-named method (crate-preferred) — over-approximate, never
+    /// under, within the named-type model.
+    fn resolve(&self, caller: usize, target: &CallTarget) -> Vec<usize> {
+        let (_, cf) = self.item(caller);
+        match target {
+            CallTarget::SelfMethod(m) => {
+                if let Some(ty) = &cf.self_type {
+                    if let Some(ids) = self.by_type_method.get(&(ty.clone(), m.clone())) {
+                        return self.prefer_crate(caller, ids.clone());
+                    }
+                }
+                self.prefer_crate(caller, self.by_method.get(m).cloned().unwrap_or_default())
+            }
+            CallTarget::Path { qual, name } => {
+                let ty = if qual == "Self" {
+                    cf.self_type.clone().unwrap_or_default()
+                } else {
+                    qual.clone()
+                };
+                if ty.starts_with(char::is_uppercase) {
+                    if let Some(ids) = self.by_type_method.get(&(ty, name.clone())) {
+                        return self.prefer_crate(caller, ids.clone());
+                    }
+                }
+                // `module::f(..)` (or an unknown type): free fns by name.
+                self.prefer_crate(caller, self.by_free.get(name).cloned().unwrap_or_default())
+            }
+            CallTarget::Method { recv, name } => {
+                if let Some(recv) = recv {
+                    let mut hinted: BTreeSet<&String> = BTreeSet::new();
+                    for (p, ty) in &cf.params {
+                        if p == recv {
+                            hinted.insert(ty);
+                        }
+                    }
+                    if hinted.is_empty() {
+                        if let Some(tys) = self.field_types.get(recv) {
+                            hinted.extend(tys.iter());
+                        }
+                    }
+                    if !hinted.is_empty() {
+                        let mut ids = Vec::new();
+                        for ty in hinted {
+                            if let Some(v) = self.by_type_method.get(&(ty.clone(), name.clone())) {
+                                ids.extend_from_slice(v);
+                            }
+                        }
+                        // Possibly empty: the receiver's type is known and
+                        // does not declare this method in the workspace.
+                        return self.prefer_crate(caller, ids);
+                    }
+                }
+                self.prefer_crate(
+                    caller,
+                    self.by_method.get(name).cloned().unwrap_or_default(),
+                )
+            }
+            CallTarget::Free(f) => {
+                self.prefer_crate(caller, self.by_free.get(f).cloned().unwrap_or_default())
+            }
+        }
+    }
+}
+
+// ----- rule: lock_order --------------------------------------------------
+
+/// How one lock class becomes reachable from a function: where a guard of
+/// that class is (transitively) acquired, plus the call chain that gets
+/// there.
+#[derive(Clone)]
+struct Reach {
+    path: String,
+    line: u32,
+    /// Human-readable chain, outermost call first.
+    chain: Vec<String>,
+}
+
+/// One edge of the lock-order graph: a guard of `from` is live while a
+/// guard of `to` is acquired.
+struct Edge {
+    from: String,
+    to: String,
+    /// Where the `from` guard is acquired — the anchor line for the
+    /// diagnostic (and for `lint: allow(lock_order, ...)`).
+    holder_path: String,
+    holder_line: u32,
+    /// The acquisition path for the diagnostic trace.
+    trace: Vec<String>,
+}
+
+fn rule_lock_order(files: &[SourceFile], parsed: &[ParsedFile]) -> Vec<Violation> {
+    let g = CallGraph::build(files, parsed);
+    let lockable = |id: usize| -> bool {
+        let (sf, f) = g.item(id);
+        LOCK_CRATES.contains(&sf.crate_name.as_str()) && !f.is_test
+    };
+
+    // Per-fn lock summaries: class → representative reach, seeded with
+    // direct acquisitions and closed over the call graph (fixpoint). Only
+    // LOCK_CRATES non-test fns contribute direct sites, but every fn
+    // propagates — serve → core → serve chains keep their edges.
+    let mut summary: Vec<BTreeMap<String, Reach>> = vec![BTreeMap::new(); g.fns.len()];
+    for (id, map) in summary.iter_mut().enumerate() {
+        if !lockable(id) {
+            continue;
+        }
+        let (sf, f) = g.item(id);
+        let (fi, _) = g.fns[id];
+        for l in &f.locks {
+            if parsed[fi].in_test(l.line) {
+                continue;
+            }
+            map.entry(l.class.clone()).or_insert(Reach {
+                path: sf.path.clone(),
+                line: l.line,
+                chain: vec![format!(
+                    "`{}` acquires lock `{}` at {}:{}",
+                    f.name, l.class, sf.path, l.line
+                )],
+            });
+        }
+    }
+    // Pre-resolve call targets once (index-aligned with each fn's call
+    // list; `None` for guard calls); the fixpoint then just unions maps.
+    type ResolvedCalls = Vec<Option<(String, Vec<usize>)>>;
+    let resolved: Vec<ResolvedCalls> = (0..g.fns.len())
+        .map(|id| {
+            let (_, f) = g.item(id);
+            f.calls
+                .iter()
+                .map(|c| {
+                    let name = match &c.target {
+                        CallTarget::SelfMethod(n)
+                        | CallTarget::Method { name: n, .. }
+                        | CallTarget::Path { name: n, .. }
+                        | CallTarget::Free(n) => n.clone(),
+                    };
+                    if GUARD_CALLS.contains(&name.as_str()) {
+                        return None;
+                    }
+                    Some((name, g.resolve(id, &c.target)))
+                })
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..g.fns.len() {
+            let (sf, f) = g.item(id);
+            let mut add: Vec<(String, Reach)> = Vec::new();
+            for (call, entry) in f.calls.iter().zip(&resolved[id]) {
+                let Some((name, callees)) = entry else {
+                    continue;
+                };
+                let line = call.line;
+                for &callee in callees {
+                    if callee == id {
+                        continue;
+                    }
+                    for (class, reach) in &summary[callee] {
+                        if !summary[id].contains_key(class) {
+                            let mut chain = vec![format!(
+                                "`{}` calls `{}()` at {}:{}",
+                                f.name, name, sf.path, line
+                            )];
+                            chain.extend(reach.chain.iter().cloned());
+                            add.push((
+                                class.clone(),
+                                Reach {
+                                    path: reach.path.clone(),
+                                    line: reach.line,
+                                    chain,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            for (class, reach) in add {
+                if summary[id].insert(class, reach).is_none() {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: inside each lockable fn, a guard live range that covers a
+    // later direct acquisition or a call reaching one.
+    let mut edges: Vec<Edge> = Vec::new();
+    for (id, res) in resolved.iter().enumerate() {
+        if !lockable(id) {
+            continue;
+        }
+        let (sf, f) = g.item(id);
+        let (fi, _) = g.fns[id];
+        for l in &f.locks {
+            if parsed[fi].in_test(l.line) {
+                continue;
+            }
+            for m in &f.locks {
+                if m.tok > l.tok && m.tok < l.live.1 {
+                    edges.push(Edge {
+                        from: l.class.clone(),
+                        to: m.class.clone(),
+                        holder_path: sf.path.clone(),
+                        holder_line: l.line,
+                        trace: vec![format!(
+                            "`{}` holds `{}` (acquired {}:{}) while acquiring `{}` at {}:{}",
+                            f.name, l.class, sf.path, l.line, m.class, sf.path, m.line
+                        )],
+                    });
+                }
+            }
+            for (c, entry) in f.calls.iter().zip(res) {
+                if c.tok <= l.tok || c.tok >= l.live.1 {
+                    continue;
+                }
+                let Some((name, callees)) = entry else {
+                    continue; // a guard call, not a lock-relevant callee
+                };
+                let line = c.line;
+                let mut seen_here: BTreeSet<&String> = BTreeSet::new();
+                for &callee in callees {
+                    for (class, reach) in &summary[callee] {
+                        if !seen_here.insert(class) {
+                            continue;
+                        }
+                        let mut trace = vec![format!(
+                            "`{}` holds `{}` (acquired {}:{}) across a call to `{}()` at {}:{}",
+                            f.name, l.class, sf.path, l.line, name, sf.path, line
+                        )];
+                        trace.extend(reach.chain.iter().cloned());
+                        edges.push(Edge {
+                            from: l.class.clone(),
+                            to: class.clone(),
+                            holder_path: sf.path.clone(),
+                            holder_line: l.line,
+                            trace,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // First edge per (from, to) in deterministic order is the witness.
+    edges.sort_by(|a, b| {
+        (&a.from, &a.to, &a.holder_path, a.holder_line).cmp(&(
+            &b.from,
+            &b.to,
+            &b.holder_path,
+            b.holder_line,
+        ))
+    });
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &Edge>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().entry(&e.to).or_insert(e);
+    }
+
+    // Shortest cycle through each start node (BFS), canonicalised by
+    // rotating to the lexicographically smallest class and deduped.
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut violations = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let Some(cycle) = shortest_cycle(&adj, start) else {
+            continue;
+        };
+        // `cycle` is the class sequence start → ... → start (start once).
+        let smallest = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let canon: Vec<String> = (0..cycle.len())
+            .map(|i| cycle[(smallest + i) % cycle.len()].to_string())
+            .collect();
+        if !seen_cycles.insert(canon.clone()) {
+            continue;
+        }
+        let mut trace = Vec::new();
+        for i in 0..canon.len() {
+            let from = canon[i].as_str();
+            let to = canon[(i + 1) % canon.len()].as_str();
+            let e = adj[from][to];
+            trace.extend(e.trace.iter().cloned());
+        }
+        let first = adj[canon[0].as_str()][canon[1 % canon.len()].as_str()];
+        let mut ring = canon.clone();
+        ring.push(canon[0].clone());
+        violations.push(Violation {
+            rule: RuleId::LockOrder,
+            path: first.holder_path.clone(),
+            line: first.holder_line,
+            message: format!(
+                "lock-order cycle `{}` — two threads taking these locks in \
+                 different orders can deadlock; acquisition path in the trace",
+                ring.join("` -> `")
+            ),
+            trace,
+        });
+    }
+    violations
+}
+
+/// BFS for the shortest non-empty path `start → ... → start`. Returns the
+/// class sequence with `start` listed once.
+fn shortest_cycle<'e>(
+    adj: &BTreeMap<&'e str, BTreeMap<&'e str, &'e Edge>>,
+    start: &'e str,
+) -> Option<Vec<&'e str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: Vec<&str> = adj.get(start)?.keys().copied().collect();
+    for &n in &queue {
+        prev.entry(n).or_insert(start);
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let n = queue[qi];
+        qi += 1;
+        if n == start {
+            // Reconstruct back to start.
+            let mut seq = vec![start];
+            let mut cur = prev[n];
+            // `prev[start]` is the node the cycle came from; walk until we
+            // reach start again (the seed layer maps back to start).
+            while cur != start {
+                seq.push(cur);
+                cur = prev[cur];
+            }
+            seq.reverse();
+            // seq currently ends with start; rotate so start leads.
+            let pos = seq.iter().position(|&c| c == start).unwrap_or(0);
+            seq.rotate_left(pos);
+            return Some(seq);
+        }
+        if let Some(next) = adj.get(n) {
+            for &m in next.keys() {
+                if let std::collections::btree_map::Entry::Vacant(e) = prev.entry(m) {
+                    e.insert(n);
+                    queue.push(m);
+                }
+            }
+        }
+    }
+    None
+}
+
+// ----- rule: checkpoint_coverage -----------------------------------------
+
+fn rule_checkpoint_coverage(files: &[SourceFile], parsed: &[ParsedFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for carrier in CHECKPOINT_CARRIERS {
+        // Declared fields: struct fields plus every enum variant's fields,
+        // keyed by variant for per-group elision reporting.
+        let mut declared: Vec<(String, String, u32)> = Vec::new(); // (field, path, line)
+        let mut by_variant: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut all_fields: Vec<String> = Vec::new();
+        for (fi, pf) in parsed.iter().enumerate() {
+            for s in pf
+                .structs
+                .iter()
+                .filter(|s| s.name == carrier && !s.is_test)
+            {
+                for fd in &s.fields {
+                    declared.push((fd.name.clone(), files[fi].path.clone(), fd.line));
+                    all_fields.push(fd.name.clone());
+                }
+            }
+            for e in pf.enums.iter().filter(|e| e.name == carrier && !e.is_test) {
+                for v in &e.variants {
+                    let names: Vec<String> = v.fields.iter().map(|f| f.name.clone()).collect();
+                    for fd in &v.fields {
+                        declared.push((fd.name.clone(), files[fi].path.clone(), fd.line));
+                        all_fields.push(fd.name.clone());
+                    }
+                    by_variant.insert(v.name.clone(), names);
+                }
+            }
+        }
+        if declared.is_empty() {
+            continue;
+        }
+
+        // Every non-test field group, workspace-wide.
+        let mut mentioned: BTreeSet<String> = BTreeSet::new();
+        for (fi, pf) in parsed.iter().enumerate() {
+            for grp in pf.field_groups(&files[fi].text, carrier) {
+                if grp.in_test {
+                    continue;
+                }
+                mentioned.extend(grp.fields.iter().cloned());
+                if grp.elides {
+                    let expected: &[String] = match &grp.variant {
+                        Some(v) => by_variant.get(v).map_or(&[][..], |f| &f[..]),
+                        None => &all_fields[..],
+                    };
+                    let elided: Vec<&str> = expected
+                        .iter()
+                        .filter(|f| !grp.fields.contains(f))
+                        .map(String::as_str)
+                        .collect();
+                    let what = grp
+                        .variant
+                        .as_ref()
+                        .map_or(carrier.to_string(), |v| format!("{carrier}::{v}"));
+                    violations.push(Violation {
+                        rule: RuleId::CheckpointCoverage,
+                        path: files[fi].path.clone(),
+                        line: grp.line,
+                        message: format!(
+                            "`{what}` group elides fields with `..` ({}) — a field added \
+                             to the checkpoint later would be silently dropped here; list \
+                             every field or annotate with the reason the elision is safe",
+                            if elided.is_empty() {
+                                "no named fields missing".to_string()
+                            } else {
+                                elided.join(", ")
+                            }
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        for (field, path, line) in declared {
+            if !mentioned.contains(&field) {
+                violations.push(Violation {
+                    rule: RuleId::CheckpointCoverage,
+                    path,
+                    line,
+                    message: format!(
+                        "checkpoint field `{field}` is declared but never mentioned in any \
+                         non-test `{carrier}` construction or match — it is either never \
+                         saved or never restored"
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+// ----- rule: wire_exhaustive ---------------------------------------------
+
+fn rule_wire_exhaustive(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    corpus: &[SourceFile],
+    corpus_parsed: &[ParsedFile],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (fi, pf) in parsed.iter().enumerate() {
+        let ops: Vec<_> = pf
+            .consts
+            .iter()
+            .filter(|c| c.name.starts_with("OP_") && !c.is_test)
+            .collect();
+        let wire_enums: Vec<_> = pf
+            .enums
+            .iter()
+            .filter(|e| WIRE_ENUMS.contains(&e.name.as_str()) && !e.is_test)
+            .collect();
+        if ops.is_empty() || wire_enums.is_empty() {
+            continue; // not a wire declaration file
+        }
+        let path = &files[fi].path;
+        let idents_of = |fn_name: &str| -> BTreeSet<&str> {
+            pf.fns
+                .iter()
+                .filter(|f| f.name == fn_name && !f.is_test)
+                .flat_map(|f| f.idents.iter().map(String::as_str))
+                .collect()
+        };
+        let encode = idents_of("encode");
+        let decode = idents_of("decode");
+        for op in &ops {
+            if !encode.contains(op.name.as_str()) {
+                violations.push(Violation {
+                    rule: RuleId::WireExhaustive,
+                    path: path.clone(),
+                    line: op.line,
+                    message: format!(
+                        "frame tag `{}` is never referenced by an `encode` fn — the opcode \
+                         is declared but no frame is constructed with it",
+                        op.name
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+            if !decode.contains(op.name.as_str()) {
+                violations.push(Violation {
+                    rule: RuleId::WireExhaustive,
+                    path: path.clone(),
+                    line: op.line,
+                    message: format!(
+                        "frame tag `{}` is never referenced by a `decode` fn — a peer \
+                         sending this opcode would hit the unknown-frame path",
+                        op.name
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+        }
+        for e in &wire_enums {
+            for v in &e.variants {
+                if !encode.contains(v.name.as_str()) {
+                    violations.push(Violation {
+                        rule: RuleId::WireExhaustive,
+                        path: path.clone(),
+                        line: v.line,
+                        message: format!(
+                            "wire variant `{}::{}` is never handled by an `encode` fn",
+                            e.name, v.name
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+                if !decode.contains(v.name.as_str()) {
+                    violations.push(Violation {
+                        rule: RuleId::WireExhaustive,
+                        path: path.clone(),
+                        line: v.line,
+                        message: format!(
+                            "wire variant `{}::{}` is never produced by a `decode` fn",
+                            e.name, v.name
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+                if !corpus.is_empty() && !corpus_mentions(corpus, corpus_parsed, &e.name, &v.name) {
+                    violations.push(Violation {
+                        rule: RuleId::WireExhaustive,
+                        path: path.clone(),
+                        line: v.line,
+                        message: format!(
+                            "wire variant `{}::{}` is not exercised by the equivalence-test \
+                             corpus ({}) — binary/JSON session equivalence is unpinned for \
+                             this frame",
+                            e.name,
+                            v.name,
+                            corpus
+                                .iter()
+                                .map(|c| c.path.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Does any corpus file contain the token path `enum_name :: variant`?
+fn corpus_mentions(
+    corpus: &[SourceFile],
+    corpus_parsed: &[ParsedFile],
+    enum_name: &str,
+    variant: &str,
+) -> bool {
+    use crate::lexer::TokKind;
+    for (ci, pf) in corpus_parsed.iter().enumerate() {
+        let src = &corpus[ci].text;
+        for w in 0..pf.code.len().saturating_sub(3) {
+            let t = |k: usize| &pf.toks[pf.code[w + k]];
+            if t(0).kind == TokKind::Ident
+                && t(0).text(src) == enum_name
+                && t(1).kind == TokKind::Punct(':')
+                && t(2).kind == TokKind::Punct(':')
+                && t(3).kind == TokKind::Ident
+                && t(3).text(src) == variant
+            {
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -89,8 +89,14 @@ impl Lexer<'_> {
         *self.src.get(self.pos + ahead).unwrap_or(&0)
     }
 
-    /// Advance one byte, counting newlines.
+    /// Advance one byte, counting newlines. Saturates at end-of-file:
+    /// escape handling bumps twice for `\x`, and a literal that ends
+    /// mid-escape (`b"abc\` at EOF) must not push `pos` past the source,
+    /// or the token's `end` would make [`Tok::text`] slice out of bounds.
     fn bump(&mut self) {
+        if self.pos >= self.src.len() {
+            return;
+        }
         if self.peek(0) == b'\n' {
             self.line += 1;
         }
@@ -447,5 +453,67 @@ mod tests {
         lex("/* never closed");
         lex("r#\"no close");
         lex("'x");
+    }
+
+    #[test]
+    fn byte_string_edge_cases() {
+        // Empty, escaped-quote, and escaped-backslash byte strings are
+        // each one StrLit, and following code is still tokenized.
+        let out = kinds(r#"b"" b"\"" b"\\" tail"#);
+        let strs: Vec<_> = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::StrLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r#"b"""#, r#"b"\"""#, r#"b"\\""#], "{out:?}");
+        assert!(out.iter().any(|(k, t)| *k == TokKind::Ident && t == "tail"));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_multiple_hashes() {
+        // `br##"..."##` bodies may contain `"#` without closing; `br"..."`
+        // (zero hashes) closes at the first quote.
+        let src = r###"br##"has "# inside"## br"plain" x"###;
+        let out = kinds(src);
+        let strs: Vec<_> = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::StrLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r###"br##"has "# inside"##"###, r#"br"plain""#]);
+        assert_eq!(out.last().unwrap(), &(TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn b_and_br_without_a_quote_stay_identifiers() {
+        // `b` / `br` only start a literal when a quote actually follows;
+        // otherwise they are ordinary identifiers (`let b = br;`).
+        let out = kinds("let b = br; b * br");
+        let idents: Vec<_> = out
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "b", "br", "b", "br"]);
+        assert!(!out.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+
+    #[test]
+    fn literal_ending_mid_escape_at_eof_keeps_token_in_bounds() {
+        // A byte string (or char) whose trailing backslash is the last
+        // byte of the file: the escape consumes two positions, so a naive
+        // bump overruns EOF and `text()` slices out of bounds.
+        for src in [r#"b"abc\"#, r#""abc\"#, r"b'\", r"'\"] {
+            let toks = lex(src);
+            for t in &toks {
+                assert!(
+                    t.end <= src.len(),
+                    "token end {} > len {}",
+                    t.end,
+                    src.len()
+                );
+                let _ = t.text(src); // must not panic
+            }
+        }
     }
 }

@@ -12,18 +12,28 @@
 //!
 //! * [`lexer`] — a small handwritten Rust lexer (comments, strings, raw
 //!   strings, char-vs-lifetime) — no `syn`, the workspace is hermetic;
+//! * [`parse`] — an item-level parse on the token stream: fn/impl/struct/
+//!   enum items, call sites, lock-acquisition sites with guard liveness,
+//!   field groups (DESIGN.md §17);
 //! * [`rules`] — the rule engine: token-pattern rules, `#[cfg(test)]`
 //!   span skipping, inline `// lint: allow(...)` annotations, the
 //!   `unsafe` inventory;
-//! * [`workspace`] — member discovery from the root `Cargo.toml` and the
-//!   committed `lint.toml` allowlist.
+//! * [`graph`] — the interprocedural call graph and the cross-crate rules
+//!   built on it (`lock_order`, `checkpoint_coverage`, `wire_exhaustive`);
+//! * [`workspace`] — member discovery from the root `Cargo.toml`, the
+//!   committed `lint.toml` allowlist, and the wire-test corpus.
 //!
 //! The binary (`cargo run -p orfpred-analyze -- --deny`) is wired into
 //! `scripts/ci.sh` as a hard gate ahead of the test stages.
 
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod workspace;
 
-pub use rules::{analyze, AllowEntry, Report, RuleId, SourceFile, UnsafeSite, Violation};
-pub use workspace::{load_allowlist, load_workspace};
+pub use rules::{
+    analyze, analyze_with_corpus, render_inventory, render_json, AllowEntry, Report, RuleId,
+    SourceFile, UnsafeSite, Violation,
+};
+pub use workspace::{load_allowlist, load_corpus, load_workspace};

@@ -1,19 +1,24 @@
 //! The `orfpred-lint` binary. See `--help`.
 
 use orfpred_analyze::rules::RuleId;
-use orfpred_analyze::{analyze, load_allowlist, load_workspace};
+use orfpred_analyze::{
+    analyze_with_corpus, load_allowlist, load_corpus, load_workspace, render_inventory, render_json,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "orfpred-lint — static analysis for orfpred's determinism, unsafe-audit, \
-panic-path, and lock-discipline invariants
+panic-path, lock-discipline, lock-order, checkpoint-coverage, and wire-exhaustiveness invariants
 
 USAGE:
     cargo run -p orfpred-analyze -- [OPTIONS]
 
 OPTIONS:
     --deny               exit non-zero when any violation survives (CI mode)
+    --only <rules>       comma-separated rule ids to report (others are dropped)
+    --format <fmt>       `text` (default) or `json` (machine-readable, for CI)
     --inventory          list every `unsafe` site with its SAFETY justification
+                         (stable, diffable — committed as lint-inventory.txt)
     --explain <rule-id>  print the rationale and fix guidance for one rule
     --list-rules         list rule ids with one-line summaries
     --root <dir>         workspace root (default: current directory, walking up
@@ -31,6 +36,8 @@ fn main() -> ExitCode {
     let mut explain: Option<String> = None;
     let mut list_rules = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut only: Option<Vec<RuleId>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +49,40 @@ fn main() -> ExitCode {
                 Some(id) => explain = Some(id),
                 None => {
                     eprintln!("--explain needs a rule id (try --list-rules)");
+                    return ExitCode::from(1);
+                }
+            },
+            "--only" => match args.next() {
+                Some(list) => {
+                    let mut rules = Vec::new();
+                    for piece in list.split(',') {
+                        match RuleId::parse(piece.trim()) {
+                            Some(r) => rules.push(r),
+                            None => {
+                                eprintln!(
+                                    "--only: unknown rule `{}`; known rules: {}",
+                                    piece.trim(),
+                                    RuleId::ALL.map(RuleId::as_str).join(", ")
+                                );
+                                return ExitCode::from(1);
+                            }
+                        }
+                    }
+                    only = Some(rules);
+                }
+                None => {
+                    eprintln!("--only needs a comma-separated rule list");
+                    return ExitCode::from(1);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                other => {
+                    eprintln!(
+                        "--format needs `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    );
                     return ExitCode::from(1);
                 }
             },
@@ -104,6 +145,13 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    let corpus = match load_corpus(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("orfpred-lint: {e}");
+            return ExitCode::from(1);
+        }
+    };
     let allowlist = match load_allowlist(&root.join("lint.toml")) {
         Ok(a) => a,
         Err(e) => {
@@ -111,23 +159,23 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let report = analyze(&files, &allowlist);
+    let mut report = analyze_with_corpus(&files, &corpus, &allowlist);
+    if let Some(rules) = &only {
+        report.violations.retain(|v| rules.contains(&v.rule));
+    }
 
     if inventory {
-        println!(
-            "unsafe inventory: {} site(s) across {} files",
-            report.inventory.len(),
-            report.files_scanned
-        );
-        for site in &report.inventory {
-            let what = format!("{}:{}", site.path, site.line);
-            let tag = if site.in_test { " [test]" } else { "" };
-            match &site.safety {
-                Some(s) => println!("  {what:<44} unsafe {}{tag}  SAFETY: {s}", site.kind),
-                None => println!("  {what:<44} unsafe {}{tag}  SAFETY: (missing)", site.kind),
-            }
-        }
+        print!("{}", render_inventory(&report));
         return ExitCode::SUCCESS;
+    }
+
+    if format == "json" {
+        print!("{}", render_json(&report));
+        return if deny && !report.violations.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     for note in &report.notes {
@@ -135,6 +183,9 @@ fn main() -> ExitCode {
     }
     for v in &report.violations {
         println!("{}:{}: [{}] {}", v.path, v.line, v.rule.as_str(), v.message);
+        for step in &v.trace {
+            println!("    trace: {step}");
+        }
     }
     if report.violations.is_empty() {
         println!(

@@ -1,0 +1,1139 @@
+//! An item-level parse on top of the lexer (DESIGN.md §17): functions
+//! (with their impl type, parameter types, call sites, and lock
+//! acquisition sites), structs/enums with their fields, and consts. No
+//! `syn`, no grammar — a forward scan over the code-token stream with
+//! balanced-bracket tracking, which is enough structure for the
+//! cross-crate graph rules (`lock_order`, `checkpoint_coverage`,
+//! `wire_exhaustive`) while staying dependency-free.
+//!
+//! Known imprecision, by design (soundness caveats in DESIGN.md §17):
+//!
+//! * types are *names*, not resolved paths — `a::Foo` and `b::Foo` merge;
+//! * generic bounds and `where` clauses are skipped, not understood;
+//! * closure bodies belong to the enclosing function (a guard "held"
+//!   around a closure definition is treated as held around its body);
+//! * a guard bound by a `let` is live until its enclosing block closes or
+//!   a `drop(<name>)` — matching the `lock_discipline` model.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Guard-producing calls: `.lock()` / `.read()` / `.write()` with no
+/// arguments (Mutex / RwLock idiom; `read(buf)`-style I/O has arguments
+/// and is excluded).
+pub const GUARD_CALLS: [&str; 3] = ["lock", "read", "write"];
+
+/// Container/type-level wrappers stripped when reducing a declared type
+/// to its base name (`Option<Arc<Mutex<IngestState>>>` → `IngestState`).
+const TYPE_WRAPPERS: [&str; 16] = [
+    "Option",
+    "Arc",
+    "Rc",
+    "Box",
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "Vec",
+    "VecDeque",
+    "BinaryHeap",
+    "Result",
+    "Cow",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+];
+
+/// Keywords that can precede `(` without being a call.
+const NON_CALL_IDENTS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "in", "as", "let", "else", "loop", "move", "fn",
+];
+
+/// One parsed source file: retained tokens plus the item index.
+pub struct ParsedFile {
+    /// Index into the `files` slice handed to [`parse_files`].
+    pub file: usize,
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens.
+    pub code: Vec<usize>,
+    /// Line spans (inclusive) of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(u32, u32)>,
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    pub enums: Vec<EnumItem>,
+    pub consts: Vec<ConstItem>,
+}
+
+/// A `fn` item (free, impl method, or trait method — possibly bodiless).
+pub struct FnItem {
+    pub name: String,
+    /// The `impl`/`trait` type this fn belongs to, if any.
+    pub self_type: Option<String>,
+    pub line: u32,
+    pub is_test: bool,
+    /// `(binding, base type)` for parameters with a simple ident pattern.
+    pub params: Vec<(String, String)>,
+    /// Code-token range of the body, exclusive end (empty when bodiless).
+    pub body: (usize, usize),
+    pub calls: Vec<CallSite>,
+    pub locks: Vec<LockSite>,
+    /// Every ident appearing in the body (cheap membership queries).
+    pub idents: BTreeSet<String>,
+}
+
+/// A call site inside a fn body.
+pub struct CallSite {
+    pub line: u32,
+    /// Code-token index of the called name.
+    pub tok: usize,
+    pub target: CallTarget,
+}
+
+pub enum CallTarget {
+    /// `self.m(...)`.
+    SelfMethod(String),
+    /// `recv.m(...)` — `recv` is the ident directly before the dot, when
+    /// there is one (`).m(...)` has none).
+    Method { recv: Option<String>, name: String },
+    /// `Qual::m(...)`.
+    Path { qual: String, name: String },
+    /// `m(...)`.
+    Free(String),
+}
+
+/// A lock acquisition site (`<class>.lock()` / `.read()` / `.write()`).
+pub struct LockSite {
+    pub line: u32,
+    /// Code-token index of the class ident.
+    pub tok: usize,
+    /// The field/variable the guard call is invoked on — the lock's
+    /// identity for the ordering graph.
+    pub class: String,
+    /// Code-token range (exclusive end) over which the guard is live.
+    pub live: (usize, usize),
+}
+
+pub struct StructItem {
+    pub name: String,
+    pub line: u32,
+    pub is_test: bool,
+    pub fields: Vec<FieldDef>,
+}
+
+pub struct FieldDef {
+    pub name: String,
+    pub line: u32,
+    pub base_type: String,
+}
+
+pub struct EnumItem {
+    pub name: String,
+    pub line: u32,
+    pub is_test: bool,
+    pub variants: Vec<VariantDef>,
+}
+
+pub struct VariantDef {
+    pub name: String,
+    pub line: u32,
+    /// Named fields for struct-like variants (empty for unit/tuple).
+    pub fields: Vec<FieldDef>,
+}
+
+pub struct ConstItem {
+    pub name: String,
+    pub line: u32,
+    pub is_test: bool,
+}
+
+/// A `Ty::Variant { ... }` or `Ty { ... }` field group — a construction
+/// or a destructuring pattern (the rules treat them uniformly).
+pub struct FieldGroup {
+    pub line: u32,
+    /// `None` for plain `Ty { ... }` groups.
+    pub variant: Option<String>,
+    /// Field names mentioned at the group's top level.
+    pub fields: Vec<String>,
+    /// `..` (rest pattern / functional update) present at top level.
+    pub elides: bool,
+    pub in_test: bool,
+}
+
+/// Parse every file. The returned vec is index-aligned with `texts`.
+pub fn parse_files(texts: &[&str]) -> Vec<ParsedFile> {
+    texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Parser::new(i, t).run())
+        .collect()
+}
+
+impl ParsedFile {
+    fn ctext<'a>(&self, src: &'a str, ci: usize) -> &'a str {
+        self.toks[self.code[ci]].text(src)
+    }
+
+    fn ckind(&self, ci: usize) -> TokKind {
+        self.toks[self.code[ci]].kind
+    }
+
+    fn cline(&self, ci: usize) -> u32 {
+        self.toks[self.code[ci]].line
+    }
+
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Every `ty::Variant { ... }` / `ty { ... }` field group in the file.
+    /// `src` must be the text this file was parsed from.
+    pub fn field_groups(&self, src: &str, ty: &str) -> Vec<FieldGroup> {
+        let mut out = Vec::new();
+        let n = self.code.len();
+        for ci in 0..n {
+            if self.ckind(ci) != TokKind::Ident || self.ctext(src, ci) != ty {
+                continue;
+            }
+            // Skip the declaration itself and impl blocks.
+            if ci > 0 {
+                if let TokKind::Ident = self.ckind(ci - 1) {
+                    if matches!(
+                        self.ctext(src, ci - 1),
+                        "struct" | "enum" | "union" | "trait" | "impl" | "for" | "mod" | "fn"
+                    ) {
+                        continue;
+                    }
+                }
+            }
+            // `-> ty {` is a return type followed by the fn body, not a
+            // construction.
+            if ci >= 2
+                && self.ckind(ci - 1) == TokKind::Punct('>')
+                && self.ckind(ci - 2) == TokKind::Punct('-')
+            {
+                continue;
+            }
+            // A `::` directly before `ty` means `ty` is a path segment:
+            // `module::ty::Variant { .. }` is still a `ty` group, but a
+            // bare `Other::ty { .. }` is a *variant* named `ty` of some
+            // other enum, not this type.
+            let qualified = ci >= 2
+                && self.ckind(ci - 1) == TokKind::Punct(':')
+                && self.ckind(ci - 2) == TokKind::Punct(':');
+            // `ty::Variant {` or `ty {`.
+            let (variant, open) = if ci + 3 < n
+                && self.ckind(ci + 1) == TokKind::Punct(':')
+                && self.ckind(ci + 2) == TokKind::Punct(':')
+                && self.ckind(ci + 3) == TokKind::Ident
+                && ci + 4 < n
+                && self.ckind(ci + 4) == TokKind::Punct('{')
+            {
+                (Some(self.ctext(src, ci + 3).to_string()), ci + 4)
+            } else if ci + 1 < n && self.ckind(ci + 1) == TokKind::Punct('{') && !qualified {
+                (None, ci + 1)
+            } else {
+                continue;
+            };
+            let mut fields = Vec::new();
+            let mut elides = false;
+            let mut depth = 0i32;
+            let mut j = open;
+            while j < n {
+                match self.ckind(j) {
+                    TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident if depth == 1 => {
+                        // A field mention is an ident directly after `{`
+                        // or `,` followed by `:` (not `::`), `,` or `}`.
+                        let prev_delim =
+                            matches!(self.ckind(j - 1), TokKind::Punct('{') | TokKind::Punct(','));
+                        let next_ok = j + 1 < n
+                            && match self.ckind(j + 1) {
+                                TokKind::Punct(':') => {
+                                    !(j + 2 < n && self.ckind(j + 2) == TokKind::Punct(':'))
+                                }
+                                TokKind::Punct(',') | TokKind::Punct('}') => true,
+                                _ => false,
+                            };
+                        if prev_delim && next_ok && self.ctext(src, j) != "mut" {
+                            fields.push(self.ctext(src, j).to_string());
+                        }
+                    }
+                    // `..` directly after `{` or `,` is a rest/spread.
+                    TokKind::Punct('.')
+                        if depth == 1
+                            && j + 1 < n
+                            && self.ckind(j + 1) == TokKind::Punct('.')
+                            && matches!(
+                                self.ckind(j - 1),
+                                TokKind::Punct('{') | TokKind::Punct(',')
+                            ) =>
+                    {
+                        elides = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let line = self.cline(ci);
+            out.push(FieldGroup {
+                line,
+                variant,
+                fields,
+                elides,
+                in_test: self.in_test(line),
+            });
+        }
+        out
+    }
+}
+
+struct Parser<'a> {
+    file: usize,
+    src: &'a str,
+    toks: Vec<Tok>,
+    code: Vec<usize>,
+    test_spans: Vec<(u32, u32)>,
+    fns: Vec<FnItem>,
+    structs: Vec<StructItem>,
+    enums: Vec<EnumItem>,
+    consts: Vec<ConstItem>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(file: usize, src: &'a str) -> Self {
+        let toks = lex(src);
+        let code = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        Parser {
+            file,
+            src,
+            toks,
+            code,
+            test_spans: Vec::new(),
+            fns: Vec::new(),
+            structs: Vec::new(),
+            enums: Vec::new(),
+            consts: Vec::new(),
+        }
+    }
+
+    fn ctext(&self, ci: usize) -> &'a str {
+        self.toks[self.code[ci]].text(self.src)
+    }
+
+    fn ckind(&self, ci: usize) -> TokKind {
+        self.toks[self.code[ci]].kind
+    }
+
+    fn cline(&self, ci: usize) -> u32 {
+        self.toks[self.code[ci]].line
+    }
+
+    fn is(&self, ci: usize, text: &str) -> bool {
+        ci < self.code.len() && self.ckind(ci) == TokKind::Ident && self.ctext(ci) == text
+    }
+
+    fn punct(&self, ci: usize, p: char) -> bool {
+        ci < self.code.len() && self.ckind(ci) == TokKind::Punct(p)
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Matching closer for the opener at `ci` (same contract as the rule
+    /// engine's helper: saturates at end of file on malformed input).
+    fn matching(&self, ci: usize, open: char, close: char) -> usize {
+        let mut depth = 0usize;
+        let mut j = ci;
+        while j < self.code.len() {
+            match self.ckind(j) {
+                TokKind::Punct(p) if p == open => depth += 1,
+                TokKind::Punct(p) if p == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Skip a generic parameter list starting at `<`, tolerating nesting.
+    /// Returns the index after the closing `>` (or `ci` when not at `<`).
+    fn skip_generics(&self, ci: usize) -> usize {
+        if !self.punct(ci, '<') {
+            return ci;
+        }
+        let mut depth = 0i32;
+        let mut j = ci;
+        while j < self.code.len() {
+            match self.ckind(j) {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                // `(` in a generic list belongs to `Fn(..)` bounds; skip it
+                // wholesale so its `>`s (if any) don't confuse the count.
+                TokKind::Punct('(') => j = self.matching(j, '(', ')'),
+                TokKind::Punct(';') | TokKind::Punct('{') => return ci + 1, // bail: not generics
+                _ => {}
+            }
+            j += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    fn run(mut self) -> ParsedFile {
+        self.find_test_spans();
+        self.items(0, self.code.len(), None);
+        ParsedFile {
+            file: self.file,
+            toks: self.toks,
+            code: self.code,
+            test_spans: self.test_spans,
+            fns: self.fns,
+            structs: self.structs,
+            enums: self.enums,
+            consts: self.consts,
+        }
+    }
+
+    /// Same test-span model as the rule engine: `#[test]` / `#[cfg(test)]`
+    /// (but not `#[cfg(not(test))]`) spans the item that follows.
+    fn find_test_spans(&mut self) {
+        let mut ci = 0;
+        while ci + 1 < self.code.len() {
+            if self.punct(ci, '#') && self.punct(ci + 1, '[') {
+                let attr_end = self.matching(ci + 1, '[', ']');
+                let mut has_test = false;
+                let mut has_not = false;
+                for j in ci + 2..attr_end.min(self.code.len()) {
+                    match (self.ckind(j), self.ctext(j)) {
+                        (TokKind::Ident, "test") => has_test = true,
+                        (TokKind::Ident, "not") => has_not = true,
+                        _ => {}
+                    }
+                }
+                if has_test && !has_not {
+                    let start_line = self.cline(ci);
+                    let mut j = attr_end + 1;
+                    while j + 1 < self.code.len() && self.punct(j, '#') && self.punct(j + 1, '[') {
+                        j = self.matching(j + 1, '[', ']') + 1;
+                    }
+                    let end = self.item_end(j);
+                    self.test_spans.push((start_line, self.cline(end)));
+                    ci = end + 1;
+                    continue;
+                }
+                ci = attr_end + 1;
+                continue;
+            }
+            ci += 1;
+        }
+    }
+
+    fn item_end(&self, ci: usize) -> usize {
+        let mut j = ci;
+        let mut depth = 0usize;
+        while j < self.code.len() {
+            match self.ckind(j) {
+                TokKind::Punct(';') if depth == 0 => return j,
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Walk items in the code-token range `[start, end)`, recursing into
+    /// `mod`/`impl`/`trait` bodies. `self_type` names the enclosing
+    /// impl/trait type, if any.
+    fn items(&mut self, start: usize, end: usize, self_type: Option<&str>) {
+        let mut ci = start;
+        while ci < end.min(self.code.len()) {
+            if self.ckind(ci) != TokKind::Ident {
+                ci += 1;
+                continue;
+            }
+            match self.ctext(ci) {
+                "fn" => ci = self.fn_item(ci, self_type),
+                "struct" => ci = self.struct_item(ci),
+                "enum" => ci = self.enum_item(ci),
+                "const" | "static" => ci = self.const_item(ci),
+                "impl" | "trait" => ci = self.impl_item(ci),
+                "mod" => {
+                    // `mod name { ... }` — recurse; `mod name;` — skip.
+                    let mut j = ci + 1;
+                    while j < end && !self.punct(j, '{') && !self.punct(j, ';') {
+                        j += 1;
+                    }
+                    if self.punct(j, '{') {
+                        let close = self.matching(j, '{', '}');
+                        self.items(j + 1, close, None);
+                        ci = close + 1;
+                    } else {
+                        ci = j + 1;
+                    }
+                }
+                _ => ci += 1,
+            }
+        }
+    }
+
+    /// `impl [<..>] Type [for Type] [where ..] { items }` or
+    /// `trait Name [<..>] [: bounds] [where ..] { items }`. The self type
+    /// is the *last* path segment before the body (after `for`, when
+    /// present), so trait impls key their methods under the concrete type
+    /// and trait declarations under the trait name.
+    fn impl_item(&mut self, ci: usize) -> usize {
+        let mut j = ci + 1;
+        let mut ty: Option<String> = None;
+        while j < self.code.len() {
+            match self.ckind(j) {
+                TokKind::Punct('<') => j = self.skip_generics(j),
+                TokKind::Punct('{') => break,
+                TokKind::Punct(';') => return j + 1, // `impl Trait for Ty;` — nothing inside
+                TokKind::Ident => {
+                    let t = self.ctext(j);
+                    if t == "where" {
+                        // The rest up to `{` is bounds; the type is fixed.
+                        while j < self.code.len() && !self.punct(j, '{') {
+                            j += 1;
+                        }
+                        break;
+                    }
+                    if t != "for" && t != "dyn" && t != "unsafe" && t != "pub" {
+                        ty = Some(t.to_string());
+                    }
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        if !self.punct(j, '{') {
+            return j + 1;
+        }
+        let close = self.matching(j, '{', '}');
+        let ty = ty.unwrap_or_default();
+        self.items(j + 1, close, if ty.is_empty() { None } else { Some(&ty) });
+        close + 1
+    }
+
+    /// `fn name [<..>] ( params ) [-> ty] [where ..] { body }` (or `;`).
+    fn fn_item(&mut self, ci: usize, self_type: Option<&str>) -> usize {
+        let line = self.cline(ci);
+        let ni = ci + 1;
+        if ni >= self.code.len() || self.ckind(ni) != TokKind::Ident {
+            return ci + 1;
+        }
+        let name = self.ctext(ni).to_string();
+        let mut j = self.skip_generics(ni + 1);
+        if !self.punct(j, '(') {
+            return ni + 1;
+        }
+        let params_end = self.matching(j, '(', ')');
+        let params = self.fn_params(j + 1, params_end);
+        // Find the body `{` or the trailing `;` (trait method decl).
+        j = params_end + 1;
+        while j < self.code.len() {
+            match self.ckind(j) {
+                TokKind::Punct('{') => break,
+                TokKind::Punct(';') => {
+                    // Bodiless: record so method resolution can hit trait
+                    // declarations (empty summary) instead of falling back.
+                    self.fns.push(FnItem {
+                        name,
+                        self_type: self_type.map(str::to_string),
+                        line,
+                        is_test: self.in_test(line),
+                        params,
+                        body: (j, j),
+                        calls: Vec::new(),
+                        locks: Vec::new(),
+                        idents: BTreeSet::new(),
+                    });
+                    return j + 1;
+                }
+                TokKind::Punct('<') => {
+                    j = self.skip_generics(j);
+                    continue;
+                }
+                TokKind::Punct('(') => {
+                    j = self.matching(j, '(', ')');
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !self.punct(j, '{') {
+            return params_end + 1;
+        }
+        let close = self.matching(j, '{', '}');
+        let body = (j + 1, close);
+        let calls = self.body_calls(body);
+        let locks = self.body_locks(body);
+        let idents = (body.0..body.1)
+            .filter(|&k| self.ckind(k) == TokKind::Ident)
+            .map(|k| self.ctext(k).to_string())
+            .collect();
+        self.fns.push(FnItem {
+            name,
+            self_type: self_type.map(str::to_string),
+            line,
+            is_test: self.in_test(line),
+            params,
+            body,
+            calls,
+            locks,
+            idents,
+        });
+        close + 1
+    }
+
+    /// Split a parameter list on top-level commas into `(binding, base
+    /// type)` pairs. Non-ident patterns and `self` receivers are skipped.
+    fn fn_params(&self, start: usize, end: usize) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut j = start;
+        while j < end {
+            // One parameter: [mut] pat [: type] up to a depth-0 comma.
+            let mut name: Option<String> = None;
+            if self.is(j, "mut") {
+                j += 1;
+            }
+            if j < end && self.ckind(j) == TokKind::Ident && self.punct(j + 1, ':') {
+                name = Some(self.ctext(j).to_string());
+            }
+            // Scan the rest of the parameter, collecting the base type.
+            let mut base: Option<String> = None;
+            let mut depth = 0i32;
+            while j < end {
+                match self.ckind(j) {
+                    TokKind::Punct(',') if depth == 0 => break,
+                    TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                    TokKind::Ident => {
+                        let t = self.ctext(j);
+                        if base.is_none()
+                            && t.starts_with(char::is_uppercase)
+                            && !TYPE_WRAPPERS.contains(&t)
+                        {
+                            base = Some(t.to_string());
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1; // past the comma
+            if let (Some(n), Some(b)) = (name, base) {
+                out.push((n, b));
+            }
+        }
+        out
+    }
+
+    /// `struct Name [<..>] { fields }` — tuple structs and unit structs
+    /// are recorded with no fields.
+    fn struct_item(&mut self, ci: usize) -> usize {
+        let line = self.cline(ci);
+        let ni = ci + 1;
+        if ni >= self.code.len() || self.ckind(ni) != TokKind::Ident {
+            return ci + 1;
+        }
+        let name = self.ctext(ni).to_string();
+        let mut j = self.skip_generics(ni + 1);
+        while j < self.code.len() && !self.punct(j, '{') && !self.punct(j, ';') {
+            if self.punct(j, '(') {
+                j = self.matching(j, '(', ')');
+            }
+            j += 1;
+        }
+        let fields = if self.punct(j, '{') {
+            let close = self.matching(j, '{', '}');
+            let f = self.named_fields(j + 1, close);
+            j = close;
+            f
+        } else {
+            Vec::new()
+        };
+        self.structs.push(StructItem {
+            name,
+            line,
+            is_test: self.in_test(line),
+            fields,
+        });
+        j + 1
+    }
+
+    /// `enum Name [<..>] { Variant, Variant(..), Variant { fields }, .. }`.
+    fn enum_item(&mut self, ci: usize) -> usize {
+        let line = self.cline(ci);
+        let ni = ci + 1;
+        if ni >= self.code.len() || self.ckind(ni) != TokKind::Ident {
+            return ci + 1;
+        }
+        let name = self.ctext(ni).to_string();
+        let mut j = self.skip_generics(ni + 1);
+        while j < self.code.len() && !self.punct(j, '{') && !self.punct(j, ';') {
+            j += 1;
+        }
+        if !self.punct(j, '{') {
+            return j + 1;
+        }
+        let close = self.matching(j, '{', '}');
+        let mut variants = Vec::new();
+        let mut k = j + 1;
+        while k < close {
+            // Skip attributes on the variant.
+            while self.punct(k, '#') && self.punct(k + 1, '[') {
+                k = self.matching(k + 1, '[', ']') + 1;
+            }
+            if self.ckind(k) != TokKind::Ident {
+                k += 1;
+                continue;
+            }
+            let vname = self.ctext(k).to_string();
+            let vline = self.cline(k);
+            let mut fields = Vec::new();
+            let mut n = k + 1;
+            if self.punct(n, '{') {
+                let vclose = self.matching(n, '{', '}');
+                fields = self.named_fields(n + 1, vclose);
+                n = vclose + 1;
+            } else if self.punct(n, '(') {
+                n = self.matching(n, '(', ')') + 1;
+            }
+            // `= disc` for C-like enums.
+            while n < close && !self.punct(n, ',') {
+                n += 1;
+            }
+            variants.push(VariantDef {
+                name: vname,
+                line: vline,
+                fields,
+            });
+            k = n + 1;
+        }
+        self.enums.push(EnumItem {
+            name,
+            line,
+            is_test: self.in_test(line),
+            variants,
+        });
+        close + 1
+    }
+
+    /// Named fields inside `{ .. }`: `[pub[(..)]] name: Type,` at depth 0.
+    fn named_fields(&self, start: usize, end: usize) -> Vec<FieldDef> {
+        let mut out = Vec::new();
+        let mut j = start;
+        while j < end {
+            // Skip attributes and visibility.
+            while self.punct(j, '#') && self.punct(j + 1, '[') {
+                j = self.matching(j + 1, '[', ']') + 1;
+            }
+            if self.is(j, "pub") {
+                j += 1;
+                if self.punct(j, '(') {
+                    j = self.matching(j, '(', ')') + 1;
+                }
+            }
+            if j < end && self.ckind(j) == TokKind::Ident && self.punct(j + 1, ':') {
+                let name = self.ctext(j).to_string();
+                let line = self.cline(j);
+                // Base type of everything up to the depth-0 comma.
+                let mut base = String::new();
+                let mut depth = 0i32;
+                let mut k = j + 2;
+                while k < end {
+                    match self.ckind(k) {
+                        TokKind::Punct(',') if depth == 0 => break,
+                        TokKind::Punct('<') | TokKind::Punct('(') | TokKind::Punct('[') => {
+                            depth += 1
+                        }
+                        TokKind::Punct('>') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                            depth -= 1
+                        }
+                        TokKind::Ident => {
+                            let t = self.ctext(k);
+                            if base.is_empty()
+                                && t.starts_with(char::is_uppercase)
+                                && !TYPE_WRAPPERS.contains(&t)
+                            {
+                                base = t.to_string();
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                out.push(FieldDef {
+                    name,
+                    line,
+                    base_type: base,
+                });
+                j = k + 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    fn const_item(&mut self, ci: usize) -> usize {
+        let ni = ci + 1;
+        if ni < self.code.len() && self.ckind(ni) == TokKind::Ident && self.punct(ni + 1, ':') {
+            let line = self.cline(ni);
+            self.consts.push(ConstItem {
+                name: self.ctext(ni).to_string(),
+                line,
+                is_test: self.in_test(line),
+            });
+        }
+        self.item_end(ci) + 1
+    }
+
+    /// Call sites in a body range: `name(` not preceded by `fn` and not a
+    /// macro (`name!(`), classified by what precedes the name.
+    fn body_calls(&self, body: (usize, usize)) -> Vec<CallSite> {
+        let mut out = Vec::new();
+        for k in body.0..body.1 {
+            if self.ckind(k) != TokKind::Ident || !self.punct(k + 1, '(') {
+                continue;
+            }
+            let name = self.ctext(k);
+            if NON_CALL_IDENTS.contains(&name) {
+                continue;
+            }
+            if k > 0 && self.is(k - 1, "fn") {
+                continue; // closure-less nested fn header
+            }
+            let target = if k >= 1 && self.ckind(k - 1) == TokKind::Punct('.') {
+                if k >= 2 && self.is(k - 2, "self") && (k < 3 || !self.punct(k - 3, '.')) {
+                    CallTarget::SelfMethod(name.to_string())
+                } else {
+                    let recv = (k >= 2 && self.ckind(k - 2) == TokKind::Ident)
+                        .then(|| self.ctext(k - 2).to_string());
+                    CallTarget::Method {
+                        recv,
+                        name: name.to_string(),
+                    }
+                }
+            } else if k >= 2
+                && self.ckind(k - 1) == TokKind::Punct(':')
+                && self.ckind(k - 2) == TokKind::Punct(':')
+            {
+                let qual = if k >= 3 && self.ckind(k - 3) == TokKind::Ident {
+                    self.ctext(k - 3).to_string()
+                } else {
+                    String::new()
+                };
+                CallTarget::Path {
+                    qual,
+                    name: name.to_string(),
+                }
+            } else {
+                CallTarget::Free(name.to_string())
+            };
+            out.push(CallSite {
+                line: self.cline(k),
+                tok: k,
+                target,
+            });
+        }
+        out
+    }
+
+    /// Lock acquisition sites in a body range, each with its guard's live
+    /// token range.
+    fn body_locks(&self, body: (usize, usize)) -> Vec<LockSite> {
+        let mut out = Vec::new();
+        for k in body.0..body.1 {
+            // `class . guard ( )` with empty argument list.
+            if self.ckind(k) != TokKind::Ident
+                || !self.punct(k + 1, '.')
+                || k + 4 >= self.code.len()
+                || self.ckind(k + 2) != TokKind::Ident
+                || !GUARD_CALLS.contains(&self.ctext(k + 2))
+                || !self.punct(k + 3, '(')
+                || !self.punct(k + 4, ')')
+            {
+                continue;
+            }
+            let class = self.ctext(k).to_string();
+            let live_end = self.guard_live_end(k, body);
+            out.push(LockSite {
+                line: self.cline(k),
+                tok: k,
+                class,
+                live: (k, live_end),
+            });
+        }
+        out
+    }
+
+    /// Where the guard acquired at code-token `k` stops being live.
+    ///
+    /// * `let g = <expr>.lock();` (guard call is the initializer's last
+    ///   call, no `*` deref copy-out): live until the enclosing block
+    ///   closes or `drop(g)`.
+    /// * anything else (a temporary): live until the end of the current
+    ///   statement — the next depth-0 `;`, or the close of a depth-0
+    ///   `{ .. }` group not followed by `.`/`?` (`for .. { }` bodies,
+    ///   `match` statements), whichever comes first.
+    fn guard_live_end(&self, k: usize, body: (usize, usize)) -> usize {
+        // Statement start: scan back to the nearest depth-0 `;`, `{` or
+        // `}` within the body.
+        let mut depth = 0i32;
+        let mut s = k;
+        while s > body.0 {
+            let p = s - 1;
+            match self.ckind(p) {
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth += 1,
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            s = p;
+        }
+        // Statement end: forward from the statement start.
+        let mut depth = 0i32;
+        let mut e = s;
+        let stmt_end = loop {
+            if e >= body.1 {
+                break body.1;
+            }
+            match self.ckind(e) {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break e; // enclosing block closed mid-statement
+                    }
+                    if depth == 0 {
+                        // `for .. { }` / `match .. { }` statements end at
+                        // their brace unless the block is an expression
+                        // being further chained (`.`/`?`) or terminated
+                        // (`;` handled next loop turn).
+                        let next_chains = self.punct(e + 1, '.')
+                            || self.punct(e + 1, '?')
+                            || self.punct(e + 1, ';')
+                            || self.is(e + 1, "else");
+                        if !next_chains {
+                            break e;
+                        }
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => break e,
+                _ => {}
+            }
+            if depth < 0 {
+                break e;
+            }
+            e += 1;
+        };
+        // Let-bound guard? `let [mut] name = ... .guard();` where the
+        // guard call is the last call of the initializer.
+        let is_let = self.is(s, "let");
+        let guard_is_last = stmt_end >= 2
+            && stmt_end < self.code.len()
+            && self.punct(stmt_end.saturating_sub(1), ')')
+            && k + 4 == stmt_end - 1;
+        let eq = (s..stmt_end).find(|&j| self.ckind(j) == TokKind::Punct('='));
+        let derefs_out = eq.is_some_and(|j| j + 1 < self.code.len() && self.punct(j + 1, '*'));
+        if !(is_let && guard_is_last && !derefs_out && self.punct(stmt_end, ';')) {
+            return stmt_end.min(body.1);
+        }
+        let mut ni = s + 1;
+        if self.is(ni, "mut") {
+            ni += 1;
+        }
+        let name = (self.ckind(ni) == TokKind::Ident).then(|| self.ctext(ni));
+        // Live until the enclosing block closes or `drop(name)`.
+        let mut depth = 0i32;
+        let mut j = stmt_end + 1;
+        while j < body.1 {
+            match self.ckind(j) {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                TokKind::Ident
+                    if self.ctext(j) == "drop"
+                        && self.punct(j + 1, '(')
+                        && name.is_some_and(|n| self.is(j + 2, n)) =>
+                {
+                    return j;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        body.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> ParsedFile {
+        parse_files(&[src]).pop().unwrap()
+    }
+
+    #[test]
+    fn items_and_impl_types_are_indexed() {
+        let src = "pub struct Core { pub a: Mutex<u64>, b: Option<Arc<Widget>> }\n\
+                   enum Frame { Hello { version: u32 }, Bye, Data(Vec<u8>) }\n\
+                   const OP_HELLO: u8 = 0x01;\n\
+                   impl Core {\n    fn go(&self, w: &Widget) { self.a.lock(); helper(w); }\n}\n\
+                   impl Sink for Core {\n    fn put(&mut self) {}\n}\n\
+                   trait Sink {\n    fn put(&mut self);\n}\n\
+                   fn helper(w: &Widget) { w.spin(); }\n";
+        let pf = parse_one(src);
+        assert_eq!(pf.structs.len(), 1);
+        assert_eq!(pf.structs[0].fields.len(), 2);
+        assert_eq!(pf.structs[0].fields[0].base_type, "");
+        assert_eq!(pf.structs[0].fields[1].base_type, "Widget");
+        assert_eq!(pf.enums[0].variants.len(), 3);
+        assert_eq!(pf.enums[0].variants[0].fields[0].name, "version");
+        assert_eq!(pf.consts[0].name, "OP_HELLO");
+        let names: Vec<_> = pf
+            .fns
+            .iter()
+            .map(|f| (f.self_type.as_deref(), f.name.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                (Some("Core"), "go"),
+                (Some("Core"), "put"),
+                (Some("Sink"), "put"),
+                (None, "helper"),
+            ]
+        );
+        let go = &pf.fns[0];
+        assert_eq!(go.params, [("w".to_string(), "Widget".to_string())]);
+        assert_eq!(go.locks.len(), 1);
+        assert_eq!(go.locks[0].class, "a");
+        assert!(go
+            .calls
+            .iter()
+            .any(|c| matches!(&c.target, CallTarget::Free(n) if n == "helper")));
+    }
+
+    #[test]
+    fn guard_liveness_let_bound_vs_temporary() {
+        let src = "fn f(&self) {\n\
+                       {\n\
+                           let g = self.a.lock();\n\
+                           self.first();\n\
+                       }\n\
+                       self.b.lock().push(1);\n\
+                       self.second();\n\
+                   }\n";
+        let pf = parse_one(src);
+        let f = &pf.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        let a = &f.locks[0];
+        let b = &f.locks[1];
+        let first = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.target, CallTarget::SelfMethod(n) if n == "first"))
+            .unwrap();
+        let second = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.target, CallTarget::SelfMethod(n) if n == "second"))
+            .unwrap();
+        // `g` is live across first() but dies at its block's close.
+        assert!(a.live.0 < first.tok && first.tok < a.live.1);
+        assert!(second.tok > a.live.1);
+        // The temporary `b` guard dies at its statement's `;`.
+        assert!(second.tok > b.live.1);
+    }
+
+    #[test]
+    fn drop_ends_a_let_bound_guard() {
+        let src = "fn f(&self) {\n\
+                       let g = self.a.lock();\n\
+                       drop(g);\n\
+                       self.late();\n\
+                   }\n";
+        let pf = parse_one(src);
+        let f = &pf.fns[0];
+        let late = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.target, CallTarget::SelfMethod(n) if n == "late"))
+            .unwrap();
+        assert!(late.tok > f.locks[0].live.1);
+    }
+
+    #[test]
+    fn field_groups_see_mentions_and_elision() {
+        let src = "fn save() -> Ck {\n\
+                       Ck::On { a: 1, b: 2 }\n\
+                   }\n\
+                   fn load(c: Ck) -> u32 {\n\
+                       let Ck::On { a, .. } = c;\n\
+                       a\n\
+                   }\n";
+        let pf = parse_one(src);
+        let groups = pf.field_groups(src, "Ck");
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].fields, ["a", "b"]);
+        assert!(!groups[0].elides);
+        assert_eq!(groups[1].fields, ["a"]);
+        assert!(groups[1].elides);
+    }
+
+    #[test]
+    fn nested_values_do_not_register_as_field_mentions() {
+        let src = "fn f(st: &S) -> Ck { Ck::On { a: st.b, c: call(st.d) } }\n";
+        let pf = parse_one(src);
+        let g = &pf.field_groups(src, "Ck")[0];
+        assert_eq!(g.fields, ["a", "c"], "st.b / st.d are values, not fields");
+    }
+}

@@ -30,16 +30,26 @@ pub enum RuleId {
     UnsafeAudit,
     PanicPath,
     LockDiscipline,
+    /// Graph rule: a cycle in the cross-crate lock-acquisition graph.
+    LockOrder,
+    /// Graph rule: checkpoint fields must be saved *and* restored.
+    CheckpointCoverage,
+    /// Graph rule: wire opcodes/variants must be encoded, decoded, and
+    /// exercised by the equivalence-test corpus.
+    WireExhaustive,
     /// Meta-rule: a malformed or reasonless `// lint: allow(...)`.
     AllowSyntax,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::Nondeterminism,
         RuleId::UnsafeAudit,
         RuleId::PanicPath,
         RuleId::LockDiscipline,
+        RuleId::LockOrder,
+        RuleId::CheckpointCoverage,
+        RuleId::WireExhaustive,
         RuleId::AllowSyntax,
     ];
 
@@ -49,6 +59,9 @@ impl RuleId {
             RuleId::UnsafeAudit => "unsafe_audit",
             RuleId::PanicPath => "panic_path",
             RuleId::LockDiscipline => "lock_discipline",
+            RuleId::LockOrder => "lock_order",
+            RuleId::CheckpointCoverage => "checkpoint_coverage",
+            RuleId::WireExhaustive => "wire_exhaustive",
             RuleId::AllowSyntax => "allow_syntax",
         }
     }
@@ -131,6 +144,53 @@ impl RuleId {
                  path intentionally holds the sequence-stamp lock across the shard\n\
                  send so stamping and enqueue order stay atomic (DESIGN \u{a7}8)."
             }
+            RuleId::LockOrder => {
+                "lock_order — cycle in the cross-crate lock-acquisition graph\n\
+                 \n\
+                 Scope: crates/serve, crates/fleet (non-test code). The analyzer\n\
+                 builds per-function lock summaries (which lock classes a call can\n\
+                 acquire, transitively, over the workspace call graph) and records an\n\
+                 edge A -> B whenever a guard of class A is live at a direct\n\
+                 acquisition of B or at a call that can reach one. Any cycle means\n\
+                 two threads taking the same locks in different orders can deadlock\n\
+                 the daemon. The diagnostic carries the full acquisition path.\n\
+                 \n\
+                 A lock's class is the final path segment before .lock()/.read()/\n\
+                 .write() (`slot.state.lock()` -> `state`), so same-named fields\n\
+                 merge; call targets resolve by name with field/param type hints and\n\
+                 over-approximate when ambiguous — a reported cycle can be spurious,\n\
+                 a missing one cannot (within the modeled crates).\n\
+                 \n\
+                 Fix by taking the locks in one global order (or narrowing a guard's\n\
+                 scope), or annotate the *first acquisition line of the cycle* with\n\
+                 `// lint: allow(lock_order, reason=\"...\")`."
+            }
+            RuleId::CheckpointCoverage => {
+                "checkpoint_coverage — checkpoint fields must be saved AND restored\n\
+                 \n\
+                 Scope: every non-test `Checkpoint { .. }` construction or match in\n\
+                 the workspace. Two checks: (1) no group may elide fields with `..`\n\
+                 — a field added later would silently vanish from the save or the\n\
+                 restore path and break the bit-exactness oracle several PRs later;\n\
+                 (2) every declared field must be mentioned in at least one group —\n\
+                 a field that is never constructed or matched is dead checkpoint\n\
+                 state.\n\
+                 \n\
+                 Read-only probes that genuinely need one field annotate the group\n\
+                 line: `// lint: allow(checkpoint_coverage, reason=\"...\")`."
+            }
+            RuleId::WireExhaustive => {
+                "wire_exhaustive — every ORFB frame tag fully handled and tested\n\
+                 \n\
+                 Scope: any file declaring `OP_*` opcode consts alongside the\n\
+                 ClientFrame/ServerFrame enums (i.e. fleet::wire). Every opcode\n\
+                 const and every wire-enum variant must be referenced by an\n\
+                 `encode` fn and a `decode` fn in that file, and every variant must\n\
+                 appear (as `Enum::Variant`) in the fleet equivalence-test corpus\n\
+                 (tests/fleet_equiv.rs) — otherwise binary/JSON session equivalence\n\
+                 is unpinned for that frame and a protocol regression ships\n\
+                 silently."
+            }
             RuleId::AllowSyntax => {
                 "allow_syntax — malformed lint annotation\n\
                  \n\
@@ -152,6 +212,9 @@ pub struct Violation {
     /// 1-based line.
     pub line: u32,
     pub message: String,
+    /// Supporting evidence, one step per line (graph rules put the full
+    /// acquisition path here; token rules leave it empty).
+    pub trace: Vec<String>,
 }
 
 /// One `unsafe` site for `--inventory`.
@@ -210,43 +273,68 @@ pub const PANIC_CRATES: [&str; 4] = ["serve", "store", "prep", "fleet"];
 pub const LOCK_CRATES: [&str; 2] = ["serve", "fleet"];
 
 /// Run every applicable rule over `files`, apply inline annotations and
-/// the `lint.toml` allowlist, and return the surviving diagnostics.
+/// the `lint.toml` allowlist, and return the surviving diagnostics. The
+/// graph rules see an empty test corpus; use [`analyze_with_corpus`] to
+/// enable the wire-coverage check.
 pub fn analyze(files: &[SourceFile], allowlist: &[AllowEntry]) -> Report {
+    analyze_with_corpus(files, &[], allowlist)
+}
+
+/// [`analyze`], with the wire equivalence-test corpus supplied so the
+/// `wire_exhaustive` rule can check frame coverage (empty corpus = the
+/// coverage check is skipped).
+pub fn analyze_with_corpus(
+    files: &[SourceFile],
+    corpus: &[SourceFile],
+    allowlist: &[AllowEntry],
+) -> Report {
     let mut report = Report {
         files_scanned: files.len(),
         ..Report::default()
     };
     let mut allowlist_used = vec![false; allowlist.len()];
 
+    // Token rules run per file; inline allows are kept until the graph
+    // rules have run so one suppression path covers both kinds.
+    let mut all_violations: Vec<Violation> = Vec::new();
+    let mut allows_by_path: Vec<(String, Vec<InlineAllow>)> = Vec::new();
     for file in files {
         let mut fa = FileAnalysis::new(file);
         fa.run();
         report.inventory.append(&mut fa.inventory);
-        'violation: for v in fa.violations {
-            // Inline annotation?
-            if let Some(a) = fa.allows.iter().position(|a| {
+        all_violations.append(&mut fa.violations);
+        allows_by_path.push((file.path.clone(), fa.allows));
+    }
+
+    all_violations.extend(crate::graph::run_graph_rules(files, corpus));
+
+    'violation: for v in all_violations {
+        // Inline annotation on the flagged line of the flagged file?
+        if let Some((_, allows)) = allows_by_path.iter_mut().find(|(p, _)| *p == v.path) {
+            if let Some(a) = allows.iter().position(|a| {
                 a.rule == Some(v.rule) && a.target_line == v.line && !a.reason.is_empty()
             }) {
-                fa.allows[a].used = true;
+                allows[a].used = true;
                 continue;
             }
-            // lint.toml allowlist?
-            for (i, e) in allowlist.iter().enumerate() {
-                if e.rule == v.rule
-                    && v.path.starts_with(&e.path)
-                    && e.line.is_none_or(|l| l == v.line)
-                {
-                    allowlist_used[i] = true;
-                    continue 'violation;
-                }
-            }
-            report.violations.push(v);
         }
-        for a in &fa.allows {
+        // lint.toml allowlist?
+        for (i, e) in allowlist.iter().enumerate() {
+            if e.rule == v.rule && v.path.starts_with(&e.path) && e.line.is_none_or(|l| l == v.line)
+            {
+                allowlist_used[i] = true;
+                continue 'violation;
+            }
+        }
+        report.violations.push(v);
+    }
+
+    for (path, allows) in &allows_by_path {
+        for a in allows {
             if let (false, Some(rule), false) = (a.used, a.rule, a.reason.is_empty()) {
                 report.notes.push(format!(
                     "{}:{}: unused `lint: allow({})` annotation (nothing to suppress)",
-                    file.path,
+                    path,
                     a.comment_line,
                     rule.as_str(),
                 ));
@@ -273,6 +361,90 @@ pub fn analyze(files: &[SourceFile], allowlist: &[AllowEntry]) -> Report {
         .inventory
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     report
+}
+
+/// Render the unsafe inventory as the stable, diffable text that
+/// `--inventory` prints and `lint-inventory.txt` commits (sorted by
+/// (path, line); regenerate with
+/// `cargo run -p orfpred-analyze -- --inventory > lint-inventory.txt`).
+pub fn render_inventory(report: &Report) -> String {
+    let mut out = format!(
+        "unsafe inventory: {} site(s) across {} files\n",
+        report.inventory.len(),
+        report.files_scanned
+    );
+    for site in &report.inventory {
+        let what = format!("{}:{}", site.path, site.line);
+        let tag = if site.in_test { " [test]" } else { "" };
+        let safety = site.safety.as_deref().unwrap_or("(missing)");
+        out.push_str(&format!(
+            "  {what:<44} unsafe {}{tag}  SAFETY: {safety}\n",
+            site.kind
+        ));
+    }
+    out
+}
+
+/// Render a report as machine-readable JSON for CI annotation. Hand-rolled
+/// (the analyzer is dependency-free by design); the schema is flat enough
+/// for jq: `{violations: [{rule, path, line, message, trace}], notes,
+/// files_scanned, unsafe_sites}`.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"trace\": [",
+            json_str(v.rule.as_str()),
+            json_str(&v.path),
+            v.line,
+            json_str(&v.message)
+        ));
+        for (j, t) in v.trace.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(t));
+        }
+        out.push_str("]}");
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"notes\": [");
+    for (i, n) in report.notes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(n));
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"unsafe_sites\": {}\n}}\n",
+        report.files_scanned,
+        report.inventory.len()
+    ));
+    out
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A parsed inline `// lint: allow(...)` annotation.
@@ -353,6 +525,7 @@ impl<'a> FileAnalysis<'a> {
             path: self.file.path.clone(),
             line,
             message,
+            trace: Vec::new(),
         });
     }
 
@@ -512,6 +685,7 @@ impl<'a> FileAnalysis<'a> {
                                 "unknown rule `{rule_str}` in lint annotation (known: {})",
                                 RuleId::ALL.map(RuleId::as_str).join(", ")
                             ),
+                            trace: Vec::new(),
                         });
                     } else if reason.is_empty() {
                         self.violations.push(Violation {
@@ -523,6 +697,7 @@ impl<'a> FileAnalysis<'a> {
                                  allow suppresses nothing; write \
                                  `// lint: allow({rule_str}, reason=\"...\")`"
                             ),
+                            trace: Vec::new(),
                         });
                     }
                     self.allows.push(InlineAllow {
@@ -539,6 +714,7 @@ impl<'a> FileAnalysis<'a> {
                         path: self.file.path.clone(),
                         line: comment_line,
                         message: format!("malformed lint annotation: {err}"),
+                        trace: Vec::new(),
                     });
                 }
             }

@@ -114,6 +114,32 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError>
     Ok(())
 }
 
+/// The integration-test files the `wire_exhaustive` rule checks frame
+/// coverage against.
+pub const WIRE_CORPUS: [&str; 1] = ["tests/fleet_equiv.rs"];
+
+/// Load the wire-coverage corpus ([`WIRE_CORPUS`], relative to the
+/// workspace root). Missing files are skipped rather than an error: a
+/// partial checkout still gets every non-corpus check, and the rule
+/// itself skips the coverage check when the corpus comes back empty.
+pub fn load_corpus(root: &Path) -> Result<Vec<SourceFile>, WalkError> {
+    let mut files = Vec::new();
+    for rel in WIRE_CORPUS {
+        let p = root.join(rel);
+        let text = match std::fs::read_to_string(&p) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(err(format!("cannot read {}: {e}", p.display()))),
+        };
+        files.push(SourceFile {
+            path: rel.to_string(),
+            crate_name: "tests".to_string(),
+            text,
+        });
+    }
+    Ok(files)
+}
+
 /// Parse `lint.toml` (the committed allowlist). Missing file = empty
 /// allowlist, which is the intended steady state: violations are fixed
 /// or annotated inline, and this file exists for emergencies (e.g.

@@ -218,9 +218,10 @@ fn the_workspace_itself_is_clean_under_the_committed_allowlist() {
         .expect("crates/analyze sits two levels under the workspace root")
         .to_path_buf();
     let files = orfpred_analyze::load_workspace(&root).expect("workspace walks");
+    let corpus = orfpred_analyze::load_corpus(&root).expect("wire corpus loads");
     let allows =
         orfpred_analyze::load_allowlist(&root.join("lint.toml")).expect("lint.toml parses");
-    let report = analyze(&files, &allows);
+    let report = orfpred_analyze::analyze_with_corpus(&files, &corpus, &allows);
     assert!(
         report.violations.is_empty(),
         "workspace must stay lint-clean:\n{}",

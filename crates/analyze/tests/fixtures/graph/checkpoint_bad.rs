@@ -1,0 +1,16 @@
+//! Seeds both checkpoint_coverage failures: a `..` elision in a restore
+//! pattern, and a declared field (`ghost`) that no construction or match
+//! ever mentions.
+
+pub enum Checkpoint {
+    Online {
+        scaler: u32,
+        forest: u32,
+        ghost: u32,
+    },
+}
+
+pub fn restore(ck: &Checkpoint) -> u32 {
+    let Checkpoint::Online { scaler, forest, .. } = ck;
+    *scaler + *forest
+}

@@ -1,0 +1,16 @@
+//! The coverage-clean mirror of checkpoint_bad.rs: every field is
+//! explicitly saved and restored, no `..` anywhere.
+
+pub enum Checkpoint {
+    Online { scaler: u32, forest: u32 },
+}
+
+pub fn save(s: u32, f: u32) -> Checkpoint {
+    Checkpoint::Online { scaler: s, forest: f }
+}
+
+pub fn restore(ck: &Checkpoint) -> u32 {
+    match ck {
+        Checkpoint::Online { scaler, forest } => *scaler + *forest,
+    }
+}

@@ -1,0 +1,12 @@
+//! lock_cycle_fleet.rs with a *reasonless* allow on the `b -> b` cycle's
+//! anchor line: it must suppress nothing and be flagged as allow_syntax.
+
+pub struct Hub;
+
+impl Hub {
+    pub fn backward(&self, core: &Core) {
+        let gb = core.b.lock(); // lint: allow(lock_order)
+        core.forward();
+        drop(gb);
+    }
+}

@@ -1,0 +1,20 @@
+//! lock_cycle_serve.rs with the `a -> b -> a` cycle's anchor line
+//! annotated: the reasoned allow must suppress exactly that cycle and
+//! leave the fleet half's self-cycle reported.
+
+pub struct Core {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl Core {
+    pub fn forward(&self) {
+        let ga = self.a.lock(); // lint: allow(lock_order, reason="fixture: the a->b->a cycle is seeded deliberately")
+        self.grab_b();
+        drop(ga);
+    }
+
+    pub fn grab_b(&self) {
+        let _gb = self.b.lock();
+    }
+}

@@ -1,0 +1,13 @@
+//! The other half of the seeded deadlock: `backward` holds lock `b`
+//! while calling back into `Core::forward` (resolved through the `core:
+//! &Core` parameter hint), which acquires `a` and, transitively, `b`.
+
+pub struct Hub;
+
+impl Hub {
+    pub fn backward(&self, core: &Core) {
+        let gb = core.b.lock();
+        core.forward();
+        drop(gb);
+    }
+}

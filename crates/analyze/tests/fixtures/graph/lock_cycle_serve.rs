@@ -1,0 +1,20 @@
+//! One half of a seeded cross-crate deadlock: `forward` holds lock `a`
+//! while (via `grab_b`) acquiring lock `b`. The fleet half
+//! (lock_cycle_fleet.rs) takes the same locks in the opposite order.
+
+pub struct Core {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl Core {
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        self.grab_b();
+        drop(ga);
+    }
+
+    pub fn grab_b(&self) {
+        let _gb = self.b.lock();
+    }
+}

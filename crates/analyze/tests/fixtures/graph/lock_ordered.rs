@@ -1,0 +1,27 @@
+//! The cycle-free mirror of the lock_cycle pair: every path takes `a`
+//! before `b`, including the one that reaches `b` through a helper, so
+//! the acquisition graph is a DAG and lock_order stays silent.
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn one(&self) {
+        let g = self.a.lock();
+        self.tail();
+        drop(g);
+    }
+
+    pub fn two(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        drop(h);
+        drop(g);
+    }
+
+    pub fn tail(&self) {
+        let _g = self.b.lock();
+    }
+}

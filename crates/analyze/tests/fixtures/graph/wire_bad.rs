@@ -1,0 +1,27 @@
+//! Seeds wire_exhaustive failures: `OP_PROBE`/`Probe` are declared and
+//! encoded but never decoded, and `Probe` is missing from the
+//! equivalence corpus (wire_corpus_partial.rs).
+
+pub enum ClientFrame {
+    Hello,
+    Probe,
+}
+
+const OP_HELLO: u8 = 0x01;
+const OP_PROBE: u8 = 0x02;
+
+impl ClientFrame {
+    pub fn encode(&self) -> u8 {
+        match self {
+            ClientFrame::Hello => OP_HELLO,
+            ClientFrame::Probe => OP_PROBE,
+        }
+    }
+
+    pub fn decode(op: u8) -> ClientFrame {
+        if op == OP_HELLO {
+            return ClientFrame::Hello;
+        }
+        ClientFrame::Hello
+    }
+}

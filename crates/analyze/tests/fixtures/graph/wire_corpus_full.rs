@@ -1,0 +1,7 @@
+//! Corpus stand-in for the wire_good fixture: exercises every variant.
+
+fn exercise() {
+    let a = ClientFrame::Hello;
+    let b = ClientFrame::Probe;
+    let _ = (a, b);
+}

@@ -1,0 +1,6 @@
+//! Corpus stand-in for the wire_bad fixture: exercises only `Hello`.
+
+fn exercise() {
+    let f = ClientFrame::Hello;
+    let _ = f;
+}

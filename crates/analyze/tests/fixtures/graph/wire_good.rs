@@ -1,0 +1,29 @@
+//! The exhaustive mirror of wire_bad.rs: every opcode and every variant
+//! is encoded, decoded, and exercised by wire_corpus_full.rs.
+
+pub enum ClientFrame {
+    Hello,
+    Probe,
+}
+
+const OP_HELLO: u8 = 0x01;
+const OP_PROBE: u8 = 0x02;
+
+impl ClientFrame {
+    pub fn encode(&self) -> u8 {
+        match self {
+            ClientFrame::Hello => OP_HELLO,
+            ClientFrame::Probe => OP_PROBE,
+        }
+    }
+
+    pub fn decode(op: u8) -> ClientFrame {
+        if op == OP_HELLO {
+            return ClientFrame::Hello;
+        }
+        if op == OP_PROBE {
+            return ClientFrame::Probe;
+        }
+        ClientFrame::Hello
+    }
+}

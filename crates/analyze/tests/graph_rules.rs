@@ -1,0 +1,170 @@
+//! Fixture-driven end-to-end checks of the cross-crate graph rules.
+//!
+//! Each scenario under `tests/fixtures/graph/` seeds (or deliberately
+//! avoids) one graph-level violation — a lock-acquisition cycle, a
+//! checkpoint field that is saved but never restored, an ORFB opcode
+//! that is encoded but never decoded — and the analyzer must report
+//! exactly the documented `(file, line, rule)` triples. The fixtures
+//! are lexed, never compiled, so they can be minimal.
+
+use orfpred_analyze::{analyze_with_corpus, Report, RuleId, SourceFile};
+
+/// Load `tests/fixtures/graph/<name>` as if it lived in crate `crate_name`.
+fn fixture(name: &str, crate_name: &str) -> SourceFile {
+    let disk = format!("{}/tests/fixtures/graph/{name}", env!("CARGO_MANIFEST_DIR"));
+    SourceFile {
+        text: std::fs::read_to_string(&disk)
+            .unwrap_or_else(|e| panic!("reading fixture {disk}: {e}")),
+        path: format!("tests/fixtures/graph/{name}"),
+        crate_name: crate_name.into(),
+    }
+}
+
+fn path_of(name: &str) -> String {
+    format!("tests/fixtures/graph/{name}")
+}
+
+/// The `(path, line, rule)` triples of every surviving violation.
+fn triples(r: &Report) -> Vec<(String, u32, RuleId)> {
+    r.violations
+        .iter()
+        .map(|v| (v.path.clone(), v.line, v.rule))
+        .collect()
+}
+
+// ----- lock_order ---------------------------------------------------------
+
+#[test]
+fn lock_order_fixture_reports_both_cycles_with_acquisition_traces() {
+    // serve's `forward` takes a then (via grab_b) b; fleet's `backward`
+    // takes b then calls forward. Two distinct cycles fall out: the
+    // cross-crate a->b->a inversion anchored at serve's acquisition of
+    // `a`, and the re-entrant b->b self-deadlock anchored at fleet's
+    // acquisition of `b`.
+    let files = [
+        fixture("lock_cycle_serve.rs", "serve"),
+        fixture("lock_cycle_fleet.rs", "fleet"),
+    ];
+    let r = analyze_with_corpus(&files, &[], &[]);
+    assert_eq!(
+        triples(&r),
+        vec![
+            (path_of("lock_cycle_fleet.rs"), 9, RuleId::LockOrder),
+            (path_of("lock_cycle_serve.rs"), 12, RuleId::LockOrder),
+        ],
+    );
+    // Every lock_order diagnostic must carry the full acquisition path so
+    // the reader can follow the cycle without re-deriving the call graph.
+    for v in &r.violations {
+        assert!(
+            !v.trace.is_empty(),
+            "{}:{} lacks an acquisition trace",
+            v.path,
+            v.line
+        );
+    }
+    let serve = r
+        .violations
+        .iter()
+        .find(|v| v.path.ends_with("lock_cycle_serve.rs"))
+        .unwrap();
+    let trace = serve.trace.join("\n");
+    assert!(trace.contains('a') && trace.contains('b'), "{trace}");
+}
+
+#[test]
+fn lock_order_is_silent_on_a_consistent_acquisition_order() {
+    // Same two locks, but every path takes `a` strictly before `b` (one
+    // of them through a helper call): a DAG, not a cycle.
+    let r = analyze_with_corpus(&[fixture("lock_ordered.rs", "serve")], &[], &[]);
+    assert_eq!(triples(&r), vec![]);
+}
+
+#[test]
+fn reasoned_allow_suppresses_one_cycle_and_reasonless_is_flagged() {
+    // The serve anchor carries `// lint: allow(lock_order, reason=...)`,
+    // which must suppress exactly the a->b->a cycle. The fleet anchor
+    // carries a reasonless allow: it suppresses nothing and is itself
+    // reported as an allow_syntax violation.
+    let files = [
+        fixture("lock_allow_serve.rs", "serve"),
+        fixture("lock_allow_fleet.rs", "fleet"),
+    ];
+    let r = analyze_with_corpus(&files, &[], &[]);
+    assert_eq!(
+        triples(&r),
+        vec![
+            (path_of("lock_allow_fleet.rs"), 8, RuleId::LockOrder),
+            (path_of("lock_allow_fleet.rs"), 8, RuleId::AllowSyntax),
+        ],
+    );
+}
+
+// ----- checkpoint_coverage ------------------------------------------------
+
+#[test]
+fn checkpoint_fixture_flags_the_elision_and_the_ghost_field() {
+    // `ghost` is declared but never constructed or matched anywhere
+    // (flagged at its declaration line), and the restore pattern elides
+    // fields with `..` (flagged at the pattern line).
+    let r = analyze_with_corpus(&[fixture("checkpoint_bad.rs", "util")], &[], &[]);
+    assert_eq!(
+        triples(&r),
+        vec![
+            (path_of("checkpoint_bad.rs"), 9, RuleId::CheckpointCoverage),
+            (path_of("checkpoint_bad.rs"), 14, RuleId::CheckpointCoverage),
+        ],
+    );
+}
+
+#[test]
+fn checkpoint_coverage_is_silent_when_every_field_round_trips() {
+    let r = analyze_with_corpus(&[fixture("checkpoint_good.rs", "util")], &[], &[]);
+    assert_eq!(triples(&r), vec![]);
+}
+
+// ----- wire_exhaustive ----------------------------------------------------
+
+#[test]
+fn wire_fixture_flags_the_undecoded_opcode_and_uncovered_variant() {
+    // `Probe`/`OP_PROBE` are declared and encoded but never decoded, and
+    // the corpus only exercises `Hello` — so the variant draws two
+    // distinct diagnostics (no decode arm, no corpus coverage) and the
+    // opcode one.
+    let corpus = [fixture("wire_corpus_partial.rs", "tests")];
+    let r = analyze_with_corpus(&[fixture("wire_bad.rs", "util")], &corpus, &[]);
+    assert_eq!(
+        triples(&r),
+        vec![
+            (path_of("wire_bad.rs"), 7, RuleId::WireExhaustive),
+            (path_of("wire_bad.rs"), 7, RuleId::WireExhaustive),
+            (path_of("wire_bad.rs"), 11, RuleId::WireExhaustive),
+        ],
+    );
+}
+
+#[test]
+fn wire_exhaustive_is_silent_when_tags_round_trip_and_are_covered() {
+    let corpus = [fixture("wire_corpus_full.rs", "tests")];
+    let r = analyze_with_corpus(&[fixture("wire_good.rs", "util")], &corpus, &[]);
+    assert_eq!(triples(&r), vec![]);
+}
+
+// ----- machine-readable output --------------------------------------------
+
+#[test]
+fn json_rendering_carries_rule_path_line_and_trace() {
+    let files = [
+        fixture("lock_cycle_serve.rs", "serve"),
+        fixture("lock_cycle_fleet.rs", "fleet"),
+    ];
+    let r = analyze_with_corpus(&files, &[], &[]);
+    let json = orfpred_analyze::render_json(&r);
+    assert!(json.contains("\"rule\": \"lock_order\""), "{json}");
+    assert!(
+        json.contains("tests/fixtures/graph/lock_cycle_serve.rs"),
+        "{json}"
+    );
+    assert!(json.contains("\"trace\""), "{json}");
+    assert!(json.contains("\"files_scanned\": 2"), "{json}");
+}

@@ -1,0 +1,48 @@
+//! The unsafe-site inventory is a committed, reviewed artifact.
+//!
+//! `lint-inventory.txt` at the workspace root is the canonical snapshot
+//! of every unsafe site and its SAFETY justification. Any change to the
+//! set — a new unsafe block, a moved site, a reworded justification —
+//! must show up in review as a diff to that file, not just as analyzer
+//! output nobody reads. The rendering is deterministic (sites sorted by
+//! path then line), so the comparison is exact.
+
+use orfpred_analyze::{analyze, load_allowlist, load_workspace, render_inventory};
+
+#[test]
+fn the_committed_inventory_snapshot_matches_the_workspace() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analyze sits two levels under the workspace root")
+        .to_path_buf();
+    let files = load_workspace(&root).expect("workspace walks");
+    let allows = load_allowlist(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = analyze(&files, &allows);
+    let rendered = render_inventory(&report);
+    let committed = std::fs::read_to_string(root.join("lint-inventory.txt"))
+        .expect("lint-inventory.txt exists at the workspace root");
+    assert_eq!(
+        rendered.trim_end(),
+        committed.trim_end(),
+        "unsafe inventory drifted from the committed snapshot; regenerate with\n  \
+         cargo run -p orfpred-analyze -- --inventory > lint-inventory.txt"
+    );
+}
+
+#[test]
+fn the_inventory_rendering_is_deterministic() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analyze sits two levels under the workspace root")
+        .to_path_buf();
+    let files = load_workspace(&root).expect("workspace walks");
+    let allows = load_allowlist(&root.join("lint.toml")).expect("lint.toml parses");
+    let a = render_inventory(&analyze(&files, &allows));
+    let b = render_inventory(&analyze(&files, &allows));
+    assert_eq!(
+        a, b,
+        "two runs over identical input must render identically"
+    );
+}

@@ -726,6 +726,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
         "serve: clean shutdown, {} alarms in stream",
         finished.alarms.len()
     );
+    // lint: allow(checkpoint_coverage, reason="read-only peek at two optional reports for shutdown logging; restore completeness is enforced at Engine::restore")
     let orfpred_serve::Checkpoint::Online { prep, adapt, .. } = &finished.checkpoint;
     if let Some(p) = prep {
         eprintln!("{}", p.counters().render());

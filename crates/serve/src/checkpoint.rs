@@ -219,6 +219,7 @@ impl Checkpoint {
     /// restore (scaler/forest width mismatch, a zero labelling window, a
     /// version from the future).
     pub fn validate(&self) -> Result<(), String> {
+        // lint: allow(checkpoint_coverage, reason="shape validation probes only the structurally constrained fields; Engine::restore consumes every field")
         let Checkpoint::Online {
             scaler,
             forest,

@@ -52,6 +52,7 @@ fn start_engine(cfg: &DaemonConfig) -> Result<(Engine, u64), String> {
     match &cfg.checkpoint_path {
         Some(path) if path.exists() => {
             let ck = Checkpoint::load(path).map_err(|e| e.to_string())?;
+            // lint: allow(checkpoint_coverage, reason="read-only peek at the catch-up cursor; Engine::restore consumes the full checkpoint on the next line")
             let Checkpoint::Online {
                 events_ingested, ..
             } = &ck;

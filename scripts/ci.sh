@@ -25,6 +25,22 @@ echo "== lint: orfpred invariants =="
 #   cargo run -p orfpred-analyze -- --explain <rule-id>
 cargo run -q -p orfpred-analyze --release -- --deny
 
+echo "== lint: graph invariants =="
+# Cross-crate pass (DESIGN.md §17): lock-acquisition cycles across serve
+# and fleet, checkpoint save/restore field coverage, and ORFB wire-tag
+# exhaustiveness against the fleet_equiv corpus. Also a hard gate.
+cargo run -q -p orfpred-analyze --release -- --deny \
+    --only lock_order,checkpoint_coverage,wire_exhaustive
+
+echo "== lint: machine-readable output smoke check =="
+# The JSON renderer feeds external tooling; a clean run must emit an
+# empty violations array and a non-zero scan count.
+json_out="$(cargo run -q -p orfpred-analyze --release -- --format json)"
+case "$json_out" in
+    *'"violations": []'*) : ;;
+    *) echo "lint --format json: expected an empty violations array:"; echo "$json_out"; exit 1 ;;
+esac
+
 echo "== bench compile gate (benches must not rot, store + prep + score + fleet included) =="
 cargo bench --no-run
 cargo bench -p orfpred-bench --bench store --no-run

@@ -429,3 +429,146 @@ fn binary_and_json_sessions_produce_identical_alarm_streams() {
         "alarm frames on the wire match the accumulated stream"
     );
 }
+
+#[test]
+fn binary_control_frames_round_trip_score_stats_checkpoint_and_reshard() {
+    // One binary session drives the full control plane: Score (twice, to
+    // pin determinism bit-for-bit), Stats, Checkpoint to an explicit path,
+    // Reshard (once legal, once illegal), then Shutdown. The replies must
+    // come back typed — ScoreReply / StatsReply / Ok / Error — in request
+    // order, with alarm frames free to interleave ahead of them.
+    let events = fleet_events(1406);
+    let mid = events.len() / 2;
+    let tenant = TenantConfig::new("solo", predictor_cfg(9));
+    let fingerprint = tenant.serve.predictor.domain_schema().fingerprint();
+    let ck_path = tmp_path("control_ck.json");
+    let _ = std::fs::remove_file(&ck_path);
+
+    let probe_row = vec![0.5f32; 4]; // short on purpose: the daemon pads
+    let mut input = Vec::new();
+    input.extend_from_slice(&WIRE_MAGIC);
+    ClientFrame::Hello {
+        version: WIRE_VERSION,
+        fingerprint,
+        tenant: "solo".into(),
+    }
+    .encode(&mut input);
+    for ev in &events[..mid] {
+        match ev {
+            FleetEvent::Sample(dd) => ClientFrame::Sample {
+                disk_id: dd.disk_id,
+                day: dd.day,
+                features: dd.features.clone(),
+            }
+            .encode(&mut input),
+            FleetEvent::Failure { disk_id, day } => ClientFrame::Failure {
+                disk_id: *disk_id,
+                day: *day,
+            }
+            .encode(&mut input),
+        }
+    }
+    ClientFrame::Score {
+        features: probe_row.clone(),
+    }
+    .encode(&mut input);
+    ClientFrame::Score {
+        features: probe_row,
+    }
+    .encode(&mut input);
+    ClientFrame::Stats.encode(&mut input);
+    ClientFrame::Checkpoint {
+        path: Some(ck_path.to_string_lossy().into_owned()),
+    }
+    .encode(&mut input);
+    ClientFrame::Reshard { n_shards: 3 }.encode(&mut input);
+    ClientFrame::Reshard { n_shards: 0 }.encode(&mut input);
+    for ev in &events[mid..] {
+        match ev {
+            FleetEvent::Sample(dd) => ClientFrame::Sample {
+                disk_id: dd.disk_id,
+                day: dd.day,
+                features: dd.features.clone(),
+            }
+            .encode(&mut input),
+            FleetEvent::Failure { disk_id, day } => ClientFrame::Failure {
+                disk_id: *disk_id,
+                day: *day,
+            }
+            .encode(&mut input),
+        }
+    }
+    ClientFrame::Shutdown.encode(&mut input);
+
+    let cfg = FleetDaemonConfig::new(vec![tenant]);
+    let mut out = Vec::new();
+    let fins = fleet_run(&cfg, Cursor::new(input), &mut out).expect("binary session runs");
+    assert_eq!(fins.len(), 1);
+    assert_eq!(fins[0].counters.reshards, 1, "only the legal reshard took");
+
+    let mut cursor = &out[..];
+    let (op, payload) = read_frame(&mut cursor)
+        .expect("well-formed output")
+        .expect("non-empty output");
+    assert!(matches!(
+        ServerFrame::decode(op, &payload).expect("decodable"),
+        ServerFrame::HelloAck {
+            version: WIRE_VERSION,
+            ..
+        }
+    ));
+    let mut replies = Vec::new();
+    while let Some((op, payload)) = read_frame(&mut cursor).expect("well-formed output") {
+        let frame = ServerFrame::decode(op, &payload).expect("decodable");
+        if !matches!(frame, ServerFrame::Alarm { .. }) {
+            replies.push(frame);
+        }
+    }
+    assert_eq!(replies.len(), 7, "one reply per control frame: {replies:?}");
+    let (s1, s2) = match (&replies[0], &replies[1]) {
+        (ServerFrame::ScoreReply { score: a }, ServerFrame::ScoreReply { score: b }) => (*a, *b),
+        other => panic!("expected two ScoreReply frames, got {other:?}"),
+    };
+    assert!(s1.is_finite());
+    assert_eq!(s1.to_bits(), s2.to_bits(), "scoring is deterministic");
+    match &replies[2] {
+        ServerFrame::StatsReply { json } => {
+            assert!(json.starts_with('{'), "stats reply is JSON: {json}");
+            assert!(json.contains("solo"), "stats name the tenant: {json}");
+        }
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    match &replies[3] {
+        ServerFrame::Ok { message } => {
+            assert!(message.contains("checkpoint"), "{message}");
+        }
+        other => panic!("expected checkpoint Ok, got {other:?}"),
+    }
+    let saved = orfpred::serve::Checkpoint::load(&ck_path).expect("checkpoint readable");
+    let orfpred::serve::Checkpoint::Online {
+        events_ingested, ..
+    } = &saved;
+    assert_eq!(
+        events_ingested.unwrap_or(0),
+        mid as u64,
+        "checkpoint cursor sits at the control point"
+    );
+    match &replies[4] {
+        ServerFrame::Ok { message } => {
+            assert!(message.contains("reshard to 3"), "{message}");
+        }
+        other => panic!("expected reshard Ok, got {other:?}"),
+    }
+    match &replies[5] {
+        ServerFrame::Error { message } => {
+            assert!(message.contains("at least 1"), "{message}");
+        }
+        other => panic!("expected reshard Error, got {other:?}"),
+    }
+    assert!(
+        matches!(&replies[6], ServerFrame::Ok { message } if message == "shutdown"),
+        "expected shutdown Ok, got {:?}",
+        replies[6]
+    );
+    let _ = std::fs::remove_file(&ck_path);
+}
